@@ -1,0 +1,141 @@
+// Package repro's top-level benchmarks regenerate every table and figure of
+// the paper's evaluation (§5) as testing.B benchmarks:
+//
+//	BenchmarkTable1/...  — communication microbenchmarks (Table I)
+//	BenchmarkFig10/...   — dynamic communication counts (Figure 10)
+//	BenchmarkTable3/...  — simple vs optimized execution times (Table III)
+//
+// Each benchmark iteration runs a full compile-and-simulate cycle; the
+// interesting quantities (simulated nanoseconds, operation counts,
+// improvement percentages) are attached as custom metrics, so
+// `go test -bench=. -benchmem` prints both host cost and the reproduced
+// numbers.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/olden"
+)
+
+// quickParams keeps each simulated run in the tens of milliseconds.
+func quickParams(bm *olden.Benchmark) olden.Params {
+	p := bm.DefaultParams
+	switch bm.Name {
+	case "power":
+		p.Size, p.Iters = 8, 2
+	case "perimeter":
+		p.Size = 5
+	case "tsp":
+		p.Size = 64
+	case "health":
+		p.Size, p.Iters = 3, 20
+	case "voronoi":
+		p.Size = 96
+	}
+	return p
+}
+
+// BenchmarkTable1 regenerates the Table I microbenchmarks once per
+// iteration and reports the measured per-operation costs.
+func BenchmarkTable1(b *testing.B) {
+	var res *harness.Table1Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = harness.MeasureTable1()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, row := range res.Rows {
+		b.ReportMetric(float64(row.Sequential), row.Operation[:4]+"_seq_ns")
+		b.ReportMetric(float64(row.Pipelined), row.Operation[:4]+"_pipe_ns")
+	}
+}
+
+// BenchmarkFig10 runs each Olden benchmark in simple and optimized form on
+// a 4-node machine, reporting the communication-count reduction.
+func BenchmarkFig10(b *testing.B) {
+	for _, bm := range olden.All() {
+		bm := bm
+		b.Run(bm.Name, func(b *testing.B) {
+			var row harness.Fig10Row
+			for i := 0; i < b.N; i++ {
+				res, err := harness.MeasureFig10Single(bm, quickParams(bm), 4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				row = *res
+			}
+			b.ReportMetric(float64(row.TotalSimple), "simple_ops")
+			b.ReportMetric(float64(row.OptTotal()), "opt_ops")
+			b.ReportMetric(row.Normalized(), "opt_pct_of_simple")
+		})
+	}
+}
+
+// BenchmarkTable3 runs each Olden benchmark at 1 and 4 simulated nodes,
+// reporting simulated times and the optimization improvement.
+func BenchmarkTable3(b *testing.B) {
+	for _, bm := range olden.All() {
+		bm := bm
+		for _, nodes := range []int{1, 4} {
+			nodes := nodes
+			b.Run(bm.Name+"/nodes="+itoa(nodes), func(b *testing.B) {
+				var simpleNs, optNs int64
+				for i := 0; i < b.N; i++ {
+					s, o, err := harness.RunPair(bm, quickParams(bm), nodes)
+					if err != nil {
+						b.Fatal(err)
+					}
+					simpleNs, optNs = s.Time, o.Time
+				}
+				b.ReportMetric(float64(simpleNs)/1e6, "simple_sim_ms")
+				b.ReportMetric(float64(optNs)/1e6, "opt_sim_ms")
+				b.ReportMetric(100*(1-float64(optNs)/float64(simpleNs)), "improvement_pct")
+			})
+		}
+	}
+}
+
+// BenchmarkCompile measures the compiler pipeline itself (parse through
+// communication selection) on the largest benchmark source.
+func BenchmarkCompile(b *testing.B) {
+	bm := olden.ByName("health")
+	src := bm.Source(bm.DefaultParams)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Compile("health.ec", src, core.Options{Optimize: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulator measures raw simulator throughput (instructions per
+// host second) on the power benchmark.
+func BenchmarkSimulator(b *testing.B) {
+	bm := olden.ByName("power")
+	src := bm.Source(quickParams(bm))
+	u, err := core.Compile("power.ec", src, core.Options{Optimize: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var instr int64
+	for i := 0; i < b.N; i++ {
+		res, err := u.Run(core.RunConfig{Nodes: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		instr = res.Counts.Instructions
+	}
+	b.ReportMetric(float64(instr), "guest_instructions")
+}
+
+func itoa(n int) string {
+	if n < 10 {
+		return string(rune('0' + n))
+	}
+	return itoa(n/10) + itoa(n%10)
+}

@@ -1,0 +1,22 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/olden"
+	"repro/internal/simple"
+)
+
+func main() {
+	bm := olden.ByName("perimeter")
+	src := bm.Source(olden.Params{Size: 4})
+	u, err := core.Compile("perimeter.ec", src, core.Options{Optimize: true})
+	if err != nil {
+		panic(err)
+	}
+	for _, name := range []string{"sum_adjacent", "gtequal_adj_neighbor", "perimeter"} {
+		fmt.Println(simple.FuncString(u.Simple.FuncByName(name), simple.PrintOptions{Labels: true}))
+	}
+	fmt.Println(u.Report)
+}

@@ -1,0 +1,106 @@
+// Command earthcc is the EARTH-C compiler driver: it parses, checks,
+// lowers, optionally optimizes communication, and prints the requested
+// intermediate representation.
+//
+// Usage:
+//
+//	earthcc [flags] file.ec
+//
+//	-O               enable communication optimization (Phase II)
+//	-dump=simple     print SIMPLE form (default)
+//	-dump=ast        print the (inlined, restructured) AST
+//	-dump=threaded   print threaded-code disassembly
+//	-dump=placement  print per-statement RemoteReads/RemoteWrites sets
+//	-labels          include Si statement labels in SIMPLE output
+//	-no-inline       disable Phase I function inlining
+//	-threshold N     blocking threshold in words (default 3)
+//	-report          print the communication-selection report
+//	-reorder         cluster remotely-accessed struct fields (paper's §7)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/earthc"
+	"repro/internal/simple"
+	"repro/internal/threaded"
+)
+
+func main() {
+	optimize := flag.Bool("O", false, "enable communication optimization")
+	dump := flag.String("dump", "simple", "what to print: simple|ast|threaded|placement")
+	labels := flag.Bool("labels", false, "show Si statement labels")
+	noInline := flag.Bool("no-inline", false, "disable function inlining")
+	threshold := flag.Int("threshold", 3, "blocking threshold in words")
+	report := flag.Bool("report", false, "print the selection report")
+	reorder := flag.Bool("reorder", false, "reorder struct fields to cluster remote accesses")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: earthcc [flags] file.ec")
+		flag.Usage()
+		os.Exit(2)
+	}
+	name := flag.Arg(0)
+	src, err := os.ReadFile(name)
+	if err != nil {
+		fatal(err)
+	}
+	opts := core.Options{Optimize: *optimize, NoInline: *noInline, ReorderFields: *reorder}
+	opts.Sel.BlockThreshold = *threshold
+	u, err := core.Compile(name, string(src), opts)
+	if err != nil {
+		fatal(err)
+	}
+	switch *dump {
+	case "ast":
+		fmt.Print(earthc.Print(u.File))
+	case "simple":
+		for _, f := range u.Simple.Funcs {
+			fmt.Println(simple.FuncString(f, simple.PrintOptions{Labels: *labels}))
+		}
+	case "threaded":
+		tp, err := u.Threaded(threaded.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		names := make([]string, 0, len(tp.Funcs))
+		for n := range tp.Funcs {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Println(tp.Funcs[n].Disasm())
+		}
+	case "placement":
+		if u.Placement == nil {
+			fatal(fmt.Errorf("placement sets require -O"))
+		}
+		for _, f := range u.Simple.Funcs {
+			fmt.Printf("=== %s ===\n", f.Name)
+			simple.WalkStmts(f.Body, func(s simple.Stmt) {
+				if b, ok := s.(*simple.Basic); ok {
+					if rs := u.Placement.Reads[s]; rs != nil && rs.Len() > 0 {
+						fmt.Printf("  RemoteReads(S%d)  = %s\n", b.Label, rs)
+					}
+					if ws := u.Placement.Writes[s]; ws != nil && ws.Len() > 0 {
+						fmt.Printf("  RemoteWrites(S%d) = %s\n", b.Label, ws)
+					}
+				}
+			})
+		}
+	default:
+		fatal(fmt.Errorf("unknown -dump mode %q", *dump))
+	}
+	if *report && u.Report != nil {
+		fmt.Println(u.Report)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "earthcc:", err)
+	os.Exit(1)
+}

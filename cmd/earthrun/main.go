@@ -1,0 +1,93 @@
+// Command earthrun compiles an EARTH-C program and executes it on the
+// simulated EARTH-MANNA machine.
+//
+// Usage:
+//
+//	earthrun [flags] file.ec
+//
+//	-nodes N    machine size (default 1)
+//	-O          enable communication optimization
+//	-seq        sequential baseline build (serialized, direct memory)
+//	-stats      print simulated time and communication counters
+//	-compare    run both simple and optimized builds and compare
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 1, "number of simulated nodes")
+	optimize := flag.Bool("O", false, "enable communication optimization")
+	seq := flag.Bool("seq", false, "sequential baseline build")
+	stats := flag.Bool("stats", false, "print time and counters")
+	compare := flag.Bool("compare", false, "run simple and optimized, compare")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: earthrun [flags] file.ec")
+		flag.Usage()
+		os.Exit(2)
+	}
+	name := flag.Arg(0)
+	srcBytes, err := os.ReadFile(name)
+	if err != nil {
+		fatal(err)
+	}
+	src := string(srcBytes)
+
+	if *compare {
+		simple, err := run(name, src, false, *nodes, *seq)
+		if err != nil {
+			fatal(err)
+		}
+		opt, err := run(name, src, true, *nodes, *seq)
+		if err != nil {
+			fatal(err)
+		}
+		if simple.out != opt.out {
+			fatal(fmt.Errorf("outputs differ!\nsimple: %q\noptimized: %q", simple.out, opt.out))
+		}
+		fmt.Print(simple.out)
+		fmt.Printf("simple:    %12d ns   %s\n", simple.time, simple.counts)
+		fmt.Printf("optimized: %12d ns   %s\n", opt.time, opt.counts)
+		fmt.Printf("improvement: %.2f%%\n", 100*(1-float64(opt.time)/float64(simple.time)))
+		return
+	}
+
+	r, err := run(name, src, *optimize, *nodes, *seq)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(r.out)
+	if *stats {
+		fmt.Printf("time: %d ns (%.3f ms) on %d node(s)\n", r.time, float64(r.time)/1e6, *nodes)
+		fmt.Printf("comm: %s\n", r.counts)
+	}
+}
+
+type runResult struct {
+	out    string
+	time   int64
+	counts fmt.Stringer
+}
+
+func run(name, src string, optimize bool, nodes int, seq bool) (*runResult, error) {
+	u, err := core.Compile(name, src, core.Options{Optimize: optimize})
+	if err != nil {
+		return nil, err
+	}
+	res, err := u.Run(core.RunConfig{Nodes: nodes, Sequential: seq})
+	if err != nil {
+		return nil, err
+	}
+	return &runResult{out: res.Output, time: res.Time, counts: res.Counts}, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "earthrun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,109 @@
+// Command paperbench regenerates the evaluation artifacts of Zhu & Hendren,
+// "Communication Optimizations for Parallel C Programs" (PLDI 1998) on the
+// simulated EARTH-MANNA machine:
+//
+//	-table1    Table I: communication operation costs
+//	-table2    Table II: benchmark descriptions
+//	-fig10     Figure 10: dynamic communication counts, simple vs optimized
+//	-table3    Table III: execution times, speedups, improvements
+//	-all       everything (default when no flag given)
+//
+//	-nodes N       machine size for fig10 (default 4)
+//	-procs list    comma-separated processor counts for table3
+//	               (default 1,2,4,8,16)
+//	-scale s       problem scale: quick | default (default "default")
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/harness"
+	"repro/internal/olden"
+)
+
+func main() {
+	t1 := flag.Bool("table1", false, "Table I")
+	t2 := flag.Bool("table2", false, "Table II")
+	f10 := flag.Bool("fig10", false, "Figure 10")
+	t3 := flag.Bool("table3", false, "Table III")
+	all := flag.Bool("all", false, "everything")
+	nodes := flag.Int("nodes", 4, "machine size for fig10")
+	procsFlag := flag.String("procs", "1,2,4,8,16", "processor counts for table3")
+	scale := flag.String("scale", "default", "problem scale: quick|default")
+	flag.Parse()
+
+	if !*t1 && !*t2 && !*f10 && !*t3 {
+		*all = true
+	}
+	params := paramsFor(*scale)
+
+	if *all || *t2 {
+		fmt.Println(harness.Table2())
+	}
+	if *all || *t1 {
+		res, err := harness.MeasureTable1()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res)
+	}
+	if *all || *f10 {
+		res, err := harness.MeasureFig10(*nodes, params)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res)
+		fmt.Println(res.Bars())
+	}
+	if *all || *t3 {
+		var procs []int
+		for _, p := range strings.Split(*procsFlag, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil || v < 1 {
+				fatal(fmt.Errorf("bad -procs element %q", p))
+			}
+			procs = append(procs, v)
+		}
+		res, err := harness.MeasureTable3(procs, params)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res)
+	}
+}
+
+func paramsFor(scale string) func(*olden.Benchmark) olden.Params {
+	switch scale {
+	case "default":
+		return harness.DefaultParams
+	case "quick":
+		return func(bm *olden.Benchmark) olden.Params {
+			p := bm.DefaultParams
+			switch bm.Name {
+			case "power":
+				p.Size, p.Iters = 8, 2
+			case "perimeter":
+				p.Size = 5
+			case "tsp":
+				p.Size = 64
+			case "health":
+				p.Size, p.Iters = 3, 20
+			case "voronoi":
+				p.Size = 96
+			}
+			return p
+		}
+	default:
+		fatal(fmt.Errorf("unknown -scale %q", scale))
+		return nil
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "paperbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,391 @@
+package commsel
+
+import (
+	"sort"
+
+	"repro/internal/earthc"
+	"repro/internal/placement"
+	"repro/internal/simple"
+)
+
+func structRefType(name string) earthc.Type {
+	return &earthc.StructRef{Name: name}
+}
+
+// pointeeLayout returns the struct layout behind pointer variable p, or nil.
+func (s *sel) pointeeLayout(p *simple.Var) *simple.StructLayout {
+	pt, ok := p.Type.(*earthc.PtrType)
+	if !ok {
+		return nil
+	}
+	sr, ok := pt.Elem.(*earthc.StructRef)
+	if !ok {
+		return nil
+	}
+	return s.prog.Structs[sr.Name]
+}
+
+// frame is one level of the placement stack used by the dereference-safety
+// scan: the statement sequence and the index of the statement before which
+// the communication would be inserted.
+type frame struct {
+	seq *simple.Seq
+	idx int
+}
+
+// readsSeq performs top-down earliest-placement selection over a sequence
+// (the driving traversal of §4.2).
+func (s *sel) readsSeq(seq *simple.Seq, stack []frame) {
+	for i := 0; i < len(seq.Stmts); i++ {
+		st := seq.Stmts[i]
+		if set := s.pl.Reads[st]; set != nil && set.Len() > 0 {
+			here := append(append([]frame{}, stack...), frame{seq, i})
+			ins := s.selectReadsAt(set, st, here)
+			if len(ins) > 0 {
+				insertStmts(seq, i, ins)
+				i += len(ins)
+				st = seq.Stmts[i]
+			}
+		}
+		s.descendReads(st, stack, seq, i)
+	}
+}
+
+func (s *sel) descendReads(st simple.Stmt, stack []frame, seq *simple.Seq, i int) {
+	here := append(append([]frame{}, stack...), frame{seq, i + 1})
+	switch c := st.(type) {
+	case *simple.Basic:
+		// nothing below
+	case *simple.Seq:
+		s.readsSeq(c, stack)
+	case *simple.If:
+		s.readsSeq(c.Then, here)
+		s.readsSeq(c.Else, here)
+	case *simple.Switch:
+		for _, cc := range c.Cases {
+			s.readsSeq(cc.Body, here)
+		}
+	case *simple.While:
+		s.readsSeq(c.Eval, here)
+		s.readsSeq(c.Body, here)
+	case *simple.Do:
+		s.readsSeq(c.Body, here)
+		s.readsSeq(c.Eval, here)
+	case *simple.Forall:
+		s.readsSeq(c.Eval, here)
+		s.readsSeq(c.Body, here)
+		s.readsSeq(c.Step, here)
+	case *simple.Par:
+		for _, arm := range c.Arms {
+			s.readsSeq(arm, here)
+		}
+	}
+}
+
+// selectReadsAt implements the per-point candidate selection: take the
+// RemoteReads set valid just before st, drop already-handled accesses,
+// apply the frequency and dereference-safety criteria, then group by
+// pointer and choose pipelined gets or a blocked fill.
+func (s *sel) selectReadsAt(set *placement.Set, st simple.Stmt, stack []frame) []simple.Stmt {
+	type cand struct {
+		t      *placement.Tuple
+		labels []int
+	}
+	byPtr := make(map[*simple.Var][]cand)
+	extraByPtr := make(map[*simple.Var][]cand) // sub-threshold-frequency tuples
+	var ptrs []*simple.Var
+	for _, t := range set.Tuples() {
+		key := t.Key()
+		var labels []int
+		for _, l := range t.Labels() {
+			if !s.handledR[key][l] {
+				labels = append(labels, l)
+			}
+		}
+		if len(labels) == 0 {
+			continue
+		}
+		if s.opt.NoReadMotion {
+			// Only select the access belonging to st itself.
+			if b, ok := st.(*simple.Basic); !ok || !containsLabel(labels, b.Label) {
+				continue
+			} else {
+				labels = []int{b.Label}
+			}
+		}
+		if t.Freq < 1 {
+			// Not worth a pipelined get of its own, but if a block fill of
+			// the same pointer fires anyway, this access rides along for
+			// free (the paper: reading spurious fields is safe, and their
+			// redirection costs nothing).
+			if !s.opt.NoReadMotion {
+				extraByPtr[t.P] = append(extraByPtr[t.P], cand{t: t, labels: labels})
+			}
+			continue
+		}
+		if !s.opt.Speculative && !s.derefSafe(t.P, stack) {
+			continue
+		}
+		if byPtr[t.P] == nil {
+			ptrs = append(ptrs, t.P)
+		}
+		byPtr[t.P] = append(byPtr[t.P], cand{t: t, labels: labels})
+	}
+	sort.Slice(ptrs, func(i, j int) bool { return ptrs[i].Name < ptrs[j].Name })
+
+	var ins []simple.Stmt
+	for _, p := range ptrs {
+		group := byPtr[p]
+		layout := s.pointeeLayout(p)
+		// Total distinct fields reachable through p at this point: full
+		// candidates plus low-frequency extras that a block would cover.
+		all := append(append([]cand{}, group...), extraByPtr[p]...)
+		sort.Slice(all, func(i, j int) bool { return all[i].t.Off < all[j].t.Off })
+		needed := len(all)
+		// The fill moves only the contiguous span covering the needed
+		// fields (reading spurious fields inside the span is safe); field
+		// reordering (core.Options.ReorderFields) clusters hot fields to
+		// shrink this span — the paper's suggested further work.
+		span := 0
+		if needed > 0 {
+			span = all[needed-1].t.Off + 1 - all[0].t.Off
+		}
+		block := !s.opt.NoBlocking && layout != nil &&
+			needed >= s.opt.BlockThreshold &&
+			(s.opt.MaxBlockWaste == 0 || span <= s.opt.MaxBlockWaste*needed)
+		if block {
+			group = all
+		}
+		sort.Slice(group, func(i, j int) bool { return group[i].t.Off < group[j].t.Off })
+		if block {
+			base := group[0].t.Off
+			end := base + span
+			// RemoteFill (paper §4.2): extend the filled span over fields
+			// the function stores through p, so every word a delayed
+			// write-back covers is locally valid and the write can block.
+			simple.WalkBasics(s.fn.Body, func(b *simple.Basic) {
+				if b.Kind != simple.KAssign {
+					return
+				}
+				if stv, ok := b.Lhs.(simple.StoreLV); ok && stv.P == p {
+					if stv.Off < base {
+						base = stv.Off
+					}
+					if stv.Off+1 > end {
+						end = stv.Off + 1
+					}
+				}
+			})
+			span = end - base
+			bcomm := s.newBComm(layout.Name, layout.Size)
+			fill := s.fn.NewBasic(simple.KBlkRead)
+			fill.P = p
+			fill.Local = bcomm
+			fill.Off = base
+			fill.Size = span
+			s.rw.Register(fill)
+			s.fills[bcomm] = fillInfo{p: p, off: base, size: span}
+			ins = append(ins, fill)
+			s.fr.BlockedReads++
+			for _, c := range group {
+				sh := shadow{v: bcomm, off: c.t.Off, field: c.t.Field, blk: true}
+				s.commit(c.t, c.labels, sh)
+			}
+		} else {
+			for _, c := range group {
+				// The shadow's type is the loaded field's type, taken from
+				// any destination of the covered loads.
+				dst := s.loadDst(c.labels)
+				if dst == nil {
+					continue
+				}
+				comm := s.newComm(dst)
+				get := s.fn.NewBasic(simple.KGetF)
+				get.Dst = comm
+				get.P = p
+				get.Field = c.t.Field
+				get.Off = c.t.Off
+				s.rw.Register(get)
+				ins = append(ins, get)
+				s.fr.PipelinedReads++
+				sh := shadow{v: comm, field: c.t.Field}
+				s.commit(c.t, c.labels, sh)
+			}
+		}
+	}
+	return ins
+}
+
+func containsLabel(labels []int, l int) bool {
+	for _, x := range labels {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+// loadDst finds the destination variable of one of the covered loads, to
+// size/type the comm temporary.
+func (s *sel) loadDst(labels []int) *simple.Var {
+	for _, l := range labels {
+		b := s.fn.Basics[l]
+		if b.Kind != simple.KAssign {
+			continue
+		}
+		if lv, ok := b.Lhs.(simple.VarLV); ok {
+			return lv.V
+		}
+	}
+	return nil
+}
+
+// commit records a selection: hash the covered labels, bind shadows for the
+// loads, and mandate shadow updates for stores the tuple floated across.
+func (s *sel) commit(t *placement.Tuple, labels []int, sh shadow) {
+	key := t.Key()
+	hs := s.handledR[key]
+	if hs == nil {
+		hs = make(map[int]bool)
+		s.handledR[key] = hs
+	}
+	for i, l := range labels {
+		hs[l] = true
+		s.readShadow[l] = sh
+		if i > 0 {
+			s.fr.ReadsEliminated++
+		}
+	}
+	for w := range t.CrossedW {
+		s.storeShadow[w] = sh
+	}
+}
+
+// --------------------------------------------------- dereference safety ---
+
+// derefSafe reports whether, starting at the placement point described by
+// the stack, the original program dereferences p on all forward paths
+// before p can change (footnote 2 of the paper: this licenses inserting an
+// early dereference).
+func (s *sel) derefSafe(p *simple.Var, stack []frame) bool {
+	for level := len(stack) - 1; level >= 0; level-- {
+		f := stack[level]
+		switch s.scanSeq(f.seq, f.idx, p) {
+		case scanFound:
+			return true
+		case scanKilled:
+			return false
+		}
+		// Fell off this sequence: continue after the enclosing construct.
+	}
+	return false
+}
+
+type scanResult int
+
+const (
+	scanFall   scanResult = iota // no deref yet, p unchanged: keep scanning
+	scanFound                    // dereferenced on all paths
+	scanKilled                   // p may change (or the path ends) first
+)
+
+func (s *sel) scanSeq(seq *simple.Seq, from int, p *simple.Var) scanResult {
+	for i := from; i < len(seq.Stmts); i++ {
+		switch r := s.scanStmt(seq.Stmts[i], p); r {
+		case scanFound, scanKilled:
+			return r
+		}
+	}
+	return scanFall
+}
+
+func (s *sel) scanStmt(st simple.Stmt, p *simple.Var) scanResult {
+	switch c := st.(type) {
+	case *simple.Basic:
+		if basicDerefs(c, p) {
+			return scanFound
+		}
+		if c.Kind == simple.KReturn {
+			return scanKilled
+		}
+		if s.rw.VarWritten(p, c) {
+			return scanKilled
+		}
+		return scanFall
+	case *simple.Seq:
+		return s.scanSeq(c, 0, p)
+	case *simple.If:
+		t := s.scanSeq(c.Then, 0, p)
+		e := s.scanSeq(c.Else, 0, p)
+		if t == scanKilled || e == scanKilled {
+			return scanKilled
+		}
+		if t == scanFound && e == scanFound {
+			return scanFound
+		}
+		return scanFall
+	case *simple.Switch:
+		all := scanFound
+		hasDefault := false
+		for _, cc := range c.Cases {
+			if cc.Vals == nil {
+				hasDefault = true
+			}
+			switch s.scanSeq(cc.Body, 0, p) {
+			case scanKilled:
+				return scanKilled
+			case scanFall:
+				all = scanFall
+			}
+		}
+		if !hasDefault {
+			all = scanFall
+		}
+		return all
+	case *simple.While, *simple.Forall:
+		// The body may execute zero times; only the kill side matters.
+		if s.rw.VarWritten(p, st) {
+			return scanKilled
+		}
+		return scanFall
+	case *simple.Do:
+		// Executes at least once.
+		r := s.scanSeq(c.Body, 0, p)
+		if r != scanFall {
+			return r
+		}
+		if s.rw.VarWritten(p, st) {
+			return scanKilled
+		}
+		return scanFall
+	case *simple.Par:
+		for _, arm := range c.Arms {
+			switch s.scanSeq(arm, 0, p) {
+			case scanFound:
+				return scanFound
+			case scanKilled:
+				return scanKilled
+			}
+		}
+		return scanFall
+	}
+	return scanFall
+}
+
+// basicDerefs reports whether the basic statement dereferences p.
+func basicDerefs(b *simple.Basic, p *simple.Var) bool {
+	switch b.Kind {
+	case simple.KAssign:
+		if ld, ok := b.Rhs.(simple.LoadRV); ok && ld.P == p {
+			return true
+		}
+		if stv, ok := b.Lhs.(simple.StoreLV); ok && stv.P == p {
+			return true
+		}
+	case simple.KBlkCopy:
+		return b.P == p || b.P2 == p
+	case simple.KGetF, simple.KPutF, simple.KBlkRead, simple.KBlkWrite:
+		return b.P == p
+	}
+	return false
+}

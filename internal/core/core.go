@@ -1,0 +1,208 @@
+// Package core is the compiler pipeline facade for this reproduction of
+// Zhu & Hendren, "Communication Optimizations for Parallel C Programs"
+// (PLDI 1998). It wires the front end, semantic analysis, SIMPLE lowering,
+// the supporting analyses (points-to, read/write sets, locality), and the
+// paper's communication optimization (possible-placement analysis +
+// communication selection) into a single Compile call, exposing every
+// intermediate artifact for inspection, testing, and execution on the
+// EARTH-MANNA simulator.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/commsel"
+	"repro/internal/earthc"
+	"repro/internal/locality"
+	"repro/internal/lower"
+	"repro/internal/placement"
+	"repro/internal/pointsto"
+	"repro/internal/rwsets"
+	"repro/internal/sema"
+	"repro/internal/simple"
+)
+
+// Options configure compilation.
+type Options struct {
+	// Optimize enables the communication optimization (the paper's Phase
+	// II). When false, the program is compiled "simple": every remote
+	// access stays at its original statement as a synchronous operation.
+	Optimize bool
+	// Sel tunes the communication selection heuristics; zero values take
+	// the paper's defaults (block threshold 3).
+	Sel commsel.Options
+	// NoInline disables the Phase I local function inliner (it normally
+	// runs for both simple and optimized builds, as in McCAT).
+	NoInline bool
+	// Inline tunes the inliner.
+	Inline earthc.InlineOptions
+	// ReorderFields enables the paper's suggested further work: struct
+	// fields are permuted so remotely-accessed fields sit together,
+	// shrinking the contiguous span a blocked transfer must move. The
+	// program is compiled once to collect access counts, then recompiled
+	// with the permuted layouts.
+	ReorderFields bool
+}
+
+// Unit is a compiled translation unit with all intermediate artifacts.
+type Unit struct {
+	Name      string
+	File      *earthc.File
+	Sema      *sema.Program
+	Simple    *simple.Program
+	PointsTo  *pointsto.Result
+	RWSets    *rwsets.Result
+	Locality  *locality.Result
+	Placement *placement.Result // nil unless optimizing
+	Report    *commsel.Report   // nil unless optimizing
+}
+
+// Compile runs the full pipeline over EARTH-C source text.
+func Compile(name, src string, opt Options) (*Unit, error) {
+	file, err := earthc.ParseFile(name, src)
+	if err != nil {
+		return nil, err
+	}
+	return CompileFile(file, opt)
+}
+
+// CompileFile runs the pipeline from a parsed (possibly programmatically
+// constructed) AST. The AST is modified in place by loop desugaring and
+// goto elimination.
+func CompileFile(file *earthc.File, opt Options) (*Unit, error) {
+	if !opt.NoInline {
+		earthc.InlineFunctions(file, opt.Inline)
+	}
+	for _, fn := range file.Funcs {
+		if err := earthc.DesugarLoops(fn); err != nil {
+			return nil, fmt.Errorf("%s: %w", file.Name, err)
+		}
+		if err := earthc.EliminateGotos(fn); err != nil {
+			return nil, fmt.Errorf("%s: %w", file.Name, err)
+		}
+	}
+	if opt.ReorderFields {
+		// Probe compile (unoptimized) to count remote field accesses on
+		// the original layouts, then permute and compile for real.
+		probe, err := build(file, Options{})
+		if err != nil {
+			return nil, err
+		}
+		reorderStructFields(file, probe)
+	}
+	return build(file, opt)
+}
+
+// build runs semantic analysis through communication selection on an
+// already-restructured AST.
+func build(file *earthc.File, opt Options) (*Unit, error) {
+	sm, err := sema.Check(file)
+	if err != nil {
+		return nil, err
+	}
+	sp, err := lower.Program(sm)
+	if err != nil {
+		return nil, err
+	}
+	u := &Unit{Name: file.Name, File: file, Sema: sm, Simple: sp}
+	u.PointsTo = pointsto.Analyze(sp)
+	u.RWSets = rwsets.Analyze(sp, u.PointsTo)
+	u.Locality = locality.Analyze(sp, u.PointsTo)
+	if opt.Optimize {
+		u.Placement = placement.Analyze(sp, u.RWSets, u.Locality)
+		u.Report = commsel.Transform(sp, u.Placement, u.RWSets, u.Locality, opt.Sel)
+	}
+	return u, nil
+}
+
+// reorderStructFields permutes each struct's fields so the most frequently
+// remotely-accessed ones are contiguous at the front (stable by original
+// order on ties). Returns whether any definition changed.
+func reorderStructFields(file *earthc.File, u *Unit) bool {
+	// Count remote accesses per (struct, top-level field).
+	counts := make(map[string]map[string]int)
+	bump := func(p *simple.Var, off int) {
+		if !u.Locality.RemoteLoad(p) {
+			return
+		}
+		layout := u.Simple.Structs[pointeeName(p)]
+		if layout == nil {
+			return
+		}
+		// Find the top-level field containing the word offset.
+		for _, fname := range layout.Fields {
+			fo := layout.Offsets[fname]
+			if off >= fo && off < fo+layout.FieldSizes[fname] {
+				m := counts[layout.Name]
+				if m == nil {
+					m = make(map[string]int)
+					counts[layout.Name] = m
+				}
+				m[fname]++
+				return
+			}
+		}
+	}
+	for _, fn := range u.Simple.Funcs {
+		simple.WalkBasics(fn.Body, func(b *simple.Basic) {
+			if b.Kind != simple.KAssign {
+				return
+			}
+			if ld, ok := b.Rhs.(simple.LoadRV); ok {
+				bump(ld.P, ld.Off)
+			}
+			if stv, ok := b.Lhs.(simple.StoreLV); ok {
+				bump(stv.P, stv.Off)
+			}
+		})
+	}
+	changed := false
+	for _, def := range file.Structs {
+		m := counts[def.Name]
+		if len(m) == 0 {
+			continue
+		}
+		orig := make([]*earthc.Field, len(def.Fields))
+		copy(orig, def.Fields)
+		pos := make(map[*earthc.Field]int, len(def.Fields))
+		for i, f := range def.Fields {
+			pos[f] = i
+		}
+		sort.SliceStable(def.Fields, func(i, j int) bool {
+			ci, cj := m[def.Fields[i].Name], m[def.Fields[j].Name]
+			if ci != cj {
+				return ci > cj
+			}
+			return pos[def.Fields[i]] < pos[def.Fields[j]]
+		})
+		for i := range def.Fields {
+			if def.Fields[i] != orig[i] {
+				changed = true
+				break
+			}
+		}
+	}
+	return changed
+}
+
+func pointeeName(p *simple.Var) string {
+	pt, ok := p.Type.(*earthc.PtrType)
+	if !ok {
+		return ""
+	}
+	sr, ok := pt.Elem.(*earthc.StructRef)
+	if !ok {
+		return ""
+	}
+	return sr.Name
+}
+
+// MustCompile compiles or panics; for tests and embedded benchmarks.
+func MustCompile(name, src string, opt Options) *Unit {
+	u, err := Compile(name, src, opt)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}

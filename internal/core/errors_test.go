@@ -1,0 +1,94 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCompileParseError(t *testing.T) {
+	_, err := Compile("bad.ec", "int main( { return 0; }", Options{})
+	if err == nil {
+		t.Fatal("expected a parse error")
+	}
+}
+
+func TestCompileSemaError(t *testing.T) {
+	_, err := Compile("bad.ec", "int main() { return nope; }", Options{})
+	if err == nil || !strings.Contains(err.Error(), "undeclared") {
+		t.Fatalf("expected a sema error, got %v", err)
+	}
+}
+
+func TestCompileNonConstGlobalInit(t *testing.T) {
+	_, err := Compile("bad.ec", `
+int f() { return 1; }
+int g = 0;
+int main() { return g; }
+`, Options{})
+	if err != nil {
+		t.Fatalf("constant init must work: %v", err)
+	}
+	_, err = Compile("bad.ec", `
+int f() { return 1; }
+int g = 1 + 2;
+int main() { return g; }
+`, Options{})
+	if err == nil || !strings.Contains(err.Error(), "constant") {
+		t.Fatalf("expected a constant-initializer error, got %v", err)
+	}
+}
+
+func TestRunWithoutMain(t *testing.T) {
+	u, err := Compile("nomain.ec", "int f() { return 1; }", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.Run(RunConfig{Nodes: 1}); err == nil ||
+		!strings.Contains(err.Error(), "main") {
+		t.Fatalf("expected a no-main error, got %v", err)
+	}
+}
+
+func TestSequentialMultiNodeRejected(t *testing.T) {
+	u, err := Compile("m.ec", "int main() { return 0; }", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.Run(RunConfig{Nodes: 4, Sequential: true}); err == nil {
+		t.Fatal("sequential baseline on 4 nodes must be rejected")
+	}
+}
+
+func TestGotoUnsupportedPatterns(t *testing.T) {
+	_, err := Compile("bad.ec", `
+int main() {
+	int i;
+	forall (i = 0; i < 4; i++) {
+		goto out;
+	}
+out:
+	return 0;
+}
+`, Options{})
+	if err == nil || !strings.Contains(err.Error(), "forall") {
+		t.Fatalf("expected a forall-goto error, got %v", err)
+	}
+}
+
+func TestReturnInsideParSeqRejected(t *testing.T) {
+	u, err := Compile("bad.ec", `
+int main() {
+	{^
+		return 1;
+	^}
+	return 0;
+}
+`, Options{})
+	if err != nil {
+		// Rejected at compile time is fine too.
+		return
+	}
+	if _, err := u.Run(RunConfig{Nodes: 1}); err == nil {
+		t.Fatal("return inside a parallel arm must be rejected somewhere")
+	}
+}

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// progGen generates random but well-formed EARTH-C programs that exercise
+// the communication optimizer: linked structures spread across nodes, field
+// reads and writes through possibly-remote pointers, conditionals, list
+// walks, struct copies, placed calls, and shared counters. Programs always
+// terminate (loops are canonical list walks) and never divide by zero
+// (divisors are (x % k) + k forms).
+type progGen struct {
+	r     *rand.Rand
+	buf   strings.Builder
+	depth int
+}
+
+func (g *progGen) pick(options ...string) string {
+	return options[g.r.Intn(len(options))]
+}
+
+// intExpr produces an int-valued expression over the in-scope names.
+func (g *progGen) intExpr(depth int, names []string) string {
+	if depth <= 0 || g.r.Intn(3) == 0 {
+		switch g.r.Intn(3) {
+		case 0:
+			return fmt.Sprintf("%d", g.r.Intn(200)-100)
+		default:
+			return names[g.r.Intn(len(names))]
+		}
+	}
+	a := g.intExpr(depth-1, names)
+	b := g.intExpr(depth-1, names)
+	switch g.r.Intn(5) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", a, b)
+	case 1:
+		return fmt.Sprintf("(%s - %s)", a, b)
+	case 2:
+		return fmt.Sprintf("(%s * %s)", a, b)
+	case 3:
+		// Safe modulo: |b| % k + 1 is never zero.
+		return fmt.Sprintf("(%s %% ((%s %% 7) * (%s %% 7) + 1))", a, b, b)
+	default:
+		return fmt.Sprintf("(%s ^ %s)", a, b)
+	}
+}
+
+func (g *progGen) cond(names []string) string {
+	op := g.pick("<", ">", "<=", ">=", "==", "!=")
+	return fmt.Sprintf("%s %s %s", g.intExpr(1, names), op, g.intExpr(1, names))
+}
+
+func (g *progGen) line(format string, args ...any) {
+	g.buf.WriteString(strings.Repeat("\t", g.depth))
+	fmt.Fprintf(&g.buf, format, args...)
+	g.buf.WriteString("\n")
+}
+
+// stmts emits n random statements; ptr names the current cursor variable
+// (a possibly-remote list node), anchor a loop-invariant node.
+func (g *progGen) stmts(n int, ptr, anchor string, ints []string, nested int) {
+	fields := []string{"a", "b", "c"}
+	for i := 0; i < n; i++ {
+		names := append([]string{}, ints...)
+		names = append(names,
+			ptr+"->"+fields[g.r.Intn(3)],
+			anchor+"->"+fields[g.r.Intn(3)])
+		switch g.r.Intn(8) {
+		case 0, 1:
+			g.line("%s = %s;", ints[g.r.Intn(len(ints))], g.intExpr(2, names))
+		case 2:
+			g.line("%s->%s = %s;", ptr, fields[g.r.Intn(3)], g.intExpr(2, names))
+		case 3:
+			g.line("%s->%s = %s;", anchor, fields[g.r.Intn(3)], g.intExpr(2, names))
+		case 4:
+			if nested > 0 {
+				g.line("if (%s) {", g.cond(names))
+				g.depth++
+				g.stmts(1+g.r.Intn(2), ptr, anchor, ints, nested-1)
+				g.depth--
+				if g.r.Intn(2) == 0 {
+					g.line("} else {")
+					g.depth++
+					g.stmts(1+g.r.Intn(2), ptr, anchor, ints, nested-1)
+					g.depth--
+				}
+				g.line("}")
+			} else {
+				g.line("%s = %s;", ints[g.r.Intn(len(ints))], g.intExpr(1, names))
+			}
+		case 5:
+			// Struct copy through a local buffer.
+			g.line("tmp = *%s;", g.pick(ptr, anchor))
+			g.line("%s = tmp.a + tmp.b;", ints[g.r.Intn(len(ints))])
+		case 6:
+			g.line("%s->c = %s->a + %s->b;", ptr, ptr, ptr)
+		default:
+			g.line("%s = helper(%s, %s);", ints[g.r.Intn(len(ints))],
+				g.intExpr(1, names), g.intExpr(1, names))
+		}
+	}
+}
+
+// generate builds a complete program from a seed.
+func generateProgram(seed int64) string {
+	g := &progGen{r: rand.New(rand.NewSource(seed))}
+	g.line(`struct N {`)
+	g.line(`	int a;`)
+	g.line(`	int b;`)
+	g.line(`	int c;`)
+	g.line(`	struct N *next;`)
+	g.line(`};`)
+	g.line(``)
+	g.line(`int helper(int x, int y) {`)
+	g.line(`	if (x > y) return x - y;`)
+	g.line(`	return y - x + 1;`)
+	g.line(`}`)
+	g.line(``)
+	g.line(`int work(N *head, N *t) {`)
+	g.depth++
+	g.line(`N *p;`)
+	g.line(`N tmp;`)
+	g.line(`int i0; int i1; int i2;`)
+	g.line(`i0 = 3; i1 = 5; i2 = 7;`)
+	ints := []string{"i0", "i1", "i2"}
+	// Straight-line prologue against the anchor.
+	g.stmts(2+g.r.Intn(3), "t", "t", ints, 1)
+	// One or two list walks.
+	walks := 1 + g.r.Intn(2)
+	for w := 0; w < walks; w++ {
+		g.line(`p = head;`)
+		g.line(`while (p != NULL) {`)
+		g.depth++
+		g.stmts(2+g.r.Intn(3), "p", "t", ints, 2)
+		g.line(`p = p->next;`)
+		g.depth--
+		g.line(`}`)
+	}
+	g.line(`return i0 + i1 * 3 + i2 * 7;`)
+	g.depth--
+	g.line(`}`)
+	g.line(``)
+	g.line(`int main() {`)
+	g.depth++
+	g.line(`N *head;`)
+	g.line(`N *p;`)
+	g.line(`N *t;`)
+	g.line(`int i;`)
+	g.line(`int r;`)
+	g.line(`int r1;`)
+	g.line(`int r2;`)
+	g.line(`int sum;`)
+	g.line(`shared int acc;`)
+	g.line(`head = NULL;`)
+	n := 5 + g.r.Intn(8)
+	g.line(`for (i = 0; i < %d; i++) {`, n)
+	g.depth++
+	g.line(`p = alloc_on(N, i %% num_nodes());`)
+	g.line(`p->a = i * 3 + 1;`)
+	g.line(`p->b = i * i - 4;`)
+	g.line(`p->c = 0;`)
+	g.line(`p->next = head;`)
+	g.line(`head = p;`)
+	g.depth--
+	g.line(`}`)
+	g.line(`t = alloc_on(N, num_nodes() - 1);`)
+	g.line(`t->a = 11; t->b = 13; t->c = 17; t->next = NULL;`)
+	g.line(`r = work(head, t);`)
+	g.line(`sum = r;`)
+	// Optionally exercise the parallel constructs: a forall reduction over
+	// the list into a shared counter, and a parallel pair of placed calls.
+	if g.r.Intn(2) == 0 {
+		g.line(`writeto(&acc, 0);`)
+		g.line(`forall (p = head; p != NULL; p = p->next) {`)
+		g.depth++
+		g.line(`addto(&acc, p->a %% 97 + p->b %% 89);`)
+		g.depth--
+		g.line(`}`)
+		g.line(`sum = sum + valueof(&acc);`)
+	}
+	if g.r.Intn(2) == 0 {
+		g.line(`{^`)
+		g.depth++
+		g.line(`r1 = helper(t->a, %d)@OWNER_OF(t);`, g.r.Intn(50))
+		g.line(`r2 = helper(head->b, %d)@OWNER_OF(head);`, g.r.Intn(50))
+		g.depth--
+		g.line(`^}`)
+		g.line(`sum = sum + r1 * 5 + r2;`)
+	}
+	g.line(`p = head;`)
+	g.line(`while (p != NULL) {`)
+	g.depth++
+	g.line(`sum = sum + p->a + 2 * p->b + 3 * p->c;`)
+	g.line(`p = p->next;`)
+	g.depth--
+	g.line(`}`)
+	g.line(`sum = sum + t->a + 2 * t->b + 3 * t->c;`)
+	g.line(`print_int(sum);`)
+	g.line(`return sum;`)
+	g.depth--
+	g.line(`}`)
+	return g.buf.String()
+}
+
+// TestOptimizerSemanticsFuzz is the central property test: for many random
+// programs, the communication-optimized build must produce exactly the same
+// output as the simple build, on one node and on several, and as the
+// sequential baseline. This exercises read hoisting, redundancy
+// elimination, blocking, write motion, and shadow unification against
+// ground truth.
+func TestOptimizerSemanticsFuzz(t *testing.T) {
+	seeds := 60
+	if testing.Short() {
+		seeds = 12
+	}
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			src := generateProgram(seed)
+			var ref string
+			first := true
+			check := func(label string, optimize bool, nodes int, sequential bool) {
+				opts := Options{Optimize: optimize}
+				if label == "optimized/reordered" {
+					opts.ReorderFields = true
+				}
+				u, err := Compile("fuzz.ec", src, opts)
+				if err != nil {
+					t.Fatalf("%s: compile: %v\n--- source:\n%s", label, err, src)
+				}
+				res, err := u.Run(RunConfig{Nodes: nodes, Sequential: sequential})
+				if err != nil {
+					t.Fatalf("%s: run: %v\n--- source:\n%s", label, err, src)
+				}
+				if first {
+					ref = res.Output
+					first = false
+					return
+				}
+				if res.Output != ref {
+					t.Errorf("%s: output %q != reference %q\n--- source:\n%s",
+						label, res.Output, ref, src)
+				}
+			}
+			check("sequential", false, 1, true)
+			check("simple/1", false, 1, false)
+			check("simple/3", false, 3, false)
+			check("optimized/1", true, 1, false)
+			check("optimized/3", true, 3, false)
+			check("optimized/reordered", true, 3, false)
+		})
+	}
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// exprNode is a tiny expression AST evaluated both by Go (the oracle) and by
+// the compiled EARTH-C program; the two must agree exactly.
+type exprNode struct {
+	op    string // "", "+", "-", "*", "%", "&", "|", "^", "<<", ">>"
+	a, b  *exprNode
+	leaf  int64 // literal or variable index (op == "v")
+	isVar bool
+}
+
+func genExpr(r *rand.Rand, depth int) *exprNode {
+	if depth <= 0 || r.Intn(3) == 0 {
+		if r.Intn(2) == 0 {
+			return &exprNode{leaf: int64(r.Intn(2001) - 1000)}
+		}
+		return &exprNode{isVar: true, leaf: int64(r.Intn(4))}
+	}
+	ops := []string{"+", "-", "*", "%", "&", "|", "^", "<<", ">>"}
+	return &exprNode{
+		op: ops[r.Intn(len(ops))],
+		a:  genExpr(r, depth-1),
+		b:  genExpr(r, depth-1),
+	}
+}
+
+func (e *exprNode) text() string {
+	if e.op == "" {
+		if e.isVar {
+			return fmt.Sprintf("v%d", e.leaf)
+		}
+		return fmt.Sprintf("(%d)", e.leaf)
+	}
+	if e.op == "%" {
+		// Guard against zero/negative modulo UB: (|b| % 9) + 1.
+		return fmt.Sprintf("(%s %%%% ((%s %%%% 9) * (%s %%%% 9) + 1))",
+			e.a.text(), e.b.text(), e.b.text())
+	}
+	if e.op == "<<" || e.op == ">>" {
+		return fmt.Sprintf("(%s %s ((%s %%%% 8) * (%s %%%% 8)))",
+			e.a.text(), e.op, e.b.text(), e.b.text())
+	}
+	return fmt.Sprintf("(%s %s %s)", e.a.text(), e.op, e.b.text())
+}
+
+func (e *exprNode) eval(vars []int64) int64 {
+	if e.op == "" {
+		if e.isVar {
+			return vars[e.leaf]
+		}
+		return e.leaf
+	}
+	a := e.a.eval(vars)
+	b := e.b.eval(vars)
+	switch e.op {
+	case "+":
+		return a + b
+	case "-":
+		return a - b
+	case "*":
+		return a * b
+	case "%":
+		m := (b%9)*(b%9) + 1
+		return a % m
+	case "<<":
+		return a << uint(((b%8)*(b%8))&63)
+	case ">>":
+		return a >> uint(((b%8)*(b%8))&63)
+	case "&":
+		return a & b
+	case "|":
+		return a | b
+	case "^":
+		return a ^ b
+	}
+	panic("bad op")
+}
+
+// TestArithmeticOracleFuzz compiles randomly generated integer expression
+// programs and compares the simulator's printed results against direct Go
+// evaluation — bit-exact 64-bit semantics, including shifts and negative
+// modulo.
+func TestArithmeticOracleFuzz(t *testing.T) {
+	trials := 80
+	if testing.Short() {
+		trials = 15
+	}
+	for seed := 0; seed < trials; seed++ {
+		r := rand.New(rand.NewSource(int64(seed) + 1000))
+		vars := []int64{
+			int64(r.Intn(1000) - 500), int64(r.Intn(1000) - 500),
+			int64(r.Intn(1000) - 500), int64(r.Intn(1000) - 500),
+		}
+		nexprs := 1 + r.Intn(4)
+		var body strings.Builder
+		exprs := make([]*exprNode, nexprs)
+		for i := range exprs {
+			exprs[i] = genExpr(r, 3+r.Intn(3))
+			fmt.Fprintf(&body, "\tprint_int(%s);\n", fmt.Sprintf(exprs[i].text()))
+		}
+		src := fmt.Sprintf(`
+int main() {
+	int v0; int v1; int v2; int v3;
+	v0 = %d; v1 = %d; v2 = %d; v3 = %d;
+%s	return 0;
+}
+`, vars[0], vars[1], vars[2], vars[3], body.String())
+		var want strings.Builder
+		for _, e := range exprs {
+			fmt.Fprintf(&want, "%d\n", e.eval(vars))
+		}
+		for _, optimize := range []bool{false, true} {
+			res, err := CompileAndRun("oracle.ec", src, optimize, 1)
+			if err != nil {
+				t.Fatalf("seed %d optimize=%v: %v\n%s", seed, optimize, err, src)
+			}
+			if res.Output != want.String() {
+				t.Errorf("seed %d optimize=%v: got %q want %q\n%s",
+					seed, optimize, res.Output, want.String(), src)
+			}
+		}
+	}
+}
+
+// TestDoubleOracle spot-checks floating-point expression evaluation against
+// Go's float64 semantics.
+func TestDoubleOracle(t *testing.T) {
+	cases := []struct {
+		expr string
+		want float64
+	}{
+		{"1.5 + 2.25", 3.75},
+		{"10.0 / 4.0", 2.5},
+		{"2.0 * 3.5 - 1.25", 5.75},
+		{"sqrt(2.0) * sqrt(2.0)", 2.0000000000000004},
+		{"fabs(0.0 - 7.5)", 7.5},
+		{"dbl(7) / 2.0", 3.5},
+		{"1.0 / 3.0", 0.3333333333333333},
+	}
+	var body, want strings.Builder
+	for _, c := range cases {
+		fmt.Fprintf(&body, "\tprint_double(%s);\n", c.expr)
+		fmt.Fprintf(&want, "%.6f\n", c.want)
+	}
+	src := fmt.Sprintf("int main() {\n%s\treturn 0;\n}\n", body.String())
+	res, err := CompileAndRun("dbl.ec", src, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != want.String() {
+		t.Errorf("got:\n%s\nwant:\n%s", res.Output, want.String())
+	}
+}

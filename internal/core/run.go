@@ -1,0 +1,54 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/earthsim"
+	"repro/internal/threaded"
+)
+
+// Threaded generates threaded code for the unit (Phase III of the paper's
+// compiler).
+func (u *Unit) Threaded(opt threaded.Options) (*threaded.Program, error) {
+	return threaded.Generate(u.Simple, u.Locality, opt)
+}
+
+// RunConfig selects how a compiled unit is executed on the simulator.
+type RunConfig struct {
+	Nodes int
+	// Sequential selects the paper's "truly sequential" baseline: serialized
+	// parallel constructs and direct local memory accesses (valid only with
+	// Nodes == 1).
+	Sequential bool
+	// Machine overrides the simulator cost model; zero means the calibrated
+	// EARTH-MANNA defaults.
+	Machine *earthsim.Config
+}
+
+// Run generates threaded code and executes it on a simulated EARTH-MANNA
+// machine, starting at main() on node 0.
+func (u *Unit) Run(rc RunConfig) (*earthsim.Result, error) {
+	if rc.Sequential && rc.Nodes > 1 {
+		return nil, fmt.Errorf("core: the sequential baseline uses direct local memory accesses and is only valid on 1 node (got %d)", rc.Nodes)
+	}
+	tp, err := u.Threaded(threaded.Options{Sequential: rc.Sequential})
+	if err != nil {
+		return nil, err
+	}
+	cfg := earthsim.DefaultConfig(rc.Nodes)
+	if rc.Machine != nil {
+		cfg = *rc.Machine
+		cfg.Nodes = rc.Nodes
+	}
+	return earthsim.New(tp, cfg).Run()
+}
+
+// CompileAndRun is a convenience for tests and examples: parse, optimize
+// (or not), and run.
+func CompileAndRun(name, src string, optimize bool, nodes int) (*earthsim.Result, error) {
+	u, err := Compile(name, src, Options{Optimize: optimize})
+	if err != nil {
+		return nil, err
+	}
+	return u.Run(RunConfig{Nodes: nodes})
+}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunHello checks the most basic end-to-end path: compile and run a
+// sequential program on the simulator.
+func TestRunHello(t *testing.T) {
+	src := `
+int main() {
+	int i;
+	int sum;
+	sum = 0;
+	for (i = 0; i < 10; i++) sum = sum + i;
+	print_int(sum);
+	return sum;
+}
+`
+	res, err := CompileAndRun("hello.ec", src, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MainRet != 45 {
+		t.Errorf("main returned %d, want 45", res.MainRet)
+	}
+	if res.Output != "45\n" {
+		t.Errorf("output %q, want %q", res.Output, "45\n")
+	}
+	if res.Time <= 0 {
+		t.Errorf("non-positive simulated time %d", res.Time)
+	}
+}
+
+// TestRunListSum builds a list through pointers and sums it: exercises
+// alloc, remote-capable loads, loops.
+func TestRunListSum(t *testing.T) {
+	src := `
+struct Node {
+	int value;
+	struct Node *next;
+};
+
+int main() {
+	Node *head;
+	Node *p;
+	int i;
+	int sum;
+	head = NULL;
+	for (i = 0; i < 20; i++) {
+		p = alloc(Node);
+		p->value = i;
+		p->next = head;
+		head = p;
+	}
+	sum = 0;
+	p = head;
+	while (p != NULL) {
+		sum = sum + p->value;
+		p = p->next;
+	}
+	print_int(sum);
+	return sum;
+}
+`
+	for _, optimize := range []bool{false, true} {
+		res, err := CompileAndRun("listsum.ec", src, optimize, 1)
+		if err != nil {
+			t.Fatalf("optimize=%v: %v", optimize, err)
+		}
+		if res.MainRet != 190 {
+			t.Errorf("optimize=%v: main returned %d, want 190", optimize, res.MainRet)
+		}
+	}
+}
+
+// TestRunParallel exercises forall + shared counters + alloc_on across 4
+// nodes, with and without optimization; the answers must agree.
+func TestRunParallel(t *testing.T) {
+	src := `
+struct Cell {
+	int value;
+	struct Cell *next;
+};
+
+int main() {
+	shared int total;
+	Cell *head;
+	Cell *p;
+	int i;
+	int n;
+	n = num_nodes();
+	head = NULL;
+	for (i = 0; i < 40; i++) {
+		p = alloc_on(Cell, i % n);
+		p->value = i;
+		p->next = head;
+		head = p;
+	}
+	writeto(&total, 0);
+	forall (p = head; p != NULL; p = p->next) {
+		addto(&total, p->value * 2);
+	}
+	print_int(valueof(&total));
+	return valueof(&total);
+}
+`
+	want := int64(0)
+	for i := 0; i < 40; i++ {
+		want += int64(i * 2)
+	}
+	for _, optimize := range []bool{false, true} {
+		res, err := CompileAndRun("par.ec", src, optimize, 4)
+		if err != nil {
+			t.Fatalf("optimize=%v: %v", optimize, err)
+		}
+		if res.MainRet != want {
+			t.Errorf("optimize=%v: main returned %d, want %d", optimize, res.MainRet, want)
+		}
+	}
+}
+
+// TestRunPlacedCall exercises @OWNER_OF migration and parallel sequences.
+func TestRunPlacedCall(t *testing.T) {
+	src := `
+struct Pt { int v; };
+
+int fetch(Pt local *p) {
+	return p->v * 10;
+}
+
+int main() {
+	Pt *a;
+	Pt *b;
+	int x; int y;
+	a = alloc_on(Pt, num_nodes() - 1);
+	b = alloc(Pt);
+	a->v = 3;
+	b->v = 4;
+	{^
+		x = fetch(a)@OWNER_OF(a);
+		y = fetch(b)@OWNER_OF(b);
+	^}
+	print_int(x + y);
+	return x + y;
+}
+`
+	res, err := CompileAndRun("placed.ec", src, false, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MainRet != 70 {
+		t.Errorf("main returned %d, want 70", res.MainRet)
+	}
+	if !strings.Contains(res.Output, "70") {
+		t.Errorf("output %q missing 70", res.Output)
+	}
+}
+
+// TestOptimizedFasterRemote checks the headline effect: on a 2-node machine
+// with remote data, the optimized program runs at least as fast as the
+// simple one and issues fewer remote operations.
+func TestOptimizedFasterRemote(t *testing.T) {
+	src := `
+struct Point {
+	double x;
+	double y;
+	double z;
+	struct Point *next;
+};
+
+int main() {
+	Point *head;
+	Point *p;
+	int i;
+	double sum;
+	head = NULL;
+	for (i = 0; i < 50; i++) {
+		p = alloc_on(Point, 1);
+		p->x = dbl(i);
+		p->y = dbl(i * 2);
+		p->z = dbl(i * 3);
+		p->next = head;
+		head = p;
+	}
+	sum = 0.0;
+	p = head;
+	while (p != NULL) {
+		sum = sum + p->x + p->y + p->z;
+		p = p->next;
+	}
+	print_double(sum);
+	return trunc(sum);
+}
+`
+	simple, err := CompileAndRun("opt.ec", src, false, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := CompileAndRun("opt.ec", src, true, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simple.MainRet != opt.MainRet {
+		t.Fatalf("results differ: simple=%d opt=%d", simple.MainRet, opt.MainRet)
+	}
+	if opt.Counts.TotalRemote() >= simple.Counts.TotalRemote() {
+		t.Errorf("optimized remote ops %d not below simple %d",
+			opt.Counts.TotalRemote(), simple.Counts.TotalRemote())
+	}
+	if opt.Time > simple.Time {
+		t.Errorf("optimized time %d slower than simple %d", opt.Time, simple.Time)
+	}
+	t.Logf("simple: time=%dns %s", simple.Time, simple.Counts)
+	t.Logf("opt:    time=%dns %s", opt.Time, opt.Counts)
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/simple"
+)
+
+const figure7Src = `
+struct Point {
+	double x;
+	double y;
+	struct Point *next;
+};
+
+double f(double ax, double ay, double bx, double by) {
+	double dx;
+	double dy;
+	dx = ax - bx;
+	dy = ay - by;
+	return sqrt(dx * dx + dy * dy);
+}
+
+double example(Point *head, Point *t, double epsilon) {
+	Point *p;
+	Point *close;
+	double ax; double ay; double bx; double by;
+	double cx; double tx; double diffx;
+	double cy; double ty; double diffy;
+	double dist;
+	close = NULL;
+	p = head;
+	while (p != NULL) {
+		ax = p->x;
+		ay = p->y;
+		bx = t->x;
+		by = t->y;
+		dist = f(ax, ay, bx, by);
+		if (dist < epsilon) close = p;
+		p = p->next;
+	}
+	cx = close->x;
+	tx = t->x;
+	diffx = cx - tx;
+	cy = close->y;
+	ty = t->y;
+	diffy = cy - ty;
+	return diffx + diffy;
+}
+`
+
+func TestSmokeFigure7(t *testing.T) {
+	u, err := Compile("fig7.ec", figure7Src, Options{Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := u.Simple.FuncByName("example")
+	if fn == nil {
+		t.Fatal("no function example")
+	}
+	t.Log("\n" + simple.FuncString(fn, simple.PrintOptions{Labels: true}))
+	t.Log(u.Report.String())
+}
+
+func TestSmokeUnoptimized(t *testing.T) {
+	u, err := Compile("fig7.ec", figure7Src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := u.Simple.FuncByName("example")
+	t.Log("\n" + simple.FuncString(fn, simple.PrintOptions{Labels: true}))
+}

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestTestdataPrograms compiles and runs every sample program under
+// testdata/, simple and optimized, on 1 and 2 nodes, checking the outputs
+// agree.
+func TestTestdataPrograms(t *testing.T) {
+	files, err := filepath.Glob("../../testdata/*.ec")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no testdata programs found: %v", err)
+	}
+	for _, f := range files {
+		f := f
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			srcBytes, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := string(srcBytes)
+			var ref string
+			first := true
+			for _, nodes := range []int{1, 2} {
+				for _, optimize := range []bool{false, true} {
+					res, err := CompileAndRun(f, src, optimize, nodes)
+					if err != nil {
+						t.Fatalf("nodes=%d optimize=%v: %v", nodes, optimize, err)
+					}
+					if first {
+						ref = res.Output
+						first = false
+						t.Logf("output: %q", ref)
+					} else if res.Output != ref {
+						t.Errorf("nodes=%d optimize=%v: output %q != %q",
+							nodes, optimize, res.Output, ref)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,133 @@
+package earthc
+
+// Deep cloning of AST subtrees with identifier renaming, used by the
+// function inliner. The rename map applies to variable identifiers
+// (declarations and uses); function names in calls are never renamed.
+
+// CloneStmt deep-copies a statement, renaming identifiers per rename.
+func CloneStmt(s Stmt, rename map[string]string) Stmt {
+	switch st := s.(type) {
+	case nil:
+		return nil
+	case *DeclStmt:
+		d := st.Decl
+		nd := &VarDecl{Name: renamed(d.Name, rename), Type: d.Type,
+			Shared: d.Shared, Init: CloneExpr(d.Init, rename), Pos: d.Pos}
+		return &DeclStmt{Decl: nd}
+	case *ExprStmt:
+		return &ExprStmt{X: CloneExpr(st.X, rename), Pos: st.Pos}
+	case *Block:
+		nb := &Block{Pos: st.Pos}
+		for _, c := range st.Stmts {
+			nb.Stmts = append(nb.Stmts, CloneStmt(c, rename))
+		}
+		return nb
+	case *ParSeq:
+		np := &ParSeq{Pos: st.Pos}
+		for _, c := range st.Stmts {
+			np.Stmts = append(np.Stmts, CloneStmt(c, rename))
+		}
+		return np
+	case *IfStmt:
+		return &IfStmt{Cond: CloneExpr(st.Cond, rename),
+			Then: CloneStmt(st.Then, rename), Else: CloneStmt(st.Else, rename), Pos: st.Pos}
+	case *WhileStmt:
+		return &WhileStmt{Cond: CloneExpr(st.Cond, rename),
+			Body: CloneStmt(st.Body, rename), Pos: st.Pos}
+	case *DoStmt:
+		return &DoStmt{Body: CloneStmt(st.Body, rename),
+			Cond: CloneExpr(st.Cond, rename), Pos: st.Pos}
+	case *ForStmt:
+		return &ForStmt{Init: CloneStmt(st.Init, rename), Cond: CloneExpr(st.Cond, rename),
+			Post: CloneExpr(st.Post, rename), Body: CloneStmt(st.Body, rename), Pos: st.Pos}
+	case *ForallStmt:
+		return &ForallStmt{Init: CloneStmt(st.Init, rename), Cond: CloneExpr(st.Cond, rename),
+			Post: CloneExpr(st.Post, rename), Body: CloneStmt(st.Body, rename), Pos: st.Pos}
+	case *SwitchStmt:
+		ns := &SwitchStmt{Tag: CloneExpr(st.Tag, rename), Pos: st.Pos}
+		for _, cc := range st.Cases {
+			ncc := &CaseClause{Pos: cc.Pos}
+			for _, v := range cc.Vals {
+				ncc.Vals = append(ncc.Vals, CloneExpr(v, rename))
+			}
+			for _, c := range cc.Body {
+				ncc.Body = append(ncc.Body, CloneStmt(c, rename))
+			}
+			ns.Cases = append(ns.Cases, ncc)
+		}
+		return ns
+	case *BreakStmt:
+		return &BreakStmt{Pos: st.Pos}
+	case *ContinueStmt:
+		return &ContinueStmt{Pos: st.Pos}
+	case *ReturnStmt:
+		return &ReturnStmt{X: CloneExpr(st.X, rename), Pos: st.Pos}
+	case *GotoStmt:
+		return &GotoStmt{Label: st.Label, Pos: st.Pos}
+	case *LabeledStmt:
+		return &LabeledStmt{Label: st.Label, Stmt: CloneStmt(st.Stmt, rename), Pos: st.Pos}
+	}
+	return s
+}
+
+// CloneExpr deep-copies an expression, renaming identifiers per rename.
+func CloneExpr(e Expr, rename map[string]string) Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *IntLit:
+		v := *x
+		return &v
+	case *FloatLit:
+		v := *x
+		return &v
+	case *CharLit:
+		v := *x
+		return &v
+	case *StringLit:
+		v := *x
+		return &v
+	case *NullLit:
+		v := *x
+		return &v
+	case *Ident:
+		return &Ident{Name: renamed(x.Name, rename), Pos: x.Pos}
+	case *Unary:
+		return &Unary{Op: x.Op, X: CloneExpr(x.X, rename), Pos: x.Pos}
+	case *Binary:
+		return &Binary{Op: x.Op, X: CloneExpr(x.X, rename), Y: CloneExpr(x.Y, rename), Pos: x.Pos}
+	case *Assign:
+		return &Assign{Op: x.Op, Lhs: CloneExpr(x.Lhs, rename), Rhs: CloneExpr(x.Rhs, rename), Pos: x.Pos}
+	case *IncDec:
+		return &IncDec{X: CloneExpr(x.X, rename), Decr: x.Decr, Prefix: x.Prefix, Pos: x.Pos}
+	case *Call:
+		nc := &Call{Fun: x.Fun, Pos: x.Pos}
+		for _, a := range x.Args {
+			nc.Args = append(nc.Args, CloneExpr(a, rename))
+		}
+		if x.Place != nil {
+			nc.Place = &Placement{Kind: x.Place.Kind, Arg: CloneExpr(x.Place.Arg, rename)}
+		}
+		return nc
+	case *Member:
+		return &Member{X: CloneExpr(x.X, rename), Name: x.Name, Arrow: x.Arrow, Pos: x.Pos}
+	case *Index:
+		return &Index{X: CloneExpr(x.X, rename), I: CloneExpr(x.I, rename), Pos: x.Pos}
+	case *SizeofExpr:
+		return &SizeofExpr{T: x.T, Pos: x.Pos}
+	case *CondExpr:
+		return &CondExpr{C: CloneExpr(x.C, rename), T: CloneExpr(x.T, rename),
+			F: CloneExpr(x.F, rename), Pos: x.Pos}
+	}
+	return e
+}
+
+func renamed(name string, rename map[string]string) string {
+	if rename == nil {
+		return name
+	}
+	if n, ok := rename[name]; ok {
+		return n
+	}
+	return name
+}

@@ -1,0 +1,872 @@
+package earthc
+
+import "fmt"
+
+// Local function inlining, one of the McCAT Phase I transformations the
+// paper's compiler runs before communication analysis. Inlining is what
+// exposes cross-call redundancy to the optimizer: the paper notes that
+// tsp's invariant pointer arguments to distance() are optimized "via
+// function inlining", and Figure 11(b) shows child-selection switches
+// inlined into sum_adjacent.
+//
+// A call is inlined when the callee is small, non-recursive, has no
+// placement annotation at the call site (placed calls are migration points
+// and must stay calls), and its returns can be restructured as forward
+// jumps (returns nested inside switch statements or parallel constructs
+// are left alone; the goto eliminator cannot lift those).
+
+// InlineOptions tune the inliner.
+type InlineOptions struct {
+	MaxStmts  int // max callee size in statement nodes (default 48)
+	MaxRounds int // inlining passes (default 2)
+}
+
+func (o InlineOptions) withDefaults() InlineOptions {
+	if o.MaxStmts == 0 {
+		o.MaxStmts = 48
+	}
+	if o.MaxRounds == 0 {
+		o.MaxRounds = 2
+	}
+	return o
+}
+
+// InlineFunctions expands eligible calls in every function body, in place.
+func InlineFunctions(f *File, opt InlineOptions) {
+	opt = opt.withDefaults()
+	inl := &inliner{file: f, opt: opt}
+	for round := 0; round < opt.MaxRounds; round++ {
+		inl.computeEligible()
+		changed := false
+		for _, fn := range f.Funcs {
+			inl.cur = fn
+			body := inl.stmts(fn.Body.Stmts)
+			if inl.changed {
+				changed = true
+				fn.Body.Stmts = body
+				inl.changed = false
+			} else {
+				fn.Body.Stmts = body
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+}
+
+type inliner struct {
+	file     *File
+	opt      InlineOptions
+	eligible map[string]*FuncDef
+	cur      *FuncDef
+	n        int
+	changed  bool
+}
+
+func (inl *inliner) fresh(kind string) string {
+	inl.n++
+	return fmt.Sprintf("__%s%d", kind, inl.n)
+}
+
+// computeEligible decides which functions may be inlined this round.
+func (inl *inliner) computeEligible() {
+	inl.eligible = make(map[string]*FuncDef)
+	// Direct call edges for recursion detection.
+	calls := make(map[string]map[string]bool)
+	for _, fn := range inl.file.Funcs {
+		set := make(map[string]bool)
+		walkCalls(fn.Body, func(c *Call) { set[c.Fun] = true })
+		calls[fn.Name] = set
+	}
+	reaches := func(from, to string) bool {
+		seen := make(map[string]bool)
+		var dfs func(string) bool
+		dfs = func(n string) bool {
+			if n == to {
+				return true
+			}
+			if seen[n] {
+				return false
+			}
+			seen[n] = true
+			for m := range calls[n] {
+				if dfs(m) {
+					return true
+				}
+			}
+			return false
+		}
+		for m := range calls[from] {
+			if dfs(m) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, fn := range inl.file.Funcs {
+		if fn.Name == "main" {
+			continue
+		}
+		if stmtCount(fn.Body) > inl.opt.MaxStmts {
+			continue
+		}
+		if reaches(fn.Name, fn.Name) {
+			continue // recursive (directly or mutually)
+		}
+		if hasHardReturns(fn.Body) || hasGotos(fn.Body) {
+			continue
+		}
+		inl.eligible[fn.Name] = fn
+	}
+}
+
+// stmts rewrites a statement list, extracting and expanding eligible calls.
+func (inl *inliner) stmts(list []Stmt) []Stmt {
+	var out []Stmt
+	for _, s := range list {
+		out = append(out, inl.stmt(s)...)
+	}
+	return out
+}
+
+// stmt rewrites one statement into possibly several.
+func (inl *inliner) stmt(s Stmt) []Stmt {
+	var pre []Stmt
+	switch st := s.(type) {
+	case *DeclStmt:
+		if st.Decl.Init != nil {
+			st.Decl.Init = inl.extract(&pre, st.Decl.Init)
+			if c, ok := st.Decl.Init.(*Call); ok && inl.inlinableCall(c) {
+				st.Decl.Init = nil
+				exp := inl.expand(c, &Ident{Name: st.Decl.Name}, st.Decl.Type)
+				return append(append(pre, s), exp...)
+			}
+		}
+		return append(pre, s)
+	case *ExprStmt:
+		switch x := st.X.(type) {
+		case *Call:
+			for i := range x.Args {
+				x.Args[i] = inl.extract(&pre, x.Args[i])
+			}
+			if inl.inlinableCall(x) {
+				exp := inl.expand(x, nil, nil)
+				return append(pre, exp...)
+			}
+			return append(pre, s)
+		case *Assign:
+			if x.Op == PlainAssign {
+				x.Rhs = inl.extract(&pre, x.Rhs)
+				if c, ok := x.Rhs.(*Call); ok && inl.inlinableCall(c) {
+					exp := inl.expand(c, x.Lhs, inl.eligible[c.Fun].Ret)
+					return append(pre, exp...)
+				}
+				return append(pre, s)
+			}
+			x.Rhs = inl.extract(&pre, x.Rhs)
+			return append(pre, s)
+		default:
+			st.X = inl.extract(&pre, st.X)
+			return append(pre, s)
+		}
+	case *Block:
+		st.Stmts = inl.stmts(st.Stmts)
+		return []Stmt{st}
+	case *ParSeq:
+		for i, c := range st.Stmts {
+			// Arms stay single statements; wrap multi-statement expansions.
+			r := inl.stmt(c)
+			if len(r) == 1 {
+				st.Stmts[i] = r[0]
+			} else {
+				st.Stmts[i] = &Block{Stmts: r}
+			}
+		}
+		return []Stmt{st}
+	case *IfStmt:
+		st.Cond = inl.extract(&pre, st.Cond)
+		st.Then = inl.wrap(st.Then)
+		if st.Else != nil {
+			st.Else = inl.wrap(st.Else)
+		}
+		return append(pre, s)
+	case *WhileStmt:
+		// Loop conditions re-evaluate each iteration: no extraction.
+		st.Body = inl.wrap(st.Body)
+		return []Stmt{st}
+	case *DoStmt:
+		st.Body = inl.wrap(st.Body)
+		return []Stmt{st}
+	case *ForStmt:
+		if st.Init != nil {
+			r := inl.stmt(st.Init)
+			if len(r) == 1 {
+				st.Init = r[0]
+			} else {
+				// Extraction in a for-init hoists above the loop.
+				pre = append(pre, r[:len(r)-1]...)
+				st.Init = r[len(r)-1]
+			}
+		}
+		st.Body = inl.wrap(st.Body)
+		return append(pre, s)
+	case *ForallStmt:
+		if st.Init != nil {
+			r := inl.stmt(st.Init)
+			if len(r) == 1 {
+				st.Init = r[0]
+			} else {
+				pre = append(pre, r[:len(r)-1]...)
+				st.Init = r[len(r)-1]
+			}
+		}
+		st.Body = inl.wrap(st.Body)
+		return append(pre, s)
+	case *SwitchStmt:
+		st.Tag = inl.extract(&pre, st.Tag)
+		for _, cc := range st.Cases {
+			cc.Body = inl.stmts(cc.Body)
+		}
+		return append(pre, s)
+	case *ReturnStmt:
+		if st.X != nil {
+			st.X = inl.extract(&pre, st.X)
+			if c, ok := st.X.(*Call); ok && inl.inlinableCall(c) {
+				callee := inl.eligible[c.Fun]
+				tmp := inl.fresh("inl")
+				pre = append(pre, &DeclStmt{Decl: &VarDecl{Name: tmp, Type: callee.Ret}})
+				pre = append(pre, inl.expand(c, &Ident{Name: tmp}, nil)...)
+				st.X = &Ident{Name: tmp}
+			}
+		}
+		return append(pre, s)
+	case *LabeledStmt:
+		r := inl.stmt(st.Stmt)
+		if len(r) == 1 {
+			st.Stmt = r[0]
+			return []Stmt{st}
+		}
+		st.Stmt = &Block{Stmts: r}
+		return []Stmt{st}
+	default:
+		return []Stmt{s}
+	}
+}
+
+// wrap rewrites a nested statement, boxing multi-statement results.
+func (inl *inliner) wrap(s Stmt) Stmt {
+	r := inl.stmt(s)
+	if len(r) == 1 {
+		return r[0]
+	}
+	return &Block{Stmts: r}
+}
+
+// extract hoists inlinable calls out of safe subexpression positions into
+// temporaries declared in pre, returning the rewritten expression. Calls
+// under short-circuit operators or the ternary operator are left in place
+// (they must not be evaluated unconditionally).
+func (inl *inliner) extract(pre *[]Stmt, e Expr) Expr {
+	switch x := e.(type) {
+	case *Call:
+		for i := range x.Args {
+			x.Args[i] = inl.extract(pre, x.Args[i])
+		}
+		if inl.inlinableCall(x) {
+			callee := inl.eligible[x.Fun]
+			if isVoidRet(callee.Ret) {
+				return e
+			}
+			tmp := inl.fresh("inl")
+			*pre = append(*pre, &DeclStmt{Decl: &VarDecl{Name: tmp, Type: callee.Ret}})
+			*pre = append(*pre, inl.expand(x, &Ident{Name: tmp}, nil)...)
+			return &Ident{Name: tmp}
+		}
+		return e
+	case *Unary:
+		x.X = inl.extract(pre, x.X)
+	case *Binary:
+		if x.Op == LogAnd || x.Op == LogOr {
+			// Only the left operand is unconditionally evaluated.
+			x.X = inl.extract(pre, x.X)
+			return e
+		}
+		x.X = inl.extract(pre, x.X)
+		x.Y = inl.extract(pre, x.Y)
+	case *Assign:
+		x.Rhs = inl.extract(pre, x.Rhs)
+	case *Member:
+		x.X = inl.extract(pre, x.X)
+	case *Index:
+		x.X = inl.extract(pre, x.X)
+		x.I = inl.extract(pre, x.I)
+	case *CondExpr:
+		x.C = inl.extract(pre, x.C)
+	}
+	return e
+}
+
+func isVoidRet(t Type) bool {
+	pt, ok := t.(*PrimType)
+	return ok && pt.Kind == Void
+}
+
+// inlinableCall reports whether this call site can be expanded.
+func (inl *inliner) inlinableCall(c *Call) bool {
+	if c.Place != nil {
+		return false
+	}
+	callee, ok := inl.eligible[c.Fun]
+	if !ok || callee == inl.cur {
+		return false
+	}
+	return len(c.Args) == len(callee.Params)
+}
+
+// expand builds the inline expansion of call c, assigning the return value
+// to dst (may be nil for void/dropped results). declDst, when non-nil, is
+// unused here but documents the destination's declared type at DeclStmt
+// sites.
+func (inl *inliner) expand(c *Call, dst Expr, declDst Type) []Stmt {
+	callee := inl.eligible[c.Fun]
+	inl.changed = true
+	rename := make(map[string]string)
+	// Read-only parameters bound to plain variables are substituted
+	// directly (no copy): this keeps the callee's accesses on the caller's
+	// pointer, so the communication optimizer sees one base variable and
+	// can merge and block them (the paper's Figure 11(b) relies on this).
+	substituted := make(map[string]bool)
+	for i, p := range callee.Params {
+		if id, ok := c.Args[i].(*Ident); ok && !paramAssigned(callee.Body, p.Name) {
+			rename[p.Name] = id.Name
+			substituted[p.Name] = true
+			continue
+		}
+		rename[p.Name] = inl.fresh("arg")
+	}
+	collectDecls(callee.Body, func(d *VarDecl) {
+		if _, dup := rename[d.Name]; !dup {
+			rename[d.Name] = inl.fresh("loc")
+		}
+	})
+	done := inl.fresh("done")
+
+	blk := &Block{}
+	for i, p := range callee.Params {
+		if substituted[p.Name] {
+			continue
+		}
+		blk.Stmts = append(blk.Stmts, &DeclStmt{Decl: &VarDecl{
+			Name: rename[p.Name], Type: p.Type, Init: c.Args[i],
+		}})
+	}
+	body := CloneStmt(callee.Body, rename).(*Block)
+	replaceReturns(body, dst, done)
+	// A single trailing return needs no jump: strip "goto done" when it is
+	// the last statement (the common single-exit case then produces no
+	// goto at all, so no flag machinery survives goto elimination).
+	stripTrailingGoto(body, done)
+	blk.Stmts = append(blk.Stmts, body.Stmts...)
+	if usesGoto(body, done) {
+		blk.Stmts = append(blk.Stmts, &LabeledStmt{Label: done, Stmt: &Block{}})
+	}
+	return []Stmt{blk}
+}
+
+// replaceReturns rewrites each return in the inlined body as an assignment
+// to dst (when present) followed by a jump to the done label.
+func replaceReturns(s Stmt, dst Expr, done string) {
+	rewrite := func(rs *ReturnStmt) Stmt {
+		var out []Stmt
+		if rs.X != nil && dst != nil {
+			out = append(out, &ExprStmt{X: &Assign{Op: PlainAssign,
+				Lhs: CloneExpr(dst, nil), Rhs: rs.X}})
+		}
+		out = append(out, &GotoStmt{Label: done})
+		return &Block{Stmts: out}
+	}
+	var walk func(Stmt) Stmt
+	walk = func(s Stmt) Stmt {
+		switch st := s.(type) {
+		case *ReturnStmt:
+			return rewrite(st)
+		case *Block:
+			for i, c := range st.Stmts {
+				st.Stmts[i] = walk(c)
+			}
+		case *IfStmt:
+			st.Then = walk(st.Then)
+			if st.Else != nil {
+				st.Else = walk(st.Else)
+			}
+		case *WhileStmt:
+			st.Body = walk(st.Body)
+		case *DoStmt:
+			st.Body = walk(st.Body)
+		case *ForStmt:
+			st.Body = walk(st.Body)
+		case *LabeledStmt:
+			st.Stmt = walk(st.Stmt)
+		}
+		return s
+	}
+	walk(s)
+}
+
+// stripTrailingGoto removes a goto to the given label when it is the last
+// statement executed (directly or at the end of trailing blocks).
+func stripTrailingGoto(b *Block, label string) {
+	for len(b.Stmts) > 0 {
+		last := b.Stmts[len(b.Stmts)-1]
+		if g, ok := last.(*GotoStmt); ok && g.Label == label {
+			b.Stmts = b.Stmts[:len(b.Stmts)-1]
+			return
+		}
+		if nb, ok := last.(*Block); ok {
+			b = nb
+			continue
+		}
+		return
+	}
+}
+
+// usesGoto reports whether any goto targeting label remains in the subtree.
+func usesGoto(s Stmt, label string) bool {
+	found := false
+	var walk func(Stmt)
+	walk = func(s Stmt) {
+		if found || s == nil {
+			return
+		}
+		switch st := s.(type) {
+		case *GotoStmt:
+			if st.Label == label {
+				found = true
+			}
+		case *Block:
+			for _, c := range st.Stmts {
+				walk(c)
+			}
+		case *ParSeq:
+			for _, c := range st.Stmts {
+				walk(c)
+			}
+		case *IfStmt:
+			walk(st.Then)
+			walk(st.Else)
+		case *WhileStmt:
+			walk(st.Body)
+		case *DoStmt:
+			walk(st.Body)
+		case *ForStmt:
+			walk(st.Body)
+		case *ForallStmt:
+			walk(st.Body)
+		case *SwitchStmt:
+			for _, cc := range st.Cases {
+				for _, c := range cc.Body {
+					walk(c)
+				}
+			}
+		case *LabeledStmt:
+			walk(st.Stmt)
+		}
+	}
+	walk(s)
+	return found
+}
+
+// ------------------------------------------------------------- inspection ---
+
+func stmtCount(s Stmt) int {
+	n := 0
+	var walk func(Stmt)
+	walk = func(s Stmt) {
+		if s == nil {
+			return
+		}
+		n++
+		switch st := s.(type) {
+		case *Block:
+			for _, c := range st.Stmts {
+				walk(c)
+			}
+		case *ParSeq:
+			for _, c := range st.Stmts {
+				walk(c)
+			}
+		case *IfStmt:
+			walk(st.Then)
+			walk(st.Else)
+		case *WhileStmt:
+			walk(st.Body)
+		case *DoStmt:
+			walk(st.Body)
+		case *ForStmt:
+			walk(st.Init)
+			walk(st.Body)
+		case *ForallStmt:
+			walk(st.Init)
+			walk(st.Body)
+		case *SwitchStmt:
+			for _, cc := range st.Cases {
+				for _, c := range cc.Body {
+					walk(c)
+				}
+			}
+		case *LabeledStmt:
+			walk(st.Stmt)
+		}
+	}
+	walk(s)
+	return n
+}
+
+// hasHardReturns reports returns nested where the goto eliminator cannot
+// lift a forward jump out (switch cases, parallel constructs).
+func hasHardReturns(s Stmt) bool {
+	found := false
+	var walk func(Stmt, bool)
+	walk = func(s Stmt, hard bool) {
+		if s == nil || found {
+			return
+		}
+		switch st := s.(type) {
+		case *ReturnStmt:
+			if hard {
+				found = true
+			}
+		case *Block:
+			for _, c := range st.Stmts {
+				walk(c, hard)
+			}
+		case *ParSeq:
+			for _, c := range st.Stmts {
+				walk(c, true)
+			}
+		case *IfStmt:
+			walk(st.Then, hard)
+			walk(st.Else, hard)
+		case *WhileStmt:
+			walk(st.Body, hard)
+		case *DoStmt:
+			walk(st.Body, hard)
+		case *ForStmt:
+			walk(st.Body, hard)
+		case *ForallStmt:
+			walk(st.Body, true)
+		case *SwitchStmt:
+			for _, cc := range st.Cases {
+				for _, c := range cc.Body {
+					walk(c, true)
+				}
+			}
+		case *LabeledStmt:
+			walk(st.Stmt, hard)
+		}
+	}
+	walk(s, false)
+	return found
+}
+
+func hasGotos(s Stmt) bool {
+	found := false
+	var walk func(Stmt)
+	walk = func(s Stmt) {
+		if s == nil || found {
+			return
+		}
+		switch st := s.(type) {
+		case *GotoStmt, *LabeledStmt:
+			found = true
+		case *Block:
+			for _, c := range st.Stmts {
+				walk(c)
+			}
+		case *ParSeq:
+			for _, c := range st.Stmts {
+				walk(c)
+			}
+		case *IfStmt:
+			walk(st.Then)
+			walk(st.Else)
+		case *WhileStmt:
+			walk(st.Body)
+		case *DoStmt:
+			walk(st.Body)
+		case *ForStmt:
+			walk(st.Body)
+		case *ForallStmt:
+			walk(st.Body)
+		case *SwitchStmt:
+			for _, cc := range st.Cases {
+				for _, c := range cc.Body {
+					walk(c)
+				}
+			}
+		}
+	}
+	walk(s)
+	return found
+}
+
+// walkCalls visits every call in a subtree (statements and expressions).
+func walkCalls(s Stmt, fn func(*Call)) {
+	var ws func(Stmt)
+	var we func(Expr)
+	we = func(e Expr) {
+		switch x := e.(type) {
+		case *Call:
+			fn(x)
+			for _, a := range x.Args {
+				we(a)
+			}
+			if x.Place != nil {
+				we(x.Place.Arg)
+			}
+		case *Unary:
+			we(x.X)
+		case *Binary:
+			we(x.X)
+			we(x.Y)
+		case *Assign:
+			we(x.Lhs)
+			we(x.Rhs)
+		case *IncDec:
+			we(x.X)
+		case *Member:
+			we(x.X)
+		case *Index:
+			we(x.X)
+			we(x.I)
+		case *CondExpr:
+			we(x.C)
+			we(x.T)
+			we(x.F)
+		}
+	}
+	ws = func(s Stmt) {
+		switch st := s.(type) {
+		case nil:
+		case *DeclStmt:
+			if st.Decl.Init != nil {
+				we(st.Decl.Init)
+			}
+		case *ExprStmt:
+			we(st.X)
+		case *Block:
+			for _, c := range st.Stmts {
+				ws(c)
+			}
+		case *ParSeq:
+			for _, c := range st.Stmts {
+				ws(c)
+			}
+		case *IfStmt:
+			we(st.Cond)
+			ws(st.Then)
+			ws(st.Else)
+		case *WhileStmt:
+			we(st.Cond)
+			ws(st.Body)
+		case *DoStmt:
+			ws(st.Body)
+			we(st.Cond)
+		case *ForStmt:
+			ws(st.Init)
+			if st.Cond != nil {
+				we(st.Cond)
+			}
+			if st.Post != nil {
+				we(st.Post)
+			}
+			ws(st.Body)
+		case *ForallStmt:
+			ws(st.Init)
+			if st.Cond != nil {
+				we(st.Cond)
+			}
+			if st.Post != nil {
+				we(st.Post)
+			}
+			ws(st.Body)
+		case *SwitchStmt:
+			we(st.Tag)
+			for _, cc := range st.Cases {
+				for _, v := range cc.Vals {
+					we(v)
+				}
+				for _, c := range cc.Body {
+					ws(c)
+				}
+			}
+		case *ReturnStmt:
+			if st.X != nil {
+				we(st.X)
+			}
+		case *LabeledStmt:
+			ws(st.Stmt)
+		}
+	}
+	ws(s)
+}
+
+// collectDecls visits every variable declaration in a subtree.
+func collectDecls(s Stmt, fn func(*VarDecl)) {
+	var walk func(Stmt)
+	walk = func(s Stmt) {
+		switch st := s.(type) {
+		case nil:
+		case *DeclStmt:
+			fn(st.Decl)
+		case *Block:
+			for _, c := range st.Stmts {
+				walk(c)
+			}
+		case *ParSeq:
+			for _, c := range st.Stmts {
+				walk(c)
+			}
+		case *IfStmt:
+			walk(st.Then)
+			walk(st.Else)
+		case *WhileStmt:
+			walk(st.Body)
+		case *DoStmt:
+			walk(st.Body)
+		case *ForStmt:
+			walk(st.Init)
+			walk(st.Body)
+		case *ForallStmt:
+			walk(st.Init)
+			walk(st.Body)
+		case *SwitchStmt:
+			for _, cc := range st.Cases {
+				for _, c := range cc.Body {
+					walk(c)
+				}
+			}
+		case *LabeledStmt:
+			walk(st.Stmt)
+		}
+	}
+	walk(s)
+}
+
+// paramAssigned reports whether the callee's body may modify the named
+// parameter: direct assignment, increment/decrement, or taking its address.
+func paramAssigned(body Stmt, name string) bool {
+	found := false
+	walkExprs(body, func(e Expr) {
+		switch x := e.(type) {
+		case *Assign:
+			if id, ok := x.Lhs.(*Ident); ok && id.Name == name {
+				found = true
+			}
+		case *IncDec:
+			if id, ok := x.X.(*Ident); ok && id.Name == name {
+				found = true
+			}
+		case *Unary:
+			if x.Op == Addr {
+				if id, ok := x.X.(*Ident); ok && id.Name == name {
+					found = true
+				}
+			}
+		}
+	})
+	return found
+}
+
+// walkExprs visits every expression node in a statement subtree.
+func walkExprs(s Stmt, fn func(Expr)) {
+	var we func(Expr)
+	we = func(e Expr) {
+		if e == nil {
+			return
+		}
+		fn(e)
+		switch x := e.(type) {
+		case *Unary:
+			we(x.X)
+		case *Binary:
+			we(x.X)
+			we(x.Y)
+		case *Assign:
+			we(x.Lhs)
+			we(x.Rhs)
+		case *IncDec:
+			we(x.X)
+		case *Call:
+			for _, a := range x.Args {
+				we(a)
+			}
+			if x.Place != nil {
+				we(x.Place.Arg)
+			}
+		case *Member:
+			we(x.X)
+		case *Index:
+			we(x.X)
+			we(x.I)
+		case *CondExpr:
+			we(x.C)
+			we(x.T)
+			we(x.F)
+		}
+	}
+	var ws func(Stmt)
+	ws = func(s Stmt) {
+		switch st := s.(type) {
+		case nil:
+		case *DeclStmt:
+			we(st.Decl.Init)
+		case *ExprStmt:
+			we(st.X)
+		case *Block:
+			for _, c := range st.Stmts {
+				ws(c)
+			}
+		case *ParSeq:
+			for _, c := range st.Stmts {
+				ws(c)
+			}
+		case *IfStmt:
+			we(st.Cond)
+			ws(st.Then)
+			ws(st.Else)
+		case *WhileStmt:
+			we(st.Cond)
+			ws(st.Body)
+		case *DoStmt:
+			ws(st.Body)
+			we(st.Cond)
+		case *ForStmt:
+			ws(st.Init)
+			we(st.Cond)
+			we(st.Post)
+			ws(st.Body)
+		case *ForallStmt:
+			ws(st.Init)
+			we(st.Cond)
+			we(st.Post)
+			ws(st.Body)
+		case *SwitchStmt:
+			we(st.Tag)
+			for _, cc := range st.Cases {
+				for _, v := range cc.Vals {
+					we(v)
+				}
+				for _, c := range cc.Body {
+					ws(c)
+				}
+			}
+		case *ReturnStmt:
+			we(st.X)
+		case *LabeledStmt:
+			ws(st.Stmt)
+		}
+	}
+	ws(s)
+}

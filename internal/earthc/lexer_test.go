@@ -1,0 +1,209 @@
+package earthc
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func kinds(toks []Token) []Kind {
+	out := make([]Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasicTokens(t *testing.T) {
+	toks, errs := Tokenize(`int x = 42; double y = 3.5;`)
+	if len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	want := []Kind{KwInt, IDENT, ASSIGN, INT, SEMI, KwDouble, IDENT, ASSIGN, FLOAT, SEMI, EOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	cases := map[string]Kind{
+		"+": PLUS, "-": MINUS, "*": STAR, "/": SLASH, "%": PERCENT,
+		"==": EQ, "!=": NE, "<": LT, "<=": LE, ">": GT, ">=": GE,
+		"&&": LAND, "||": LOR, "&": AMP, "|": PIPE, "^": CARET,
+		"<<": SHL, ">>": SHR, "->": ARROW, "++": INC, "--": DEC,
+		"+=": ADDEQ, "-=": SUBEQ, "*=": MULEQ, "/=": DIVEQ,
+		"=": ASSIGN, "!": NOT, "~": TILDE, "?": QUESTION, ":": COLON,
+		"@": AT, ".": DOT,
+	}
+	for src, want := range cases {
+		toks, errs := Tokenize(src)
+		if len(errs) != 0 {
+			t.Errorf("%q: errors %v", src, errs)
+			continue
+		}
+		if toks[0].Kind != want {
+			t.Errorf("%q: got %v want %v", src, toks[0].Kind, want)
+		}
+	}
+}
+
+func TestLexParSeqBrackets(t *testing.T) {
+	toks, errs := Tokenize(`{^ x = 1; ^}`)
+	if len(errs) != 0 {
+		t.Fatal(errs)
+	}
+	if toks[0].Kind != LPARSEQ {
+		t.Errorf("expected {^, got %v", toks[0])
+	}
+	if toks[len(toks)-2].Kind != RPARSEQ {
+		t.Errorf("expected ^}, got %v", toks[len(toks)-2])
+	}
+	// A bare ^ not followed by } is XOR.
+	toks, _ = Tokenize(`a ^ b`)
+	if toks[1].Kind != CARET {
+		t.Errorf("expected ^, got %v", toks[1])
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, errs := Tokenize(`
+		// line comment with symbols +-*/
+		int /* block
+		spanning lines */ x;
+	`)
+	if len(errs) != 0 {
+		t.Fatal(errs)
+	}
+	want := []Kind{KwInt, IDENT, SEMI, EOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestLexUnterminatedComment(t *testing.T) {
+	_, errs := Tokenize(`int x; /* never closed`)
+	if len(errs) == 0 {
+		t.Error("expected an error for an unterminated block comment")
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	cases := []struct {
+		src  string
+		kind Kind
+		text string
+	}{
+		{"0", INT, "0"},
+		{"12345", INT, "12345"},
+		{"1.5", FLOAT, "1.5"},
+		{"0.001", FLOAT, "0.001"},
+		{"1e9", FLOAT, "1e9"},
+		{"2.5e-3", FLOAT, "2.5e-3"},
+		{"1.0e18", FLOAT, "1.0e18"},
+	}
+	for _, c := range cases {
+		toks, errs := Tokenize(c.src)
+		if len(errs) != 0 {
+			t.Errorf("%q: %v", c.src, errs)
+			continue
+		}
+		if toks[0].Kind != c.kind || toks[0].Text != c.text {
+			t.Errorf("%q: got %v %q", c.src, toks[0].Kind, toks[0].Text)
+		}
+	}
+}
+
+func TestLexCharAndString(t *testing.T) {
+	toks, errs := Tokenize(`'a' '\n' "hi\n"`)
+	if len(errs) != 0 {
+		t.Fatal(errs)
+	}
+	if toks[0].Kind != CHAR || toks[0].Text != "a" {
+		t.Errorf("got %v", toks[0])
+	}
+	if toks[1].Kind != CHAR || toks[1].Text != "\n" {
+		t.Errorf("got %v", toks[1])
+	}
+	if toks[2].Kind != STRING || toks[2].Text != "hi\n" {
+		t.Errorf("got %v", toks[2])
+	}
+}
+
+func TestLexIllegalChar(t *testing.T) {
+	toks, errs := Tokenize("int $x;")
+	if len(errs) == 0 {
+		t.Error("expected an error for $")
+	}
+	found := false
+	for _, tok := range toks {
+		if tok.Kind == ILLEGAL {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("expected an ILLEGAL token")
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, _ := Tokenize("int\nx;")
+	if toks[0].Pos.Line != 1 || toks[1].Pos.Line != 2 {
+		t.Errorf("positions wrong: %v %v", toks[0].Pos, toks[1].Pos)
+	}
+	if toks[1].Pos.Col != 1 {
+		t.Errorf("col wrong: %v", toks[1].Pos)
+	}
+}
+
+// TestLexNeverPanics: arbitrary input must not panic the lexer and must
+// terminate with EOF.
+func TestLexNeverPanics(t *testing.T) {
+	f := func(src string) bool {
+		toks, _ := Tokenize(src)
+		return len(toks) > 0 && toks[len(toks)-1].Kind == EOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLexKeywordsRoundTrip: every keyword lexes to its own kind.
+func TestLexKeywordsRoundTrip(t *testing.T) {
+	for word, kind := range keywords {
+		toks, errs := Tokenize(word)
+		if len(errs) != 0 || toks[0].Kind != kind {
+			t.Errorf("keyword %q: got %v (errs %v)", word, toks[0].Kind, errs)
+		}
+	}
+}
+
+func TestLexAdjacentPunctuation(t *testing.T) {
+	toks, errs := Tokenize("a->b->c")
+	if len(errs) != 0 {
+		t.Fatal(errs)
+	}
+	want := []Kind{IDENT, ARROW, IDENT, ARROW, IDENT, EOF}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Fatalf("got %v want %v", kinds(toks), want)
+		}
+	}
+}
+
+func TestTokenStringForms(t *testing.T) {
+	toks, _ := Tokenize(`x 42 "s"`)
+	for _, tok := range toks[:3] {
+		if !strings.Contains(tok.String(), tok.Text) {
+			t.Errorf("String() %q should mention text %q", tok.String(), tok.Text)
+		}
+	}
+}

@@ -1,0 +1,328 @@
+package earthc
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *File {
+	t.Helper()
+	f, err := ParseFile("test.ec", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f
+}
+
+func TestParseStruct(t *testing.T) {
+	f := mustParse(t, `
+struct Node {
+	int value;
+	double weight;
+	struct Node *next;
+	Node *prev;
+};
+`)
+	s := f.StructByName("Node")
+	if s == nil {
+		t.Fatal("struct Node not found")
+	}
+	if len(s.Fields) != 4 {
+		t.Fatalf("want 4 fields, got %d", len(s.Fields))
+	}
+	if _, ok := s.Fields[2].Type.(*PtrType); !ok {
+		t.Errorf("next should be a pointer, got %v", s.Fields[2].Type)
+	}
+	// The tag is auto-typedef'd: "Node *prev" works.
+	if _, ok := s.Fields[3].Type.(*PtrType); !ok {
+		t.Errorf("prev should be a pointer, got %v", s.Fields[3].Type)
+	}
+}
+
+func TestParseFunctionAndParams(t *testing.T) {
+	f := mustParse(t, `
+struct T { int a; };
+int add(int x, double y, T *p, T local *q) { return x; }
+`)
+	fn := f.FuncByName("add")
+	if fn == nil {
+		t.Fatal("function add not found")
+	}
+	if len(fn.Params) != 4 {
+		t.Fatalf("want 4 params, got %d", len(fn.Params))
+	}
+	pt, ok := fn.Params[3].Type.(*PtrType)
+	if !ok || !pt.Local {
+		t.Errorf("q should be a local pointer, got %v", fn.Params[3].Type)
+	}
+	pt2 := fn.Params[2].Type.(*PtrType)
+	if pt2.Local {
+		t.Errorf("p should not be local")
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	f := mustParse(t, `int main() { int x; x = 1 + 2 * 3; return x; }`)
+	body := f.FuncByName("main").Body
+	// x = 1 + (2 * 3)
+	es := body.Stmts[1].(*ExprStmt)
+	as := es.X.(*Assign)
+	add := as.Rhs.(*Binary)
+	if add.Op != Add {
+		t.Fatalf("top op should be +, got %v", add.Op)
+	}
+	mul := add.Y.(*Binary)
+	if mul.Op != Mul {
+		t.Fatalf("rhs of + should be *, got %v", mul.Op)
+	}
+}
+
+func TestParseComparisonPrecedence(t *testing.T) {
+	f := mustParse(t, `int main() { int x; if (x % 10 < 3 && x != 0) x = 1; return 0; }`)
+	ifs := f.FuncByName("main").Body.Stmts[1].(*IfStmt)
+	and := ifs.Cond.(*Binary)
+	if and.Op != LogAnd {
+		t.Fatalf("top should be &&, got %v", and.Op)
+	}
+	lt := and.X.(*Binary)
+	if lt.Op != Lt {
+		t.Fatalf("left of && should be <, got %v", lt.Op)
+	}
+	if rem := lt.X.(*Binary); rem.Op != Rem {
+		t.Fatalf("left of < should be %%, got %v", rem.Op)
+	}
+}
+
+func TestParsePlacement(t *testing.T) {
+	f := mustParse(t, `
+struct T { int a; };
+int g(T *p) { return 0; }
+int main() {
+	T *p;
+	int a;
+	int b;
+	int c;
+	a = g(p)@OWNER_OF(p);
+	b = g(p)@ON(3);
+	c = g(p)@HOME;
+	return a + b + c;
+}
+`)
+	stmts := f.FuncByName("main").Body.Stmts
+	get := func(i int) *Call {
+		return stmts[i].(*ExprStmt).X.(*Assign).Rhs.(*Call)
+	}
+	if get(4).Place.Kind != PlaceOwnerOf {
+		t.Error("first call should be @OWNER_OF")
+	}
+	if get(5).Place.Kind != PlaceOn {
+		t.Error("second call should be @ON")
+	}
+	if get(6).Place.Kind != PlaceHome {
+		t.Error("third call should be @HOME")
+	}
+}
+
+func TestParseParSeqAndForall(t *testing.T) {
+	f := mustParse(t, `
+int main() {
+	int a;
+	int b;
+	int i;
+	{^
+		a = 1;
+		b = 2;
+	^}
+	forall (i = 0; i < 10; i++) {
+		a = 3;
+	}
+	return a + b;
+}
+`)
+	stmts := f.FuncByName("main").Body.Stmts
+	ps, ok := stmts[3].(*ParSeq)
+	if !ok {
+		t.Fatalf("expected ParSeq, got %T", stmts[3])
+	}
+	if len(ps.Stmts) != 2 {
+		t.Errorf("want 2 arms, got %d", len(ps.Stmts))
+	}
+	if _, ok := stmts[4].(*ForallStmt); !ok {
+		t.Fatalf("expected ForallStmt, got %T", stmts[4])
+	}
+}
+
+func TestParseSwitch(t *testing.T) {
+	f := mustParse(t, `
+int pick(int k) {
+	int r;
+	switch (k) {
+	case 0: r = 10;
+	case 1:
+	case 2: r = 20;
+	default: r = 0;
+	}
+	return r;
+}
+`)
+	sw := f.FuncByName("pick").Body.Stmts[1].(*SwitchStmt)
+	if len(sw.Cases) != 3 {
+		t.Fatalf("want 3 case clauses, got %d", len(sw.Cases))
+	}
+	if len(sw.Cases[1].Vals) != 2 {
+		t.Errorf("second clause should cover 2 values, got %d", len(sw.Cases[1].Vals))
+	}
+	if sw.Cases[2].Vals != nil {
+		t.Errorf("third clause should be default")
+	}
+}
+
+func TestParseDoWhileAndFor(t *testing.T) {
+	f := mustParse(t, `
+int main() {
+	int i;
+	int s;
+	s = 0;
+	do { s = s + 1; } while (s < 5);
+	for (i = 0; i < 3; i++) s = s + i;
+	return s;
+}
+`)
+	stmts := f.FuncByName("main").Body.Stmts
+	if _, ok := stmts[3].(*DoStmt); !ok {
+		t.Errorf("expected do-while, got %T", stmts[3])
+	}
+	if _, ok := stmts[4].(*ForStmt); !ok {
+		t.Errorf("expected for, got %T", stmts[4])
+	}
+}
+
+func TestParseMemberChains(t *testing.T) {
+	f := mustParse(t, `
+struct H { int fp; };
+struct V { struct H hosp; struct V *next; };
+int get(V *v) { return v->hosp.fp + v->next->hosp.fp; }
+`)
+	ret := f.FuncByName("get").Body.Stmts[0].(*ReturnStmt)
+	add := ret.X.(*Binary)
+	m1 := add.X.(*Member) // v->hosp.fp
+	if m1.Arrow || m1.Name != "fp" {
+		t.Errorf("outer member should be .fp, got arrow=%v name=%s", m1.Arrow, m1.Name)
+	}
+	inner := m1.X.(*Member)
+	if !inner.Arrow || inner.Name != "hosp" {
+		t.Errorf("inner should be ->hosp")
+	}
+}
+
+func TestParseErrorRecovery(t *testing.T) {
+	_, err := ParseFile("bad.ec", `
+int main() {
+	int x = ;
+	x = 1;
+	return x;
+}
+int ok() { return 2; }
+`)
+	if err == nil {
+		t.Fatal("expected a syntax error")
+	}
+	if !strings.Contains(err.Error(), "expected expression") {
+		t.Errorf("error should mention the expression: %v", err)
+	}
+}
+
+func TestParseErrorUnknownPlacement(t *testing.T) {
+	_, err := ParseFile("bad.ec", `int f() { return 0; } int main() { int x; x = f()@SOMEWHERE; return x; }`)
+	if err == nil || !strings.Contains(err.Error(), "placement") {
+		t.Errorf("expected a placement error, got %v", err)
+	}
+}
+
+func TestParseSharedDecl(t *testing.T) {
+	f := mustParse(t, `int main() { shared int count; writeto(&count, 0); return valueof(&count); }`)
+	ds := f.FuncByName("main").Body.Stmts[0].(*DeclStmt)
+	if !ds.Decl.Shared {
+		t.Error("count should be shared")
+	}
+}
+
+func TestParseArrayDecl(t *testing.T) {
+	f := mustParse(t, `int main() { int buf[8]; buf[3] = 7; return buf[3]; }`)
+	ds := f.FuncByName("main").Body.Stmts[0].(*DeclStmt)
+	at, ok := ds.Decl.Type.(*ArrayType)
+	if !ok || at.Len != 8 {
+		t.Fatalf("want int[8], got %v", ds.Decl.Type)
+	}
+}
+
+func TestParseTernaryAndUnary(t *testing.T) {
+	f := mustParse(t, `int main() { int x; int y; x = 5; y = x > 0 ? -x : ~x; return !y; }`)
+	es := f.FuncByName("main").Body.Stmts[3].(*ExprStmt)
+	cond := es.X.(*Assign).Rhs.(*CondExpr)
+	if u := cond.T.(*Unary); u.Op != Neg {
+		t.Errorf("then branch should be -x")
+	}
+	if u := cond.F.(*Unary); u.Op != BNot {
+		t.Errorf("else branch should be ~x")
+	}
+}
+
+// TestPrintRoundTrip: printing a parsed file and reparsing it yields the
+// same printed form (a fixpoint after one round).
+func TestPrintRoundTrip(t *testing.T) {
+	src := `
+struct Point {
+	double x;
+	double y;
+	struct Point *next;
+};
+int count(Point *head) {
+	int n;
+	Point *p;
+	n = 0;
+	p = head;
+	while (p != NULL) {
+		n = n + 1;
+		p = p->next;
+	}
+	return n;
+}
+int main() {
+	Point *p;
+	p = alloc(Point);
+	p->x = 1.5;
+	p->next = NULL;
+	return count(p);
+}
+`
+	f1 := mustParse(t, src)
+	printed1 := Print(f1)
+	f2 := mustParse(t, printed1)
+	printed2 := Print(f2)
+	if printed1 != printed2 {
+		t.Errorf("print not a fixpoint:\n--- first:\n%s\n--- second:\n%s", printed1, printed2)
+	}
+}
+
+func TestParseGotoAndLabel(t *testing.T) {
+	f := mustParse(t, `
+int main() {
+	int x;
+	x = 0;
+	goto skip;
+	x = 99;
+skip:
+	x = x + 1;
+	return x;
+}
+`)
+	stmts := f.FuncByName("main").Body.Stmts
+	if _, ok := stmts[2].(*GotoStmt); !ok {
+		t.Errorf("expected goto, got %T", stmts[2])
+	}
+	ls, ok := stmts[4].(*LabeledStmt)
+	if !ok || ls.Label != "skip" {
+		t.Errorf("expected labeled stmt, got %T", stmts[4])
+	}
+}

@@ -1,0 +1,161 @@
+// Package earthc implements the front end for the EARTH-C dialect used by
+// this reproduction of Zhu & Hendren, "Communication Optimizations for
+// Parallel C Programs" (PLDI 1998).
+//
+// EARTH-C is a small parallel dialect of C: a C subset extended with forall
+// loops, parallel statement sequences {^ ... ^}, shared variables, local
+// pointer qualifiers, and placement annotations such as @OWNER_OF(p) on
+// calls. The package provides a lexer, a recursive-descent parser producing
+// an AST, a goto-elimination transformation, and an AST printer.
+package earthc
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// Token kinds. Single-character punctuation uses its own kind so the parser
+// reads naturally.
+const (
+	EOF Kind = iota
+	ILLEGAL
+
+	IDENT  // main, p, Point
+	INT    // 123
+	FLOAT  // 1.5, 1e-9
+	CHAR   // 'a'
+	STRING // "abc" (only used by print intrinsics)
+
+	// Operators and punctuation.
+	PLUS     // +
+	MINUS    // -
+	STAR     // *
+	SLASH    // /
+	PERCENT  // %
+	AMP      // &
+	PIPE     // |
+	CARET    // ^
+	SHL      // <<
+	SHR      // >>
+	LAND     // &&
+	LOR      // ||
+	NOT      // !
+	TILDE    // ~
+	ASSIGN   // =
+	ADDEQ    // +=
+	SUBEQ    // -=
+	MULEQ    // *=
+	DIVEQ    // /=
+	EQ       // ==
+	NE       // !=
+	LT       // <
+	GT       // >
+	LE       // <=
+	GE       // >=
+	INC      // ++
+	DEC      // --
+	ARROW    // ->
+	DOT      // .
+	COMMA    // ,
+	SEMI     // ;
+	COLON    // :
+	QUESTION // ?
+	AT       // @
+	LPAREN   // (
+	RPAREN   // )
+	LBRACE   // {
+	RBRACE   // }
+	LBRACK   // [
+	RBRACK   // ]
+	LPARSEQ  // {^
+	RPARSEQ  // ^}
+
+	// Keywords.
+	KwInt
+	KwDouble
+	KwChar
+	KwVoid
+	KwStruct
+	KwIf
+	KwElse
+	KwWhile
+	KwDo
+	KwFor
+	KwForall
+	KwSwitch
+	KwCase
+	KwDefault
+	KwBreak
+	KwContinue
+	KwReturn
+	KwGoto
+	KwShared
+	KwLocal
+	KwSizeof
+	KwNull
+	KwTypedef
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", ILLEGAL: "ILLEGAL", IDENT: "IDENT", INT: "INT", FLOAT: "FLOAT",
+	CHAR: "CHAR", STRING: "STRING",
+	PLUS: "+", MINUS: "-", STAR: "*", SLASH: "/", PERCENT: "%", AMP: "&",
+	PIPE: "|", CARET: "^", SHL: "<<", SHR: ">>", LAND: "&&", LOR: "||",
+	NOT: "!", TILDE: "~", ASSIGN: "=", ADDEQ: "+=", SUBEQ: "-=", MULEQ: "*=",
+	DIVEQ: "/=", EQ: "==", NE: "!=", LT: "<", GT: ">", LE: "<=", GE: ">=",
+	INC: "++", DEC: "--", ARROW: "->", DOT: ".", COMMA: ",", SEMI: ";",
+	COLON: ":", QUESTION: "?", AT: "@", LPAREN: "(", RPAREN: ")",
+	LBRACE: "{", RBRACE: "}", LBRACK: "[", RBRACK: "]",
+	LPARSEQ: "{^", RPARSEQ: "^}",
+	KwInt: "int", KwDouble: "double", KwChar: "char", KwVoid: "void",
+	KwStruct: "struct", KwIf: "if", KwElse: "else", KwWhile: "while",
+	KwDo: "do", KwFor: "for", KwForall: "forall", KwSwitch: "switch",
+	KwCase: "case", KwDefault: "default", KwBreak: "break",
+	KwContinue: "continue", KwReturn: "return", KwGoto: "goto",
+	KwShared: "shared", KwLocal: "local", KwSizeof: "sizeof", KwNull: "NULL",
+	KwTypedef: "typedef",
+}
+
+// String returns a human-readable name for the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"int": KwInt, "double": KwDouble, "char": KwChar, "void": KwVoid,
+	"struct": KwStruct, "if": KwIf, "else": KwElse, "while": KwWhile,
+	"do": KwDo, "for": KwFor, "forall": KwForall, "switch": KwSwitch,
+	"case": KwCase, "default": KwDefault, "break": KwBreak,
+	"continue": KwContinue, "return": KwReturn, "goto": KwGoto,
+	"shared": KwShared, "local": KwLocal, "sizeof": KwSizeof,
+	"NULL": KwNull, "typedef": KwTypedef,
+}
+
+// Pos is a source position, 1-based.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String formats the position as line:col.
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a single lexical token with its source text and position.
+type Token struct {
+	Kind Kind
+	Text string
+	Pos  Pos
+}
+
+// String formats the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INT, FLOAT, CHAR, STRING:
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}

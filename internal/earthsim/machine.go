@@ -1,0 +1,445 @@
+// Package earthsim is a discrete-event simulator of the EARTH-MANNA
+// distributed-memory multiprocessor (Hum et al.), the paper's experimental
+// platform. Each node pairs an Execution Unit (EU) that runs fibers of
+// threaded code with a Synchronization Unit (SU) that services remote
+// memory requests, and nodes are joined by a point-to-point network with
+// per-link FIFO delivery. Remote memory operations are split-phase: the EU
+// issues a request and continues; the consuming instruction synchronizes on
+// the reply through presence bits on frame slots.
+//
+// The cost model is calibrated so the microbenchmarks of cmd/paperbench
+// reproduce the paper's Table I (sequential remote read ~7109 ns, pipelined
+// ~1908 ns, blkmov word ~9700/2602 ns). The selection phase uses the
+// paper's empirically-determined threshold of three words for blocking.
+package earthsim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/threaded"
+)
+
+// Config describes the simulated machine. All costs are in nanoseconds.
+type Config struct {
+	Nodes int
+
+	InstrCost    int64 // EU cost of an ordinary instruction
+	LocalMemCost int64 // direct local memory access (local pointers)
+	LocalRTCost  int64 // runtime op whose target turns out local: the EU
+	//                    checks the address and completes it in place
+	//                    (pseudo-remote; justified by the paper's Table III,
+	//                    where 1-processor simple times track sequential)
+	LocalRTWord      int64 // per-word cost of a local block operation
+	CtxSwitch        int64 // EU cost to switch to another fiber
+	EUIssue          int64 // EU cost to hand a remote operation to the SU
+	CallCost         int64 // EU cost of a local call (frame setup)
+	SpawnCost        int64 // EU cost to spawn a fiber
+	FrameCopyPerWord int64 // extra spawn cost per copied frame word
+	AllocCost        int64 // EU cost of a local heap allocation
+
+	SUService   int64 // SU handling of a scalar request/reply message
+	SUAck       int64 // SU handling of a write acknowledgement
+	SUWriteSvc  int64 // remote SU servicing of a scalar write
+	SUBlock     int64 // SU handling of a block request message
+	SUBlockSvc  int64 // remote SU servicing of a block request
+	SUBlockWord int64 // extra SU cost per block payload word beyond the first
+	SUShared    int64 // SU cost of an atomic shared-variable operation
+
+	NetLatency int64 // wire latency per message
+	NetPerWord int64 // per payload word on the wire
+
+	// MaxEvents bounds the simulation (0 = default 500M).
+	MaxEvents int64
+	// MaxFiberInstr bounds instructions per fiber, catching infinite loops
+	// in guest programs (0 = default 2G).
+	MaxFiberInstr int64
+	// MaxNodeWords bounds each node's memory, catching runaway guest
+	// allocation before it exhausts the host (0 = default 16M words,
+	// i.e. 128 MiB per node).
+	MaxNodeWords int64
+}
+
+// DefaultConfig returns the calibrated EARTH-MANNA model.
+func DefaultConfig(nodes int) Config {
+	return Config{
+		Nodes:            nodes,
+		InstrCost:        25,
+		LocalMemCost:     50,
+		LocalRTCost:      350,
+		LocalRTWord:      12,
+		CtxSwitch:        300,
+		EUIssue:          200,
+		CallCost:         200,
+		SpawnCost:        400,
+		FrameCopyPerWord: 8,
+		AllocCost:        150,
+		SUService:        950,
+		SUAck:            799,
+		SUWriteSvc:       449,
+		SUBlock:          1300,
+		SUBlockSvc:       2590,
+		SUBlockWord:      160,
+		SUShared:         600,
+		NetLatency:       1800,
+		NetPerWord:       160,
+	}
+}
+
+// Counts are dynamic communication-operation counters, the data behind the
+// paper's Figure 10.
+type Counts struct {
+	RemoteReads  int64 // scalar get operations to another node
+	RemoteWrites int64 // scalar put operations to another node
+	RemoteBlk    int64 // block moves to another node
+	LocalReads   int64 // runtime gets that hit the local node (pseudo-remote)
+	LocalWrites  int64
+	LocalBlk     int64
+	SharedOps    int64 // atomic shared-variable operations
+	RPCs         int64 // remote function invocations
+	Spawns       int64 // fibers spawned (arms + iterations)
+	BlkWords     int64 // words moved by block operations
+	Instructions int64 // EU instructions executed
+	Allocs       int64
+}
+
+// TotalRemote is the Figure 10 quantity: remote data communication ops.
+func (c Counts) TotalRemote() int64 { return c.RemoteReads + c.RemoteWrites + c.RemoteBlk }
+
+// String summarizes the counters.
+func (c Counts) String() string {
+	return fmt.Sprintf("reads=%d writes=%d blkmov=%d (local rt: %d/%d/%d) shared=%d rpc=%d spawn=%d instr=%d",
+		c.RemoteReads, c.RemoteWrites, c.RemoteBlk,
+		c.LocalReads, c.LocalWrites, c.LocalBlk,
+		c.SharedOps, c.RPCs, c.Spawns, c.Instructions)
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Time    int64 // simulated ns until main completed
+	Counts  Counts
+	Output  string
+	MainRet int64 // main's return value (raw bits)
+}
+
+// ------------------------------------------------------------------ events ---
+
+type eventKind int
+
+const (
+	evEURun eventKind = iota
+	evSUEffect
+	evNetArrive
+)
+
+type event struct {
+	time int64
+	seq  int64
+	kind eventKind
+	node int
+	fn   func(m *Machine, t int64)
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// ------------------------------------------------------------------- nodes ---
+
+type node struct {
+	id       int
+	maxWords int64
+	mem      []int64
+	heapTop  int64
+	free     map[int][]int64 // frame free lists by size
+	euFree   int64
+	suFree   int64
+	ready    []*fiber
+	netLast  []int64 // per-destination last scheduled arrival (FIFO)
+	// pending counts outstanding split-phase fills per memory word
+	// (presence bits); node-level so fibers sharing a frame observe each
+	// other's outstanding fills. waiters lists fibers blocked per word.
+	pending map[int64]int
+	waiters map[int64][]*fiber
+}
+
+// ensure grows the node's memory to cover [off, off+size); it reports
+// whether the node is within its memory budget (the caller traps if not).
+func (n *node) ensure(off int64, size int) bool {
+	need := off + int64(size)
+	if n.maxWords > 0 && need > n.maxWords {
+		return false
+	}
+	for int64(len(n.mem)) < need {
+		n.mem = append(n.mem, make([]int64, max64(1024, need-int64(len(n.mem))))...)
+	}
+	return true
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// allocWords bump-allocates; returns -1 when the node's memory budget is
+// exhausted (callers trap).
+func (n *node) allocWords(size int) int64 {
+	base := n.heapTop
+	if !n.ensure(base, size) {
+		return -1
+	}
+	n.heapTop += int64(size)
+	// Zero (frames may be reused).
+	for i := int64(0); i < int64(size); i++ {
+		n.mem[base+i] = 0
+	}
+	return base
+}
+
+func (n *node) allocFrame(size int) int64 {
+	if lst := n.free[size]; len(lst) > 0 {
+		base := lst[len(lst)-1]
+		n.free[size] = lst[:len(lst)-1]
+		for i := 0; i < size; i++ {
+			n.mem[base+int64(i)] = 0
+		}
+		return base
+	}
+	return n.allocWords(size)
+}
+
+func (n *node) freeFrame(base int64, size int) {
+	n.free[size] = append(n.free[size], base)
+}
+
+// ------------------------------------------------------------------ fibers ---
+
+type frameRec struct {
+	code    *threaded.FnCode
+	pc      int
+	base    int64
+	size    int
+	retSlot int
+}
+
+// replyRoute describes where a fiber's completion must be reported.
+type replyRoute struct {
+	kind     int // 0 none (main), 1 local join (parent), 2 remote RPC
+	parent   *fiber
+	rpcNode  int // requester node
+	rpcFiber *fiber
+	rpcSlot  int // -1 for void: counts against outstanding instead
+}
+
+type fiber struct {
+	id    int64
+	node  *node
+	code  *threaded.FnCode
+	pc    int
+	base  int64
+	size  int
+	stack []frameRec
+
+	pending   map[int64]int // outstanding fills per absolute offset (base+slot)
+	waitSlot  int64         // absolute offset blocked on (-1 none)
+	waitFence bool
+	waitJoin  bool
+
+	outstanding int // unacked writes + void RPC completions
+	children    int
+
+	route  replyRoute
+	done   bool
+	ninstr int64
+}
+
+// ----------------------------------------------------------------- machine ---
+
+type outItem struct {
+	time int64
+	seq  int64
+	text string
+}
+
+// Machine is a loaded simulator instance.
+type Machine struct {
+	cfg           Config
+	prog          *threaded.Program
+	nodes         []*node
+	events        eventHeap
+	seq           int64
+	nextFiber     int64
+	counts        Counts
+	output        []outItem
+	outSeq        int64
+	mainFiber     *fiber
+	mainDone      bool
+	mainRet       int64
+	mainTime      int64
+	trap          error
+	nEvents       int64
+	liveFibers    int64
+	maxFiberInstr int64
+}
+
+// New loads a threaded program onto a fresh machine.
+func New(prog *threaded.Program, cfg Config) *Machine {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 1
+	}
+	m := &Machine{cfg: cfg, prog: prog, maxFiberInstr: cfg.MaxFiberInstr}
+	if m.maxFiberInstr == 0 {
+		m.maxFiberInstr = 2_000_000_000
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		maxWords := cfg.MaxNodeWords
+		if maxWords == 0 {
+			maxWords = 16 << 20
+		}
+		n := &node{id: i, maxWords: maxWords,
+			free: make(map[int][]int64), netLast: make([]int64, cfg.Nodes),
+			pending: make(map[int64]int), waiters: make(map[int64][]*fiber)}
+		m.nodes = append(m.nodes, n)
+	}
+	// Global segment at the bottom of node 0, with constant initializers
+	// applied at load time.
+	m.nodes[0].allocWords(prog.GlobalWords + 1)
+	for _, iv := range prog.GlobalInit {
+		m.nodes[0].mem[iv[0]] = iv[1]
+	}
+	return m
+}
+
+func (m *Machine) schedule(t int64, kind eventKind, nodeID int, fn func(*Machine, int64)) {
+	m.seq++
+	heap.Push(&m.events, &event{time: t, seq: m.seq, kind: kind, node: nodeID, fn: fn})
+}
+
+// trapf stops the simulation with an error.
+func (m *Machine) trapf(format string, args ...any) {
+	if m.trap == nil {
+		m.trap = fmt.Errorf("earthsim: %s", fmt.Sprintf(format, args...))
+	}
+}
+
+// Run executes the program's main function on node 0 and simulates until
+// completion (or deadlock/trap).
+func (m *Machine) Run() (*Result, error) {
+	maxEvents := m.cfg.MaxEvents
+	if maxEvents == 0 {
+		maxEvents = 500_000_000
+	}
+	main := m.newFiber(0, m.prog.Main, nil, replyRoute{kind: 0})
+	m.mainFiber = main
+	m.enqueueReady(m.nodes[0], main, 0)
+
+	var now int64
+	for len(m.events) > 0 {
+		if m.trap != nil {
+			return nil, m.trap
+		}
+		m.nEvents++
+		if m.nEvents > maxEvents {
+			return nil, fmt.Errorf("earthsim: event budget exceeded (%d events, t=%dns) — livelock? %s", m.nEvents, now, m.fiberStates())
+		}
+		ev := heap.Pop(&m.events).(*event)
+		now = ev.time
+		ev.fn(m, ev.time)
+		if m.mainDone && m.liveFibers == 0 {
+			break
+		}
+	}
+	if m.trap != nil {
+		return nil, m.trap
+	}
+	if !m.mainDone {
+		return nil, fmt.Errorf("earthsim: deadlock — event queue drained with main incomplete (%d live fibers)", m.liveFibers)
+	}
+	return &Result{Time: m.mainTime, Counts: m.counts, Output: m.renderOutput(), MainRet: m.mainRet}, nil
+}
+
+func (m *Machine) renderOutput() string {
+	sort.Slice(m.output, func(i, j int) bool {
+		if m.output[i].time != m.output[j].time {
+			return m.output[i].time < m.output[j].time
+		}
+		return m.output[i].seq < m.output[j].seq
+	})
+	var b strings.Builder
+	for _, o := range m.output {
+		b.WriteString(o.text)
+	}
+	return b.String()
+}
+
+// newFiber creates a fiber with a fresh frame and copies args into the
+// parameter slots.
+func (m *Machine) newFiber(nodeID int, code *threaded.FnCode, args []int64, route replyRoute) *fiber {
+	n := m.nodes[nodeID]
+	base := n.allocFrame(code.NSlots)
+	if base < 0 {
+		m.trapf("node %d out of memory allocating a %d-word frame for %s",
+			nodeID, code.NSlots, code.Name)
+		base = 0
+	}
+	f := &fiber{
+		node: n, code: code, base: base, size: code.NSlots,
+		pending: make(map[int64]int), waitSlot: -1, route: route,
+	}
+	m.nextFiber++
+	f.id = m.nextFiber
+	m.liveFibers++
+	for i, a := range args {
+		if i < len(code.Params) {
+			n.mem[base+int64(code.Params[i])] = a
+		}
+	}
+	return f
+}
+
+// newSharedFiber creates a fiber sharing an existing frame (parallel arm).
+func (m *Machine) newSharedFiber(nodeID int, code *threaded.FnCode, base int64, route replyRoute) *fiber {
+	f := &fiber{
+		node: m.nodes[nodeID], code: code, base: base, size: code.NSlots,
+		pending: make(map[int64]int), waitSlot: -1, route: route,
+	}
+	m.nextFiber++
+	f.id = m.nextFiber
+	m.liveFibers++
+	return f
+}
+
+func (m *Machine) enqueueReady(n *node, f *fiber, t int64) {
+	n.ready = append(n.ready, f)
+	m.schedule(t, evEURun, n.id, func(m *Machine, t int64) { m.runEU(n, t) })
+}
+
+// fiberStates summarizes runnable fibers for livelock diagnostics.
+func (m *Machine) fiberStates() string {
+	var b strings.Builder
+	for _, n := range m.nodes {
+		for _, f := range n.ready {
+			fmt.Fprintf(&b, " [node%d ready %s@%d]", n.id, f.code.Name, f.pc)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,400 @@
+package earthsim
+
+import (
+	"math"
+
+	"repro/internal/threaded"
+)
+
+// suTask schedules work on a node's SU: the SU is a serial resource, so the
+// task completes at max(suFree, t) + svc.
+func (m *Machine) suTask(n *node, t, svc int64, effect func(done int64)) {
+	done := max64(n.suFree, t) + svc
+	n.suFree = done
+	m.schedule(done, evSUEffect, n.id, func(m *Machine, _ int64) { effect(done) })
+}
+
+// netSend models the point-to-point link: per-message latency plus per-word
+// transfer time, FIFO per (src, dst) pair.
+func (m *Machine) netSend(src, dst *node, t int64, words int, then func(arrive int64)) {
+	arrive := t + m.cfg.NetLatency + m.cfg.NetPerWord*int64(words)
+	if arrive <= src.netLast[dst.id] {
+		arrive = src.netLast[dst.id] + 1
+	}
+	src.netLast[dst.id] = arrive
+	m.schedule(arrive, evNetArrive, dst.id, func(m *Machine, _ int64) { then(arrive) })
+}
+
+// memWord accesses a word of any node's memory (SU-side).
+func (m *Machine) memWord(nid int, off int64) int64 {
+	n := m.nodes[nid]
+	if !n.ensure(off, 1) {
+		m.trapf("node %d access beyond its memory budget", nid)
+		return 0
+	}
+	return n.mem[off]
+}
+
+func (m *Machine) memStore(nid int, off int64, v int64) {
+	n := m.nodes[nid]
+	if !n.ensure(off, 1) {
+		m.trapf("node %d store beyond its memory budget", nid)
+		return
+	}
+	n.mem[off] = v
+}
+
+// block parks a fiber on a pending memory word; it resumes when the word's
+// fill arrives.
+func (m *Machine) block(f *fiber, abs int64) {
+	f.waitSlot = abs
+	n := f.node
+	for _, w := range n.waiters[abs] {
+		if w == f {
+			return
+		}
+	}
+	n.waiters[abs] = append(n.waiters[abs], f)
+}
+
+// fill delivers a value into a pending frame slot and, once no fills
+// remain outstanding for the word, wakes every fiber blocked on it.
+func (m *Machine) fill(f *fiber, abs int64, v int64, t int64) {
+	f.node.mem[abs] = v
+	decPending(f.pending, abs)
+	if decPending(f.node.pending, abs) {
+		m.wakeWaiters(f.node, abs, t)
+	}
+}
+
+func (m *Machine) fillBlock(f *fiber, abs int64, vals []int64, t int64) {
+	for i, v := range vals {
+		f.node.mem[abs+int64(i)] = v
+		decPending(f.pending, abs+int64(i))
+		if decPending(f.node.pending, abs+int64(i)) {
+			m.wakeWaiters(f.node, abs+int64(i), t)
+		}
+	}
+}
+
+// decPending decrements a pending counter, reporting whether it reached
+// zero (i.e. the word is now present).
+func decPending(m map[int64]int, abs int64) bool {
+	c := m[abs] - 1
+	if c <= 0 {
+		delete(m, abs)
+		return true
+	}
+	m[abs] = c
+	return false
+}
+
+// wakeWaiters resumes fibers blocked on a just-filled word.
+func (m *Machine) wakeWaiters(n *node, abs int64, t int64) {
+	ws := n.waiters[abs]
+	if len(ws) == 0 {
+		return
+	}
+	delete(n.waiters, abs)
+	for _, f := range ws {
+		if f.done {
+			continue
+		}
+		f.waitSlot = -1
+		m.enqueueReady(n, f, t)
+	}
+}
+
+// ack resolves one outstanding write/void-RPC and wakes a fenced fiber.
+func (m *Machine) ack(f *fiber, t int64) {
+	f.outstanding--
+	if f.waitFence && f.outstanding == 0 {
+		f.waitFence = false
+		m.enqueueReady(f.node, f, t)
+	}
+}
+
+// ------------------------------------------------------------- operations ---
+
+// issueGet starts a split-phase scalar read of mem[addr] into frame slot
+// abs of fiber f.
+func (m *Machine) issueGet(f *fiber, t int64, addr, abs int64) {
+	src := f.node
+	dstID := threaded.AddrNode(addr)
+	if dstID < 0 || dstID >= len(m.nodes) {
+		m.trapf("get: bad address node %d", dstID)
+		return
+	}
+	if dstID == src.id {
+		// Pseudo-remote: the runtime detects the local address and the EU
+		// completes the access in place — no SU, no split phase. (The
+		// paper's Table III shows 1-processor EARTH-C times tracking the
+		// sequential baseline, so local-address operations must be cheap.)
+		m.counts.LocalReads++
+		f.node.mem[abs] = m.memWord(dstID, threaded.AddrOff(addr))
+		return
+	}
+	f.pending[abs]++
+	src.pending[abs]++
+	m.counts.RemoteReads++
+	dst := m.nodes[dstID]
+	m.suTask(src, t, m.cfg.SUService, func(t1 int64) {
+		m.netSend(src, dst, t1, 0, func(t2 int64) {
+			m.suTask(dst, t2, m.cfg.SUService, func(t3 int64) {
+				v := m.memWord(dstID, threaded.AddrOff(addr))
+				m.netSend(dst, src, t3, 1, func(t4 int64) {
+					m.suTask(src, t4, m.cfg.SUService, func(t5 int64) {
+						m.fill(f, abs, v, t5)
+					})
+				})
+			})
+		})
+	})
+}
+
+// issuePut starts a split-phase scalar write.
+func (m *Machine) issuePut(f *fiber, t int64, addr, val int64) {
+	src := f.node
+	dstID := threaded.AddrNode(addr)
+	if dstID < 0 || dstID >= len(m.nodes) {
+		m.trapf("put: bad address node %d", dstID)
+		return
+	}
+	if dstID == src.id {
+		// Pseudo-remote write: completed in place by the EU.
+		m.counts.LocalWrites++
+		m.memStore(dstID, threaded.AddrOff(addr), val)
+		return
+	}
+	f.outstanding++
+	m.counts.RemoteWrites++
+	dst := m.nodes[dstID]
+	m.suTask(src, t, m.cfg.SUService, func(t1 int64) {
+		m.netSend(src, dst, t1, 1, func(t2 int64) {
+			m.suTask(dst, t2, m.cfg.SUWriteSvc, func(t3 int64) {
+				m.memStore(dstID, threaded.AddrOff(addr), val)
+				m.netSend(dst, src, t3, 0, func(t4 int64) {
+					m.suTask(src, t4, m.cfg.SUAck, func(t5 int64) {
+						m.ack(f, t5)
+					})
+				})
+			})
+		})
+	})
+}
+
+// issueBlkGet starts a split-phase block read of size words.
+func (m *Machine) issueBlkGet(f *fiber, t int64, addr, abs int64, size int) {
+	src := f.node
+	dstID := threaded.AddrNode(addr)
+	if dstID < 0 || dstID >= len(m.nodes) {
+		m.trapf("blkmov: bad address node %d", dstID)
+		return
+	}
+	m.counts.BlkWords += int64(size)
+	replySvc := m.cfg.SUBlock + m.cfg.SUBlockWord*int64(size-1)
+	readWords := func() []int64 {
+		vals := make([]int64, size)
+		off := threaded.AddrOff(addr)
+		if !m.nodes[dstID].ensure(off, size) {
+			m.trapf("node %d block read beyond its memory budget", dstID)
+			return vals
+		}
+		copy(vals, m.nodes[dstID].mem[off:off+int64(size)])
+		return vals
+	}
+	if dstID == src.id {
+		// Pseudo-remote block move: an EU-side memcpy.
+		m.counts.LocalBlk++
+		vals := readWords()
+		copy(src.mem[abs:abs+int64(size)], vals)
+		return
+	}
+	for i := 0; i < size; i++ {
+		f.pending[abs+int64(i)]++
+		src.pending[abs+int64(i)]++
+	}
+	m.counts.RemoteBlk++
+	dst := m.nodes[dstID]
+	m.suTask(src, t, m.cfg.SUBlock, func(t1 int64) {
+		m.netSend(src, dst, t1, 0, func(t2 int64) {
+			m.suTask(dst, t2, m.cfg.SUBlockSvc, func(t3 int64) {
+				vals := readWords()
+				m.netSend(dst, src, t3, size, func(t4 int64) {
+					m.suTask(src, t4, replySvc, func(t5 int64) {
+						m.fillBlock(f, abs, vals, t5)
+					})
+				})
+			})
+		})
+	})
+}
+
+// issueBlkPut starts a split-phase block write.
+func (m *Machine) issueBlkPut(f *fiber, t int64, addr int64, vals []int64) {
+	src := f.node
+	dstID := threaded.AddrNode(addr)
+	if dstID < 0 || dstID >= len(m.nodes) {
+		m.trapf("blkmov: bad address node %d", dstID)
+		return
+	}
+	size := len(vals)
+	m.counts.BlkWords += int64(size)
+	writeWords := func() {
+		off := threaded.AddrOff(addr)
+		if !m.nodes[dstID].ensure(off, size) {
+			m.trapf("node %d block write beyond its memory budget", dstID)
+			return
+		}
+		copy(m.nodes[dstID].mem[off:off+int64(size)], vals)
+	}
+	reqSvc := m.cfg.SUBlock + m.cfg.SUBlockWord*int64(size-1)
+	if dstID == src.id {
+		m.counts.LocalBlk++
+		writeWords()
+		return
+	}
+	f.outstanding++
+	m.counts.RemoteBlk++
+	dst := m.nodes[dstID]
+	m.suTask(src, t, reqSvc, func(t1 int64) {
+		m.netSend(src, dst, t1, size, func(t2 int64) {
+			m.suTask(dst, t2, m.cfg.SUBlockSvc, func(t3 int64) {
+				writeWords()
+				m.netSend(dst, src, t3, 0, func(t4 int64) {
+					m.suTask(src, t4, m.cfg.SUAck, func(t5 int64) {
+						m.ack(f, t5)
+					})
+				})
+			})
+		})
+	})
+}
+
+// issueAlloc performs a remote allocation, delivering the address into a
+// pending slot.
+func (m *Machine) issueAlloc(f *fiber, t int64, nodeID, size int, abs int64) {
+	src := f.node
+	dst := m.nodes[nodeID]
+	f.pending[abs]++
+	src.pending[abs]++
+	m.suTask(src, t, m.cfg.SUService, func(t1 int64) {
+		m.netSend(src, dst, t1, 0, func(t2 int64) {
+			m.suTask(dst, t2, m.cfg.SUService, func(t3 int64) {
+				base := dst.allocWords(size)
+				if base < 0 {
+					m.trapf("node %d out of memory for a remote allocation", nodeID)
+					return
+				}
+				addr := threaded.PackAddr(nodeID, base)
+				m.netSend(dst, src, t3, 1, func(t4 int64) {
+					m.suTask(src, t4, m.cfg.SUService, func(t5 int64) {
+						m.fill(f, abs, addr, t5)
+					})
+				})
+			})
+		})
+	})
+}
+
+// issueInvoke performs a remote function invocation (the placed-call
+// mechanism behind @OWNER_OF / @ON).
+func (m *Machine) issueInvoke(f *fiber, t int64, nodeID int, fn *threaded.FnCode,
+	args []int64, retAbs int64) {
+	src := f.node
+	dst := m.nodes[nodeID]
+	m.suTask(src, t, m.cfg.SUService, func(t1 int64) {
+		m.netSend(src, dst, t1, len(args), func(t2 int64) {
+			m.suTask(dst, t2, m.cfg.SUService, func(t3 int64) {
+				child := m.newFiber(nodeID, fn, args, replyRoute{
+					kind: 2, rpcNode: src.id, rpcFiber: f, rpcSlot: int(retAbs),
+				})
+				m.enqueueReady(dst, child, t3)
+			})
+		})
+	})
+}
+
+// issueShared performs a remote atomic shared-variable operation.
+// op: 0 read, 1 write, 2 add.
+func (m *Machine) issueShared(f *fiber, t int64, addr int64, op int, val int64,
+	replyAbs int64, flt bool) {
+	src := f.node
+	dstID := threaded.AddrNode(addr)
+	if dstID < 0 || dstID >= len(m.nodes) {
+		m.trapf("shared op: bad address node %d", dstID)
+		return
+	}
+	dst := m.nodes[dstID]
+	m.suTask(src, t, m.cfg.SUService, func(t1 int64) {
+		m.netSend(src, dst, t1, 1, func(t2 int64) {
+			m.suTask(dst, t2, m.cfg.SUShared, func(t3 int64) {
+				off := threaded.AddrOff(addr)
+				var result int64
+				switch op {
+				case 0:
+					result = m.memWord(dstID, off)
+				case 1:
+					m.memStore(dstID, off, val)
+				case 2:
+					old := m.memWord(dstID, off)
+					if flt {
+						sum := math.Float64frombits(uint64(old)) + math.Float64frombits(uint64(val))
+						m.memStore(dstID, off, int64(math.Float64bits(sum)))
+					} else {
+						m.memStore(dstID, off, old+val)
+					}
+				}
+				m.netSend(dst, src, t3, 1, func(t4 int64) {
+					m.suTask(src, t4, m.cfg.SUAck, func(t5 int64) {
+						if op == 0 {
+							m.fill(f, replyAbs, result, t5)
+						} else {
+							m.ack(f, t5)
+						}
+					})
+				})
+			})
+		})
+	})
+}
+
+// finishFiber completes a fiber: frees its frame (unless shared) and
+// reports to its waiter.
+func (m *Machine) finishFiber(f *fiber, t int64, val int64) {
+	f.done = true
+	m.liveFibers--
+	n := f.node
+	switch f.route.kind {
+	case 0: // main
+		m.mainDone = true
+		m.mainRet = val
+		m.mainTime = t
+		n.freeFrame(f.base, f.size)
+	case 1: // joined child
+		if !f.code.IsArm {
+			n.freeFrame(f.base, f.size)
+		}
+		p := f.route.parent
+		p.children--
+		if p.waitJoin && p.children == 0 {
+			p.waitJoin = false
+			m.enqueueReady(p.node, p, t)
+		}
+	case 2: // remote invocation: reply to the requester
+		n.freeFrame(f.base, f.size)
+		req := f.route.rpcFiber
+		src := m.nodes[f.route.rpcNode]
+		m.suTask(n, t+m.cfg.EUIssue, m.cfg.SUService, func(t1 int64) {
+			m.netSend(n, src, t1, 1, func(t2 int64) {
+				m.suTask(src, t2, m.cfg.SUService, func(t3 int64) {
+					if f.route.rpcSlot >= 0 {
+						m.fill(req, int64(f.route.rpcSlot), val, t3)
+					} else {
+						m.ack(req, t3)
+					}
+				})
+			})
+		})
+	}
+}

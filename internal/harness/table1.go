@@ -1,0 +1,198 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation section (§5) on the simulated EARTH-MANNA machine: Table I
+// (communication costs), Table II (benchmark descriptions), Figure 10
+// (dynamic communication counts), and Table III (performance improvement).
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/earthc"
+	"repro/internal/earthsim"
+	"repro/internal/threaded"
+)
+
+var (
+	ltOp  = earthc.Lt
+	addOp = earthc.Add
+)
+
+// Table1Row is one measured operation cost.
+type Table1Row struct {
+	Operation  string
+	Sequential int64 // ns per op, dependent issue
+	Pipelined  int64 // ns per op, back-to-back issue
+}
+
+// Table1Result holds the measured communication costs.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// PaperTable1 reports the published EARTH-MANNA numbers for comparison.
+func PaperTable1() []Table1Row {
+	return []Table1Row{
+		{Operation: "Read word", Sequential: 7109, Pipelined: 1908},
+		{Operation: "Write word", Sequential: 6458, Pipelined: 1749},
+		{Operation: "Blkmov word", Sequential: 9700, Pipelined: 2602},
+	}
+}
+
+// String renders the table next to the paper's numbers.
+func (r *Table1Result) String() string {
+	var b strings.Builder
+	paper := PaperTable1()
+	fmt.Fprintf(&b, "Table I: Cost of communication on (simulated) EARTH-MANNA\n")
+	fmt.Fprintf(&b, "%-14s %14s %14s %14s %14s\n", "Operation",
+		"Seq (sim)", "Seq (paper)", "Pipe (sim)", "Pipe (paper)")
+	for i, row := range r.Rows {
+		p := Table1Row{}
+		if i < len(paper) {
+			p = paper[i]
+		}
+		fmt.Fprintf(&b, "%-14s %12dns %12dns %12dns %12dns\n",
+			row.Operation, row.Sequential, p.Sequential, row.Pipelined, p.Pipelined)
+	}
+	return b.String()
+}
+
+// opKind selects the microbenchmark operation.
+type opKind int
+
+const (
+	opRead opKind = iota
+	opWrite
+	opBlk
+)
+
+// MeasureTable1 runs the microbenchmarks: per-operation cost is measured as
+// the marginal time of adding operations to a steady-state loop, isolating
+// the operation from loop overhead (time(2N) - time(N)) / N.
+func MeasureTable1() (*Table1Result, error) {
+	res := &Table1Result{}
+	ops := []struct {
+		name string
+		kind opKind
+	}{
+		{"Read word", opRead},
+		{"Write word", opWrite},
+		{"Blkmov word", opBlk},
+	}
+	const n = 400
+	for _, op := range ops {
+		seq, err := runMicro(op.kind, true, n)
+		if err != nil {
+			return nil, err
+		}
+		seq2, err := runMicro(op.kind, true, 2*n)
+		if err != nil {
+			return nil, err
+		}
+		pipe, err := runMicro(op.kind, false, n)
+		if err != nil {
+			return nil, err
+		}
+		pipe2, err := runMicro(op.kind, false, 2*n)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Table1Row{
+			Operation:  op.name,
+			Sequential: (seq2 - seq) / n,
+			Pipelined:  (pipe2 - pipe) / n,
+		})
+	}
+	return res, nil
+}
+
+// runMicro builds a threaded-code microbenchmark directly: node 0 performs n
+// operations against memory on node 1. In sequential mode each operation's
+// completion is consumed before the next issues; in pipelined mode all
+// operations issue back to back and synchronize once at the end.
+func runMicro(kind opKind, sequential bool, n int) (int64, error) {
+	// Frame layout: 0 = remote pointer, 1 = loop counter, 2 = limit,
+	// 3 = value/sink, 4 = scratch one, 5.. = landing slots.
+	const (
+		sPtr   = 0
+		sCount = 1
+		sLimit = 2
+		sVal   = 3
+		sOne   = 4
+		sLand  = 5
+	)
+	fc := &threaded.FnCode{Name: "micro"}
+	emit := func(in threaded.Instr) int {
+		fc.Code = append(fc.Code, in)
+		return len(fc.Code) - 1
+	}
+	// Allocate remote storage on node 1 (blocks until the address arrives).
+	emit(threaded.Instr{Op: threaded.OpLoadImm, A: sOne, Imm: 1})
+	emit(threaded.Instr{Op: threaded.OpAlloc, A: sPtr, B: sOne, C: 8})
+	emit(threaded.Instr{Op: threaded.OpLoadImm, A: sCount, Imm: 0})
+	emit(threaded.Instr{Op: threaded.OpLoadImm, A: sLimit, Imm: int64(n)})
+	top := len(fc.Code)
+	// loop test
+	jEnd := emit(threaded.Instr{Op: threaded.OpBin, A: sVal, B: sCount, C: sLimit, BOp: ltOp})
+	jEnd = emit(threaded.Instr{Op: threaded.OpJmpIfNot, A: sVal})
+	// window is the software-pipelining depth for the pipelined variants:
+	// each loop iteration synchronizes on the reply issued one iteration
+	// earlier into the same landing slot, keeping `window` operations in
+	// flight (so the per-iteration step is `window` ops).
+	const window = 8
+	perIter := int64(1)
+	switch kind {
+	case opRead:
+		if sequential {
+			emit(threaded.Instr{Op: threaded.OpGet, A: sLand, B: sPtr, C: 0})
+			emit(threaded.Instr{Op: threaded.OpMove, A: sVal, B: sLand}) // sync
+		} else {
+			perIter = window
+			for j := 0; j < window; j++ {
+				emit(threaded.Instr{Op: threaded.OpMove, A: sVal, B: sLand + j})
+				emit(threaded.Instr{Op: threaded.OpGet, A: sLand + j, B: sPtr, C: 0})
+			}
+		}
+	case opWrite:
+		emit(threaded.Instr{Op: threaded.OpPut, A: sVal, B: sPtr, C: 0})
+		if sequential {
+			emit(threaded.Instr{Op: threaded.OpFence})
+		}
+	case opBlk:
+		if sequential {
+			emit(threaded.Instr{Op: threaded.OpBlkGet, A: sLand, B: sPtr, C: 0, D: 1})
+			emit(threaded.Instr{Op: threaded.OpMove, A: sVal, B: sLand}) // sync
+		} else {
+			perIter = window
+			for j := 0; j < window; j++ {
+				emit(threaded.Instr{Op: threaded.OpMove, A: sVal, B: sLand + j})
+				emit(threaded.Instr{Op: threaded.OpBlkGet, A: sLand + j, B: sPtr, C: 0, D: 1})
+			}
+		}
+	}
+	emit(threaded.Instr{Op: threaded.OpLoadImm, A: sVal, Imm: perIter})
+	emit(threaded.Instr{Op: threaded.OpBin, A: sCount, B: sCount, C: sVal, BOp: addOp})
+	emit(threaded.Instr{Op: threaded.OpJmp, C: top})
+	end := len(fc.Code)
+	fc.Code[jEnd].C = end
+	// Synchronize all outstanding communication: drain the landing window,
+	// then fence writes (fiber end also drains any remaining reads).
+	for j := 0; j < window; j++ {
+		emit(threaded.Instr{Op: threaded.OpMove, A: sVal, B: sLand + j})
+	}
+	emit(threaded.Instr{Op: threaded.OpFence})
+	emit(threaded.Instr{Op: threaded.OpRet, A: -1})
+	fc.NSlots = sLand + window + 1
+	prog := &threaded.Program{
+		Funcs:         map[string]*threaded.FnCode{"main": fc},
+		Main:          fc,
+		GlobalSlot:    map[string]int{},
+		SharedGlobals: map[string]bool{},
+	}
+	m := earthsim.New(prog, earthsim.DefaultConfig(2))
+	r, err := m.Run()
+	if err != nil {
+		return 0, fmt.Errorf("micro(kind=%d seq=%v): %w", kind, sequential, err)
+	}
+	return r.Time, nil
+}

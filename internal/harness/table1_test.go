@@ -1,0 +1,29 @@
+package harness
+
+import "testing"
+
+// TestTable1Calibration checks the simulator reproduces the paper's Table I
+// within 12% on every entry, and that the blocked-vs-pipelined crossover
+// sits at three words (the basis for the selection threshold).
+func TestTable1Calibration(t *testing.T) {
+	res, err := MeasureTable1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.String())
+	paper := PaperTable1()
+	for i, row := range res.Rows {
+		p := paper[i]
+		checkWithin(t, row.Operation+" sequential", row.Sequential, p.Sequential, 0.12)
+		checkWithin(t, row.Operation+" pipelined", row.Pipelined, p.Pipelined, 0.12)
+	}
+}
+
+func checkWithin(t *testing.T, what string, got, want int64, tol float64) {
+	t.Helper()
+	lo := float64(want) * (1 - tol)
+	hi := float64(want) * (1 + tol)
+	if float64(got) < lo || float64(got) > hi {
+		t.Errorf("%s: got %dns, want %dns ±%.0f%%", what, got, want, tol*100)
+	}
+}

@@ -1,0 +1,327 @@
+package lower
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/earthc"
+	"repro/internal/sema"
+	"repro/internal/simple"
+)
+
+func lowerSrc(t *testing.T, src string) *simple.Program {
+	t.Helper()
+	f, err := earthc.ParseFile("t.ec", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fn := range f.Funcs {
+		if err := earthc.DesugarLoops(fn); err != nil {
+			t.Fatal(err)
+		}
+		if err := earthc.EliminateGotos(fn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sm, err := sema.Check(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := Program(sm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+// indirectOps counts the potentially-remote operations in one basic
+// statement.
+func indirectOps(b *simple.Basic) int {
+	n := 0
+	switch b.Kind {
+	case simple.KAssign:
+		if _, ok := b.Rhs.(simple.LoadRV); ok {
+			n++
+		}
+		if _, ok := b.Lhs.(simple.StoreLV); ok {
+			n++
+		}
+	case simple.KBlkCopy:
+		if b.P != nil {
+			n++
+		}
+		if b.P2 != nil {
+			n++
+		}
+	case simple.KGetF, simple.KPutF, simple.KBlkRead, simple.KBlkWrite:
+		n++
+	}
+	return n
+}
+
+// TestSimplificationInvariant: the paper's SIMPLE property — each basic
+// statement carries at most one remote operation.
+func TestSimplificationInvariant(t *testing.T) {
+	src := `
+struct Point { double x; double y; struct Point *next; };
+double f(Point *p, Point *q) {
+	double d;
+	d = p->x * q->x + p->y * q->y;
+	p->x = q->y;
+	q->next->x = p->next->y;
+	return d;
+}
+int main() {
+	Point *p;
+	Point *q;
+	p = alloc(Point);
+	q = alloc(Point);
+	return trunc(f(p, q));
+}
+`
+	sp := lowerSrc(t, src)
+	for _, fn := range sp.Funcs {
+		simple.WalkBasics(fn.Body, func(b *simple.Basic) {
+			if indirectOps(b) > 1 {
+				t.Errorf("%s S%d has %d indirect ops: %s",
+					fn.Name, b.Label, indirectOps(b), simple.BasicText(b))
+			}
+		})
+	}
+}
+
+func TestLowerDistanceMatchesFigure3b(t *testing.T) {
+	// The paper's Figure 3(b): four remote reads, each its own statement.
+	sp := lowerSrc(t, `
+struct Point { double x; double y; };
+double distance(Point *p) {
+	double dist_p;
+	dist_p = sqrt((p->x * p->x) + (p->y * p->y));
+	return dist_p;
+}
+int main() { return 0; }
+`)
+	fn := sp.FuncByName("distance")
+	loads := 0
+	simple.WalkBasics(fn.Body, func(b *simple.Basic) {
+		if b.Kind == simple.KAssign {
+			if _, ok := b.Rhs.(simple.LoadRV); ok {
+				loads++
+			}
+		}
+	})
+	if loads != 4 {
+		t.Errorf("distance should lower to 4 remote reads (Figure 3(b)), got %d:\n%s",
+			loads, simple.FuncString(fn, simple.PrintOptions{Labels: true}))
+	}
+}
+
+func TestLowerShortCircuit(t *testing.T) {
+	sp := lowerSrc(t, `
+int main() {
+	int a;
+	int b;
+	int r;
+	a = 1;
+	b = 0;
+	r = 0;
+	if (a != 0 && b != 0) r = 1;
+	if (a != 0 || b != 0) r = r + 2;
+	return r;
+}
+`)
+	out := simple.FuncString(sp.FuncByName("main"), simple.PrintOptions{})
+	// Both short-circuit forms lower to nested ifs.
+	if strings.Count(out, "if (") < 4 {
+		t.Errorf("short-circuit should produce nested ifs:\n%s", out)
+	}
+}
+
+func TestLowerStructCopy(t *testing.T) {
+	sp := lowerSrc(t, `
+struct Point { double x; double y; };
+int main() {
+	Point *p;
+	Point *q;
+	Point tmp;
+	p = alloc(Point);
+	q = alloc(Point);
+	tmp = *p;
+	*q = tmp;
+	*q = *p;
+	return 0;
+}
+`)
+	var copies []*simple.Basic
+	simple.WalkBasics(sp.FuncByName("main").Body, func(b *simple.Basic) {
+		if b.Kind == simple.KBlkCopy {
+			copies = append(copies, b)
+		}
+	})
+	// tmp = *p; *q = tmp; and *q = *p staged through a temp (2 copies).
+	if len(copies) != 4 {
+		t.Errorf("want 4 block copies (one staged pair), got %d", len(copies))
+	}
+	// No copy may have both pointers remote (staging guarantees it).
+	for _, b := range copies {
+		if b.P != nil && b.P2 != nil {
+			t.Errorf("remote-to-remote copy not staged: %s", simple.BasicText(b))
+		}
+	}
+}
+
+func TestLowerNestedMemberPath(t *testing.T) {
+	sp := lowerSrc(t, `
+struct H { int a; int fp; };
+struct V { int lvl; struct H hosp; };
+int get(V *v) { return v->hosp.fp; }
+int main() { return 0; }
+`)
+	found := false
+	simple.WalkBasics(sp.FuncByName("get").Body, func(b *simple.Basic) {
+		if b.Kind == simple.KAssign {
+			if ld, ok := b.Rhs.(simple.LoadRV); ok {
+				if ld.Field == "hosp.fp" && ld.Off == 2 {
+					found = true
+				}
+			}
+		}
+	})
+	if !found {
+		t.Errorf("v->hosp.fp should lower to a single load at offset 2:\n%s",
+			simple.FuncString(sp.FuncByName("get"), simple.PrintOptions{}))
+	}
+}
+
+func TestLowerFieldAddress(t *testing.T) {
+	sp := lowerSrc(t, `
+struct H { int a; int b; };
+struct V { int lvl; struct H hosp; };
+int *addrOf(V *v) { return &(v->hosp.b); }
+int main() { return 0; }
+`)
+	found := false
+	simple.WalkBasics(sp.FuncByName("addrOf").Body, func(b *simple.Basic) {
+		if b.Kind == simple.KAssign {
+			if fa, ok := b.Rhs.(simple.FieldAddrRV); ok && fa.Off == 2 {
+				found = true
+			}
+		}
+	})
+	if !found {
+		t.Error("&(v->hosp.b) should lower to pointer arithmetic (FieldAddrRV, offset 2)")
+	}
+}
+
+func TestLowerCondBecomesEval(t *testing.T) {
+	sp := lowerSrc(t, `
+struct N { int v; struct N *next; };
+int count(N *head) {
+	int n;
+	n = 0;
+	while (head != NULL) {
+		n = n + 1;
+		head = head->next;
+	}
+	return n;
+}
+int main() { return 0; }
+`)
+	// A simple pointer-test condition needs no Eval statements.
+	var loop *simple.While
+	simple.WalkStmts(sp.FuncByName("count").Body, func(s simple.Stmt) {
+		if w, ok := s.(*simple.While); ok {
+			loop = w
+		}
+	})
+	if loop == nil {
+		t.Fatal("no while loop found")
+	}
+	if len(loop.Eval.Stmts) != 0 {
+		t.Errorf("simple condition should have no eval statements, got %d", len(loop.Eval.Stmts))
+	}
+}
+
+func TestLowerTernary(t *testing.T) {
+	sp := lowerSrc(t, `
+int main() {
+	int x;
+	int y;
+	x = 3;
+	y = x > 2 ? 10 : 20;
+	return y;
+}
+`)
+	out := simple.FuncString(sp.FuncByName("main"), simple.PrintOptions{})
+	if !strings.Contains(out, "if (x > 2)") {
+		t.Errorf("ternary should lower to an if:\n%s", out)
+	}
+}
+
+func TestLowerIncDecValue(t *testing.T) {
+	sp := lowerSrc(t, `
+int main() {
+	int x;
+	int a;
+	int b;
+	x = 5;
+	a = x++;
+	b = ++x;
+	return a * 100 + b;
+}
+`)
+	_ = sp // semantics validated end-to-end elsewhere; here: it lowers at all
+}
+
+func TestLowerSharedIntrinsics(t *testing.T) {
+	sp := lowerSrc(t, `
+int main() {
+	shared int c;
+	writeto(&c, 1);
+	addto(&c, 2);
+	return valueof(&c);
+}
+`)
+	kinds := map[string]int{}
+	simple.WalkBasics(sp.FuncByName("main").Body, func(b *simple.Basic) {
+		if b.Kind == simple.KBuiltin {
+			kinds[b.Fun]++
+		}
+	})
+	if kinds["writeto"] != 1 || kinds["addto"] != 1 || kinds["valueof"] != 1 {
+		t.Errorf("shared intrinsics missing: %v", kinds)
+	}
+}
+
+// TestAllBenchmarksSimplifyInvariant runs the one-remote-op invariant over
+// every Olden benchmark (via the front door to avoid an import cycle, the
+// sources are re-lowered here).
+func TestLowerLabelsAreUnique(t *testing.T) {
+	sp := lowerSrc(t, `
+struct P { int v; };
+int main() {
+	P *p;
+	int i;
+	int s;
+	p = alloc(P);
+	s = 0;
+	for (i = 0; i < 4; i++) {
+		p->v = i;
+		s = s + p->v;
+	}
+	return s;
+}
+`)
+	for _, fn := range sp.Funcs {
+		seen := map[int]bool{}
+		simple.WalkBasics(fn.Body, func(b *simple.Basic) {
+			if seen[b.Label] {
+				t.Errorf("%s: duplicate label S%d", fn.Name, b.Label)
+			}
+			seen[b.Label] = true
+			if fn.Basics[b.Label] != b {
+				t.Errorf("%s: label S%d not indexed correctly", fn.Name, b.Label)
+			}
+		})
+	}
+}

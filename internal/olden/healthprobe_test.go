@@ -1,0 +1,69 @@
+package olden
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestHealthVillageStepByStep exercises one village's hospital pipeline step
+// by step and compares per-step state between the simple and optimized
+// builds. This is a regression test for two historical miscompilations: a
+// split-phase fill clobbering a newer shadow value, and a write float
+// crossing a branch store to the same field (write-after-write inversion).
+func TestHealthVillageStepByStep(t *testing.T) {
+	b := Health()
+	src := b.Source(Params{Size: 1, Iters: 1})
+	// Replace main with a single-village probe.
+	i := strings.Index(src, "int main() {")
+	src = src[:i] + `
+int count(Patient *l) {
+	int n;
+	n = 0;
+	while (l != NULL) {
+		n = n + 1;
+		l = l->forward;
+	}
+	return n;
+}
+
+int main() {
+	Village *v;
+	int it;
+	Patient *up;
+	v = build(0, 0, 91, NULL);
+	for (it = 0; it < 25; it++) {
+		check_patients_inside(v);
+		up = check_patients_assess(v);
+		check_patients_waiting(v);
+		generate_patient(v);
+		print_int(count(v->hosp.waiting));
+		print_int(count(v->hosp.assess));
+		print_int(count(v->hosp.inside));
+		print_int(v->hosp.free_personnel);
+		print_int(v->treated);
+		print_int(count(up));
+		print_int(v->seed);
+		print_str("--\n");
+	}
+	return 0;
+}
+`
+	su, err := core.CompileAndRun("hv.ec", src, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ou, err := core.CompileAndRun("hv.ec", src, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl := strings.Split(su.Output, "--\n")
+	ol := strings.Split(ou.Output, "--\n")
+	for i := range sl {
+		if i >= len(ol) || sl[i] != ol[i] {
+			t.Errorf("first divergence at step %d:\nsimple: %q\nopt:    %q", i, sl[i], ol[i])
+			break
+		}
+	}
+}

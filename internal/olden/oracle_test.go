@@ -1,0 +1,157 @@
+package olden
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// --------------------------------------------------------------- perimeter ---
+
+// gridPerimeter computes the image perimeter by brute force: a cell is
+// black when its center lies inside the disk of radius size-1 centered at
+// (size, size) (doubled coordinates, matching the benchmark's classify);
+// the perimeter counts unit edges between black cells and white-or-outside
+// cells.
+func gridPerimeter(depth int) int {
+	size := 1 << depth
+	black := func(x, y int) bool {
+		if x < 0 || y < 0 || x >= size || y >= size {
+			return false
+		}
+		dx := 2*x + 1 - size
+		dy := 2*y + 1 - size
+		r := size - 1
+		return dx*dx+dy*dy <= r*r
+	}
+	per := 0
+	for x := 0; x < size; x++ {
+		for y := 0; y < size; y++ {
+			if !black(x, y) {
+				continue
+			}
+			for _, d := range [][2]int{{0, -1}, {1, 0}, {0, 1}, {-1, 0}} {
+				if !black(x+d[0], y+d[1]) {
+					per++
+				}
+			}
+		}
+	}
+	return per
+}
+
+// TestPerimeterAgainstGridOracle checks the quadtree algorithm (build,
+// neighbor finding via parent pointers, sum_adjacent) against the
+// brute-force grid answer at several depths. The benchmark counts edge
+// lengths in cell units at the leaf size, which matches unit-edge counting.
+func TestPerimeterAgainstGridOracle(t *testing.T) {
+	bm := Perimeter()
+	for _, depth := range []int{2, 3, 4, 5} {
+		src := bm.Source(Params{Size: depth})
+		res, err := core.CompileAndRun("perimeter.ec", src, true, 4)
+		if err != nil {
+			t.Fatalf("depth %d: %v", depth, err)
+		}
+		want := fmt.Sprintf("%d\n", gridPerimeter(depth))
+		if res.Output != want {
+			t.Errorf("depth %d: quadtree perimeter %q != grid oracle %q",
+				depth, strings.TrimSpace(res.Output), strings.TrimSpace(want))
+		}
+	}
+}
+
+// ----------------------------------------------------------------- voronoi ---
+
+// replayPoints regenerates the voronoi benchmark's points by replaying its
+// build() recursion (same LCG, same seed threading).
+func replayPoints(n int, seed int64, out *[][2]float64) {
+	if n == 0 {
+		return
+	}
+	next := func(s int64) int64 { return (s*1103515245 + 12345) % 2147483647 }
+	s := next(seed)
+	x := float64(s%1000000) / 1000.0
+	s = next(s)
+	y := float64(s%1000000) / 1000.0
+	*out = append(*out, [2]float64{x, y})
+	nl := (n - 1) / 2
+	replayPoints(nl, s+29, out)
+	s = next(s + 13)
+	replayPoints(n-1-nl, s, out)
+}
+
+// goHull computes the convex hull (Andrew's monotone chain) and returns the
+// vertex count and circumference.
+func goHull(pts [][2]float64) (int, float64) {
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i][0] != pts[j][0] {
+			return pts[i][0] < pts[j][0]
+		}
+		return pts[i][1] < pts[j][1]
+	})
+	cross := func(o, a, b [2]float64) float64 {
+		return (a[0]-o[0])*(b[1]-o[1]) - (a[1]-o[1])*(b[0]-o[0])
+	}
+	var hull [][2]float64
+	for _, p := range pts {
+		for len(hull) >= 2 && cross(hull[len(hull)-2], hull[len(hull)-1], p) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	lower := len(hull) + 1
+	for i := len(pts) - 2; i >= 0; i-- {
+		p := pts[i]
+		for len(hull) >= lower && cross(hull[len(hull)-2], hull[len(hull)-1], p) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	hull = hull[:len(hull)-1]
+	total := 0.0
+	for i := range hull {
+		j := (i + 1) % len(hull)
+		dx := hull[i][0] - hull[j][0]
+		dy := hull[i][1] - hull[j][1]
+		total += math.Sqrt(dx*dx + dy*dy)
+	}
+	return len(hull), total
+}
+
+// TestVoronoiHullAgainstOracle: the benchmark's divide-and-conquer
+// gift-wrapping merge must produce the true convex hull of its points.
+func TestVoronoiHullAgainstOracle(t *testing.T) {
+	bm := Voronoi()
+	for _, n := range []int{16, 64, 128} {
+		src := bm.Source(Params{Size: n})
+		res, err := core.CompileAndRun("voronoi.ec", src, true, 4)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		var pts [][2]float64
+		replayPoints(n, 1234, &pts)
+		if len(pts) != n {
+			t.Fatalf("replay produced %d points, want %d", len(pts), n)
+		}
+		wantCount, wantLen := goHull(pts)
+
+		lines := strings.Split(strings.TrimSpace(res.Output), "\n")
+		if len(lines) != 2 {
+			t.Fatalf("n=%d: unexpected output %q", n, res.Output)
+		}
+		var gotCount int
+		var gotLen float64
+		fmt.Sscanf(lines[0], "%d", &gotCount)
+		fmt.Sscanf(lines[1], "%f", &gotLen)
+		if gotCount != wantCount {
+			t.Errorf("n=%d: hull vertex count %d != oracle %d", n, gotCount, wantCount)
+		}
+		if math.Abs(gotLen-wantLen) > 1e-3 {
+			t.Errorf("n=%d: hull length %.6f != oracle %.6f", n, gotLen, wantLen)
+		}
+	}
+}

@@ -1,0 +1,265 @@
+package olden
+
+// Power implements the Olden power benchmark: the power-system pricing
+// problem over a multi-level distribution tree (root -> laterals ->
+// branches -> leaves). Each pricing iteration propagates prices down and
+// demands up. Per-node computations read several double fields of a record,
+// compute, and write results back — the access pattern the paper credits
+// for power's blocking benefit (compare Figure 11(a)).
+func Power() *Benchmark {
+	return &Benchmark{
+		Name:        "power",
+		Description: "Power system optimization problem based on a variable k-nary tree",
+		PaperSize:   "10,000 leaves",
+		DefaultParams: Params{
+			Size:  16, // laterals; 5 branches x 10 leaves each => 800 leaves
+			Iters: 4,
+		},
+		PaperImprovement16: 7.07,
+		Source:             powerSource,
+	}
+}
+
+func powerSource(p Params) string {
+	return expand(powerTemplate, p)
+}
+
+const powerTemplate = lcg + `
+struct Lateral {
+	double r;
+	double x;
+	double alpha;
+	double beta;
+	double p;
+	double q;
+	struct Lateral *next;
+	struct Branch *branches;
+};
+
+struct Branch {
+	double r;
+	double x;
+	double alpha;
+	double beta;
+	double p;
+	double q;
+	struct Branch *next;
+	struct Leaf *leaves;
+};
+
+struct Leaf {
+	double pi_r;
+	double pi_i;
+	double p;
+	double q;
+	struct Leaf *next;
+};
+
+struct Root {
+	double theta_r;
+	double theta_i;
+	double p;
+	double q;
+	struct Lateral *first;
+};
+
+int NLAT() { return @SIZE@; }
+int NBRANCH() { return 5; }
+int NLEAF() { return 10; }
+int ITERS() { return @ITERS@; }
+
+Leaf *build_leaves(int seed) {
+	Leaf *head;
+	Leaf *l;
+	int i;
+	int s;
+	head = NULL;
+	s = seed;
+	for (i = 0; i < NLEAF(); i++) {
+		s = nextrand(s);
+		l = alloc(Leaf);
+		l->pi_r = 1.0 + dbl(s % 100) / 25.0;
+		s = nextrand(s);
+		l->pi_i = 1.0 + dbl(s % 100) / 25.0;
+		l->p = 0.0;
+		l->q = 0.0;
+		l->next = head;
+		head = l;
+	}
+	return head;
+}
+
+Branch *build_branches(int seed) {
+	Branch *head;
+	Branch *b;
+	int i;
+	int s;
+	head = NULL;
+	s = seed;
+	for (i = 0; i < NBRANCH(); i++) {
+		s = nextrand(s);
+		b = alloc(Branch);
+		b->r = 0.0001 * dbl(1 + s % 9);
+		s = nextrand(s);
+		b->x = 0.0002 * dbl(1 + s % 9);
+		b->alpha = 0.9;
+		b->beta = 0.1;
+		b->p = 0.0;
+		b->q = 0.0;
+		b->leaves = build_leaves(s + i);
+		b->next = head;
+		head = b;
+	}
+	return head;
+}
+
+// make_lateral runs at the lateral's owner node (a placed call), so the
+// whole sub-structure is built with local allocations and local writes —
+// the data-distribution strategy the paper's benchmarks use.
+Lateral *make_lateral(int i, Lateral *head) {
+	Lateral *lat;
+	lat = alloc(Lateral);
+	lat->r = 1.0 / dbl(300 + i);
+	lat->x = 0.000001;
+	lat->alpha = 0.8;
+	lat->beta = 0.2;
+	lat->p = 0.0;
+	lat->q = 0.0;
+	lat->branches = build_branches(7 * i + 3);
+	lat->next = head;
+	return lat;
+}
+
+Root *build_tree() {
+	Root *root;
+	Lateral *head;
+	int i;
+	int node;
+	root = alloc(Root);
+	root->theta_r = 0.8;
+	root->theta_i = 0.16;
+	head = NULL;
+	for (i = 0; i < NLAT(); i++) {
+		node = i % num_nodes();
+		head = make_lateral(i, head)@ON(node);
+	}
+	root->first = head;
+	return root;
+}
+
+// optimize_node performs the per-node numerical work of the power-system
+// solver: a short Newton-style iteration (the real Olden power spends most
+// of its time in exactly this kind of per-node computation, which is why
+// the paper calls it computation-intensive).
+double optimize_node(double pi, double theta) {
+	double g;
+	double v;
+	int it;
+	v = pi / theta;
+	for (it = 0; it < 8; it++) {
+		g = v * v * theta - pi;
+		v = v - g / (2.0 * v * theta + 0.000001);
+	}
+	return v;
+}
+
+// compute_leaf: reads the leaf's demand coefficients and stores the demand
+// under the current prices. Four field accesses via one pointer: a blocking
+// candidate.
+void compute_leaf(Leaf *l, double theta_r, double theta_i) {
+	double p;
+	double q;
+	p = optimize_node(l->pi_r, theta_r);
+	q = optimize_node(l->pi_i, theta_i);
+	l->p = p;
+	l->q = q;
+}
+
+// compute_branch: aggregates leaf demands, then solves the branch equations
+// reading r/x/alpha/beta and writing p/q — the Figure 11(a) pattern.
+void compute_branch(Branch *br, double theta_r, double theta_i) {
+	Leaf *l;
+	double psum;
+	double qsum;
+	double a;
+	double b;
+	double vr;
+	double vi;
+	psum = 0.0;
+	qsum = 0.0;
+	l = br->leaves;
+	while (l != NULL) {
+		compute_leaf(l, theta_r, theta_i);
+		psum = psum + l->p;
+		qsum = qsum + l->q;
+		l = l->next;
+	}
+	a = br->alpha;
+	b = br->beta;
+	vr = br->r;
+	vi = br->x;
+	psum = psum + vr * (psum * psum + qsum * qsum);
+	qsum = qsum + vi * (psum * psum + qsum * qsum);
+	br->p = a * psum + 0.000001;
+	br->q = b * qsum + 0.000001;
+}
+
+double compute_lateral(Lateral local *lat, double theta_r, double theta_i) {
+	Branch *br;
+	double psum;
+	double qsum;
+	double lr;
+	double lx;
+	psum = 0.0;
+	qsum = 0.0;
+	br = lat->branches;
+	while (br != NULL) {
+		compute_branch(br, theta_r, theta_i);
+		psum = psum + br->p;
+		qsum = qsum + br->q;
+		br = br->next;
+	}
+	lr = lat->r;
+	lx = lat->x;
+	psum = psum + lr * (psum * psum + qsum * qsum);
+	qsum = qsum + lx * (psum * psum + qsum * qsum);
+	lat->p = psum;
+	lat->q = qsum;
+	return psum;
+}
+
+int main() {
+	Root *root;
+	Lateral *lat;
+	int it;
+	double ptotal;
+	double qtotal;
+	double tr;
+	double ti;
+	double d;
+	root = build_tree();
+	for (it = 0; it < ITERS(); it++) {
+		tr = root->theta_r;
+		ti = root->theta_i;
+		forall (lat = root->first; lat != NULL; lat = lat->next) {
+			d = compute_lateral(lat, tr, ti)@OWNER_OF(lat);
+		}
+		ptotal = 0.0;
+		qtotal = 0.0;
+		lat = root->first;
+		while (lat != NULL) {
+			ptotal = ptotal + lat->p;
+			qtotal = qtotal + lat->q;
+			lat = lat->next;
+		}
+		root->p = ptotal;
+		root->q = qtotal;
+		root->theta_r = 0.7 + 0.3 / (1.0 + ptotal / dbl(NLAT() * 60));
+		root->theta_i = 0.14 + 0.06 / (1.0 + qtotal / dbl(NLAT() * 60));
+	}
+	print_double(root->p);
+	print_double(root->q);
+	print_double(root->theta_r);
+	return trunc(root->p);
+}
+`

@@ -1,0 +1,120 @@
+package placement_test
+
+import (
+	"testing"
+
+	"repro/internal/simple"
+)
+
+// TestSwitchFrequencyDivision: tuples leaving a switch carry frequency 1/k.
+func TestSwitchFrequencyDivision(t *testing.T) {
+	src := `
+struct P { int a; int b; };
+int g(P *p, int k) {
+	int x;
+	x = 0;
+	switch (k) {
+	case 0: x = p->a;
+	case 1: x = p->a;
+	case 2: x = p->a;
+	default: x = p->b;
+	}
+	return x;
+}
+int main() { return 0; }
+`
+	f, res := analyze(t, src, "g")
+	first := findBasic(f, "x = 0")
+	set := res.Reads[simple.Stmt(first)]
+	// (p->a) appears in 3 of 4 alternatives: 3 * 1/4 = 0.75.
+	if !setHas(set, "p", "a", 0.75) {
+		t.Errorf("(p->a) above the switch should have frequency 0.75: %s", set)
+	}
+	if !setHas(set, "p", "b", 0.25) {
+		t.Errorf("(p->b) above the switch should have frequency 0.25: %s", set)
+	}
+}
+
+// TestDoLoopReadsHoist: do-loops use the same conservative hoisting rule as
+// while loops (frequency x10, kills apply).
+func TestDoLoopReadsHoist(t *testing.T) {
+	src := `
+struct P { int a; struct P *next; };
+int g(P *list, P *t) {
+	int s;
+	s = 0;
+	do {
+		s = s + t->a;
+		list = list->next;
+	} while (list != NULL);
+	return s;
+}
+int main() { return 0; }
+`
+	f, res := analyze(t, src, "g")
+	first := findBasic(f, "s = 0")
+	set := res.Reads[simple.Stmt(first)]
+	if !setHas(set, "t", "a", 10) {
+		t.Errorf("(t->a) should hoist out of the do loop with frequency 10: %s", set)
+	}
+	if setHas(set, "list", "next", -1) {
+		t.Errorf("(list->next) must die at the loop (list reassigned): %s", set)
+	}
+}
+
+// TestWritesNeverLeaveLoops: the paper's executesOnce condition means no
+// write moves below a general loop.
+func TestWritesNeverLeaveLoops(t *testing.T) {
+	src := `
+struct P { int a; };
+void g(P *p, int n) {
+	int i;
+	int y;
+	i = 0;
+	while (i < n) {
+		p->a = i;
+		i = i + 1;
+	}
+	y = n + 1;
+}
+int main() { return 0; }
+`
+	f, res := analyze(t, src, "g")
+	last := findBasic(f, "y = n + 1")
+	set := res.Writes[simple.Stmt(last)]
+	if setHas(set, "p", "a", -1) {
+		t.Errorf("writes must not move below a loop: %s", set)
+	}
+}
+
+// TestParArmTuplesHoist: reads from non-interfering parallel arms may move
+// above the parallel sequence.
+func TestParArmTuplesHoist(t *testing.T) {
+	src := `
+struct P { int a; int b; };
+int g(P *p, P *q) {
+	int x;
+	int y;
+	int z;
+	z = 0;
+	{^
+		x = p->a;
+		y = q->b;
+	^}
+	return x + y + z;
+}
+int main() {
+	P *a;
+	P *b;
+	a = alloc(P);
+	b = alloc(P);
+	return g(a, b);
+}
+`
+	f, res := analyze(t, src, "g")
+	first := findBasic(f, "z = 0")
+	set := res.Reads[simple.Stmt(first)]
+	if !setHas(set, "p", "a", 1) || !setHas(set, "q", "b", 1) {
+		t.Errorf("arm reads should hoist above the parallel sequence: %s", set)
+	}
+}

@@ -1,0 +1,185 @@
+// Package placement implements the paper's possible-placement analysis
+// (§4.1): a structured, single-traversal flow analysis over SIMPLE form that
+// computes, for every statement S, the set RemoteReads(S) of remote read
+// tuples that may safely be placed just before S (propagated backwards,
+// optimistically) and the set RemoteWrites(S) of remote write tuples that
+// may safely be placed just after S (propagated forwards, conservatively).
+package placement
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/simple"
+)
+
+// Tuple is a remote communication expression (p, f, n, Dlist): pointer
+// variable, field, estimated frequency, and the set of basic-statement
+// labels whose accesses the tuple covers.
+type Tuple struct {
+	P     *simple.Var
+	Field string // display name of the field ("" for *p)
+	Off   int    // word offset; (P, Off) is the tuple's identity
+	Freq  float64
+	D     map[int]bool // basic statement labels
+	// CrossedW records, for read tuples, the labels of *direct* remote
+	// writes to the same location the tuple floated across (direct writes
+	// do not kill read tuples, per the paper, because the transformation
+	// redirects every access to one local copy — the selection phase uses
+	// this set to know exactly which stores must update that copy).
+	CrossedW map[int]bool
+	// CrossedR is the symmetric set for write tuples: direct reads floated
+	// across while moving the write downwards.
+	CrossedR map[int]bool
+}
+
+// Key identifies the location a tuple refers to.
+type Key struct {
+	P   *simple.Var
+	Off int
+}
+
+// Key returns the tuple's identity.
+func (t *Tuple) Key() Key { return Key{P: t.P, Off: t.Off} }
+
+// clone returns a deep copy (Dlists are mutable sets).
+func (t *Tuple) clone() *Tuple {
+	cp := func(m map[int]bool) map[int]bool {
+		if m == nil {
+			return nil
+		}
+		out := make(map[int]bool, len(m))
+		for k := range m {
+			out[k] = true
+		}
+		return out
+	}
+	return &Tuple{P: t.P, Field: t.Field, Off: t.Off, Freq: t.Freq,
+		D: cp(t.D), CrossedW: cp(t.CrossedW), CrossedR: cp(t.CrossedR)}
+}
+
+// Labels returns the sorted Dlist.
+func (t *Tuple) Labels() []int {
+	out := make([]int, 0, len(t.D))
+	for l := range t.D {
+		out = append(out, l)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// String renders the tuple in the paper's (p->f, n, {S...}) notation.
+func (t *Tuple) String() string {
+	labels := t.Labels()
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		parts[i] = fmt.Sprintf("S%d", l)
+	}
+	field := t.Field
+	if field == "" {
+		field = "*"
+	}
+	n := strconv(t.Freq)
+	return fmt.Sprintf("(%s->%s, %s, {%s})", t.P.Name, field, n, strings.Join(parts, ","))
+}
+
+func strconv(f float64) string {
+	if f == float64(int64(f)) {
+		return fmt.Sprintf("%d", int64(f))
+	}
+	return fmt.Sprintf("%.2f", f)
+}
+
+// Set is a set of tuples keyed by location. Merging tuples for the same
+// location sums frequencies and unions Dlists, as the paper specifies for
+// moving tuples out of conditionals.
+type Set struct {
+	m map[Key]*Tuple
+}
+
+// NewSet returns an empty tuple set.
+func NewSet() *Set { return &Set{m: make(map[Key]*Tuple)} }
+
+// Len reports the number of tuples.
+func (s *Set) Len() int { return len(s.m) }
+
+// Get returns the tuple for a key, or nil.
+func (s *Set) Get(k Key) *Tuple { return s.m[k] }
+
+// Add merges a tuple into the set (cloning it, so callers keep ownership).
+func (s *Set) Add(t *Tuple) {
+	if have, ok := s.m[t.Key()]; ok {
+		have.Freq += t.Freq
+		for l := range t.D {
+			have.D[l] = true
+		}
+		for l := range t.CrossedW {
+			if have.CrossedW == nil {
+				have.CrossedW = make(map[int]bool)
+			}
+			have.CrossedW[l] = true
+		}
+		for l := range t.CrossedR {
+			if have.CrossedR == nil {
+				have.CrossedR = make(map[int]bool)
+			}
+			have.CrossedR[l] = true
+		}
+		return
+	}
+	s.m[t.Key()] = t.clone()
+}
+
+// AddAll merges every tuple of o.
+func (s *Set) AddAll(o *Set) {
+	for _, t := range o.m {
+		s.Add(t)
+	}
+}
+
+// Remove deletes the tuple for a key.
+func (s *Set) Remove(k Key) { delete(s.m, k) }
+
+// Clone returns a deep copy.
+func (s *Set) Clone() *Set {
+	out := NewSet()
+	for _, t := range s.m {
+		out.m[t.Key()] = t.clone()
+	}
+	return out
+}
+
+// Tuples returns the tuples sorted by (pointer name, offset) for stable
+// iteration and printing.
+func (s *Set) Tuples() []*Tuple {
+	out := make([]*Tuple, 0, len(s.m))
+	for _, t := range s.m {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].P.Name != out[j].P.Name {
+			return out[i].P.Name < out[j].P.Name
+		}
+		return out[i].Off < out[j].Off
+	})
+	return out
+}
+
+// String renders the set in the paper's brace notation.
+func (s *Set) String() string {
+	ts := s.Tuples()
+	parts := make([]string, len(ts))
+	for i, t := range ts {
+		parts[i] = t.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// scale multiplies all frequencies (loop exit: x10; conditional exit: /2 or
+// /k), in place.
+func (s *Set) scale(factor float64) {
+	for _, t := range s.m {
+		t.Freq *= factor
+	}
+}

@@ -1,0 +1,110 @@
+package placement
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simple"
+)
+
+func tup(p *simple.Var, off int, freq float64, labels ...int) *Tuple {
+	d := make(map[int]bool)
+	for _, l := range labels {
+		d[l] = true
+	}
+	return &Tuple{P: p, Field: "f", Off: off, Freq: freq, D: d}
+}
+
+func TestSetMergeSumsFrequency(t *testing.T) {
+	p := &simple.Var{Name: "p"}
+	s := NewSet()
+	s.Add(tup(p, 0, 0.5, 1))
+	s.Add(tup(p, 0, 0.5, 2))
+	ts := s.Tuples()
+	if len(ts) != 1 {
+		t.Fatalf("tuples for the same location must merge, got %d", len(ts))
+	}
+	if ts[0].Freq != 1.0 {
+		t.Errorf("frequencies should sum: got %v", ts[0].Freq)
+	}
+	if len(ts[0].D) != 2 {
+		t.Errorf("Dlists should union: got %v", ts[0].Labels())
+	}
+}
+
+func TestSetDistinctOffsetsStaySeparate(t *testing.T) {
+	p := &simple.Var{Name: "p"}
+	s := NewSet()
+	s.Add(tup(p, 0, 1, 1))
+	s.Add(tup(p, 1, 1, 2))
+	if s.Len() != 2 {
+		t.Errorf("different offsets are different locations: got %d", s.Len())
+	}
+}
+
+func TestSetAddIsIdempotentOnLabels(t *testing.T) {
+	p := &simple.Var{Name: "p"}
+	s := NewSet()
+	s.Add(tup(p, 0, 1, 3))
+	s.Add(tup(p, 0, 1, 3))
+	ts := s.Tuples()
+	if len(ts[0].D) != 1 {
+		t.Errorf("label union must be idempotent, got %v", ts[0].Labels())
+	}
+}
+
+func TestSetCloneIsDeep(t *testing.T) {
+	p := &simple.Var{Name: "p"}
+	s := NewSet()
+	s.Add(tup(p, 0, 1, 1))
+	c := s.Clone()
+	c.Add(tup(p, 0, 2, 9))
+	if s.Tuples()[0].Freq != 1 || len(s.Tuples()[0].D) != 1 {
+		t.Error("mutating the clone changed the original")
+	}
+}
+
+// TestSetMergeLaws: merging is commutative and associative on frequencies
+// and label sets (property-based).
+func TestSetMergeLaws(t *testing.T) {
+	p := &simple.Var{Name: "p"}
+	type spec struct {
+		Off   uint8
+		Freq  uint8
+		Label uint8
+	}
+	build := func(specs []spec) *Set {
+		s := NewSet()
+		for _, sp := range specs {
+			s.Add(tup(p, int(sp.Off%4), float64(sp.Freq%8), int(sp.Label%16)))
+		}
+		return s
+	}
+	f := func(a, b []spec) bool {
+		ab := build(append(append([]spec{}, a...), b...))
+		ba := build(append(append([]spec{}, b...), a...))
+		return ab.String() == ba.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTupleStringFormat(t *testing.T) {
+	p := &simple.Var{Name: "p"}
+	tu := tup(p, 0, 11, 4, 11)
+	want := "(p->f, 11, {S4,S11})"
+	if tu.String() != want {
+		t.Errorf("got %q want %q", tu.String(), want)
+	}
+}
+
+func TestScale(t *testing.T) {
+	p := &simple.Var{Name: "p"}
+	s := NewSet()
+	s.Add(tup(p, 0, 1, 1))
+	s.scale(10)
+	if s.Tuples()[0].Freq != 10 {
+		t.Errorf("scale x10 failed: %v", s.Tuples()[0].Freq)
+	}
+}

@@ -1,0 +1,420 @@
+// Package pointsto implements a whole-program, flow-insensitive,
+// field-sensitive points-to analysis over SIMPLE form. It stands in for the
+// McCAT stack points-to analysis (Emami et al.) and heap connection analysis
+// (Ghiya & Hendren) that the paper's placement analysis consumes.
+//
+// Abstract locations are (base, word offset) pairs, where a base is either a
+// variable (parameter, local, or global — including struct-valued storage)
+// or a heap allocation site. Field sensitivity is by word offset, which
+// matches the word-granular layout used throughout this reproduction and
+// lets interior pointers (&p->f) be modeled exactly.
+//
+// The analysis is Andersen-style (inclusion constraints) and
+// context-insensitive across calls, solved to a fixpoint by iteration. The
+// consumer-facing product is:
+//
+//   - Pts(v): the set of locations a pointer variable may target;
+//   - Alias(p, q): whether two pointer variables may reference overlapping
+//     storage (the anchor-handle question from connection analysis: an
+//     access via q can interfere with an access via p);
+//   - AddressTaken(v): whether a variable's frame slot can be reached
+//     through some pointer.
+package pointsto
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/simple"
+)
+
+// AllocSite names a heap allocation site (one KAlloc basic statement).
+type AllocSite struct {
+	Fn     *simple.Func
+	B      *simple.Basic
+	Struct string
+	Size   int
+}
+
+func (a *AllocSite) String() string {
+	return fmt.Sprintf("heap:%s@%s.S%d", a.Struct, a.Fn.Name, a.B.Label)
+}
+
+// Base is the root of an abstract location: a *simple.Var or an *AllocSite.
+type Base any
+
+// Loc is an abstract memory location: a word within a base object.
+type Loc struct {
+	Base Base
+	Off  int
+}
+
+// String renders the location for diagnostics.
+func (l Loc) String() string {
+	switch b := l.Base.(type) {
+	case *simple.Var:
+		if l.Off == 0 {
+			return b.Name
+		}
+		return fmt.Sprintf("%s+%d", b.Name, l.Off)
+	case *AllocSite:
+		return fmt.Sprintf("%s+%d", b, l.Off)
+	}
+	return "?loc"
+}
+
+// LocSet is a set of abstract locations.
+type LocSet map[Loc]bool
+
+// Add inserts a location, reporting whether it was new.
+func (s LocSet) Add(l Loc) bool {
+	if s[l] {
+		return false
+	}
+	s[l] = true
+	return true
+}
+
+// AddAll inserts all of o, reporting whether anything was new.
+func (s LocSet) AddAll(o LocSet) bool {
+	changed := false
+	for l := range o {
+		if s.Add(l) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// String renders the set sorted, for stable test output.
+func (s LocSet) String() string {
+	items := make([]string, 0, len(s))
+	for l := range s {
+		items = append(items, l.String())
+	}
+	sort.Strings(items)
+	return "{" + strings.Join(items, ", ") + "}"
+}
+
+// Result is the solved points-to information for a program.
+type Result struct {
+	Prog *simple.Program
+
+	// VarPts maps each pointer variable to the locations it may target.
+	VarPts map[*simple.Var]LocSet
+	// MemPts maps each abstract location (a pointer-holding word) to the
+	// locations the stored pointer may target.
+	MemPts map[Loc]LocSet
+	// Sites lists all allocation sites.
+	Sites []*AllocSite
+	// addrTaken records variables whose storage can be reached via a
+	// pointer.
+	addrTaken map[*simple.Var]bool
+	// Returns maps each function to the points-to set of its return values.
+	Returns map[*simple.Func]LocSet
+}
+
+// Pts returns the points-to set of a variable (nil-safe, read-only).
+func (r *Result) Pts(v *simple.Var) LocSet { return r.VarPts[v] }
+
+// AddressTaken reports whether v's own storage may be reached via pointers.
+func (r *Result) AddressTaken(v *simple.Var) bool { return r.addrTaken[v] }
+
+// MayAlias reports whether accesses via pointers p (at offset poff) and q
+// (at offset qoff) can touch the same word.
+func (r *Result) MayAlias(p *simple.Var, poff int, q *simple.Var, qoff int) bool {
+	ps, qs := r.VarPts[p], r.VarPts[q]
+	for pl := range ps {
+		target := Loc{Base: pl.Base, Off: pl.Off + poff}
+		for ql := range qs {
+			if ql.Base == target.Base && ql.Off+qoff == target.Off {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Targets returns the set of words reached by dereferencing p at off.
+func (r *Result) Targets(p *simple.Var, off int) LocSet {
+	out := make(LocSet)
+	for pl := range r.VarPts[p] {
+		out.Add(Loc{Base: pl.Base, Off: pl.Off + off})
+	}
+	return out
+}
+
+// TargetRange returns the words reached by a block access of size words
+// through p starting at off.
+func (r *Result) TargetRange(p *simple.Var, off, size int) LocSet {
+	out := make(LocSet)
+	for pl := range r.VarPts[p] {
+		for i := 0; i < size; i++ {
+			out.Add(Loc{Base: pl.Base, Off: pl.Off + off + i})
+		}
+	}
+	return out
+}
+
+// Analyze runs the analysis over a SIMPLE program.
+func Analyze(prog *simple.Program) *Result {
+	r := &Result{
+		Prog:      prog,
+		VarPts:    make(map[*simple.Var]LocSet),
+		MemPts:    make(map[Loc]LocSet),
+		addrTaken: make(map[*simple.Var]bool),
+		Returns:   make(map[*simple.Func]LocSet),
+	}
+	a := &analyzer{r: r, prog: prog,
+		funcs: make(map[string]*simple.Func), sites: make(map[*simple.Basic]*AllocSite)}
+	for _, f := range prog.Funcs {
+		a.funcs[f.Name] = f
+		r.Returns[f] = make(LocSet)
+	}
+	// Iterate to fixpoint: each pass re-walks every basic statement and
+	// applies inclusion constraints.
+	for pass := 0; ; pass++ {
+		a.changed = false
+		for _, f := range prog.Funcs {
+			a.fn = f
+			simple.WalkBasics(f.Body, a.basic)
+		}
+		if !a.changed {
+			break
+		}
+		if pass > 200 {
+			// Termination is guaranteed (finite lattice, monotone), but
+			// guard against bugs.
+			panic("pointsto: fixpoint did not converge")
+		}
+	}
+	return r
+}
+
+type analyzer struct {
+	r       *Result
+	prog    *simple.Program
+	funcs   map[string]*simple.Func
+	sites   map[*simple.Basic]*AllocSite
+	fn      *simple.Func
+	changed bool
+}
+
+func (a *analyzer) varSet(v *simple.Var) LocSet {
+	s, ok := a.r.VarPts[v]
+	if !ok {
+		s = make(LocSet)
+		a.r.VarPts[v] = s
+	}
+	return s
+}
+
+func (a *analyzer) memSet(l Loc) LocSet {
+	s, ok := a.r.MemPts[l]
+	if !ok {
+		s = make(LocSet)
+		a.r.MemPts[l] = s
+	}
+	return s
+}
+
+func (a *analyzer) addVar(v *simple.Var, l Loc) {
+	if a.varSet(v).Add(l) {
+		a.changed = true
+	}
+}
+
+func (a *analyzer) flowVarVar(dst, src *simple.Var) {
+	if a.varSet(dst).AddAll(a.varSet(src)) {
+		a.changed = true
+	}
+}
+
+func (a *analyzer) flowMemVar(dst *simple.Var, src Loc) {
+	if a.varSet(dst).AddAll(a.memSet(src)) {
+		a.changed = true
+	}
+}
+
+func (a *analyzer) flowVarMem(dst Loc, src *simple.Var) {
+	if a.memSet(dst).AddAll(a.varSet(src)) {
+		a.changed = true
+	}
+}
+
+func (a *analyzer) flowMemMem(dst, src Loc) {
+	if a.memSet(dst).AddAll(a.memSet(src)) {
+		a.changed = true
+	}
+}
+
+func (a *analyzer) atomFlow(dst *simple.Var, at simple.Atom) {
+	if v := simple.AtomVar(at); v != nil && v.IsPtr() {
+		a.flowVarVar(dst, v)
+	}
+}
+
+func (a *analyzer) basic(b *simple.Basic) {
+	switch b.Kind {
+	case simple.KAssign:
+		a.assign(b)
+	case simple.KAlloc:
+		site, ok := a.sites[b]
+		if !ok {
+			site = &AllocSite{Fn: a.fn, B: b, Struct: b.StructName, Size: b.AllocSize}
+			a.sites[b] = site
+			a.r.Sites = append(a.r.Sites, site)
+		}
+		if b.Dst != nil {
+			a.addVar(b.Dst, Loc{Base: site, Off: 0})
+		}
+	case simple.KCall:
+		callee := a.funcs[b.Fun]
+		if callee == nil {
+			return
+		}
+		for i, arg := range b.Args {
+			if i >= len(callee.Params) {
+				break
+			}
+			pv := callee.Params[i]
+			if pv.IsPtr() {
+				a.atomFlow(pv, arg)
+			}
+		}
+		if b.Dst != nil && b.Dst.IsPtr() {
+			if a.varSet(b.Dst).AddAll(a.r.Returns[callee]) {
+				a.changed = true
+			}
+		}
+	case simple.KBuiltin:
+		// Shared-variable intrinsics can move pointers: writeto(&sp, q)
+		// stores q into sp's slot, valueof(&sp) reads it back.
+		if len(b.ArgVars) == 1 {
+			sv := b.ArgVars[0]
+			a.r.addrTaken[sv] = true
+			if len(b.Args) == 1 {
+				if v := simple.AtomVar(b.Args[0]); v != nil && v.IsPtr() {
+					a.flowVarMem(Loc{Base: sv, Off: 0}, v)
+				}
+			}
+			if b.Dst != nil && b.Dst.IsPtr() {
+				a.flowMemVar(b.Dst, Loc{Base: sv, Off: 0})
+			}
+		}
+	case simple.KReturn:
+		if b.Val != nil {
+			if v := simple.AtomVar(b.Val); v != nil && v.IsPtr() {
+				if a.r.Returns[a.fn].AddAll(a.varSet(v)) {
+					a.changed = true
+				}
+			}
+		}
+	case simple.KBlkCopy:
+		a.blkCopy(b)
+	}
+}
+
+func (a *analyzer) assign(b *simple.Basic) {
+	// Destination.
+	switch lhs := b.Lhs.(type) {
+	case simple.VarLV:
+		if !lhs.V.IsPtr() {
+			return
+		}
+		switch rhs := b.Rhs.(type) {
+		case simple.AtomRV:
+			a.atomFlow(lhs.V, rhs.A)
+		case simple.LoadRV:
+			for pl := range a.varSet(rhs.P) {
+				a.flowMemVar(lhs.V, Loc{Base: pl.Base, Off: pl.Off + rhs.Off})
+			}
+		case simple.LocalLoadRV:
+			if rhs.Idx != nil {
+				// Any element of the array could be the source.
+				base := rhs.Base
+				for i := 0; i < base.Size; i++ {
+					a.flowMemVar(lhs.V, Loc{Base: base, Off: i})
+				}
+			} else {
+				a.flowMemVar(lhs.V, Loc{Base: rhs.Base, Off: rhs.Off})
+			}
+		case simple.AddrRV:
+			a.r.addrTaken[rhs.X] = true
+			a.addVar(lhs.V, Loc{Base: rhs.X, Off: rhs.Off})
+		case simple.FieldAddrRV:
+			for pl := range a.varSet(rhs.P) {
+				a.addVar(lhs.V, Loc{Base: pl.Base, Off: pl.Off + rhs.Off})
+			}
+		}
+	case simple.StoreLV:
+		// p->f = atom
+		rhs, ok := b.Rhs.(simple.AtomRV)
+		if !ok {
+			return
+		}
+		v := simple.AtomVar(rhs.A)
+		if v == nil || !v.IsPtr() {
+			return
+		}
+		for pl := range a.varSet(lhs.P) {
+			a.flowVarMem(Loc{Base: pl.Base, Off: pl.Off + lhs.Off}, v)
+		}
+	case simple.LocalStoreLV:
+		rhs, ok := b.Rhs.(simple.AtomRV)
+		if !ok {
+			return
+		}
+		v := simple.AtomVar(rhs.A)
+		if v == nil || !v.IsPtr() {
+			return
+		}
+		if lhs.Idx != nil {
+			// Conservatively: could be any element.
+			for i := 0; i < lhs.Base.Size; i += max(1, lhs.Scale) {
+				a.flowVarMem(Loc{Base: lhs.Base, Off: i + lhs.Off%max(1, lhs.Scale)}, v)
+			}
+		} else {
+			a.flowVarMem(Loc{Base: lhs.Base, Off: lhs.Off}, v)
+		}
+	}
+}
+
+func (a *analyzer) blkCopy(b *simple.Basic) {
+	// Word-by-word pointer flow between the source and destination ranges.
+	srcLocs := func(i int) []Loc {
+		if b.P != nil {
+			out := make([]Loc, 0, len(a.varSet(b.P)))
+			for pl := range a.varSet(b.P) {
+				out = append(out, Loc{Base: pl.Base, Off: pl.Off + b.Off + i})
+			}
+			return out
+		}
+		return []Loc{{Base: b.Local, Off: b.Off + i}}
+	}
+	dstLocs := func(i int) []Loc {
+		if b.P2 != nil {
+			out := make([]Loc, 0, len(a.varSet(b.P2)))
+			for pl := range a.varSet(b.P2) {
+				out = append(out, Loc{Base: pl.Base, Off: pl.Off + b.Off2 + i})
+			}
+			return out
+		}
+		return []Loc{{Base: b.Dst, Off: b.Off2 + i}}
+	}
+	for i := 0; i < b.Size; i++ {
+		for _, s := range srcLocs(i) {
+			for _, d := range dstLocs(i) {
+				a.flowMemMem(d, s)
+			}
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

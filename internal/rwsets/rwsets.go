@@ -1,0 +1,497 @@
+// Package rwsets computes per-statement read/write sets over SIMPLE form,
+// for both basic and compound statements, including interprocedural
+// summaries for calls. This reproduces the side-effect information the
+// paper's possible-placement analysis consumes: every statement is decorated
+// with the locations it reads/writes, and indirect accesses distinguish the
+// access made *directly* through a given pointer from accesses made through
+// aliases (the anchor-handle distinction of Ghiya & Hendren's connection
+// analysis).
+package rwsets
+
+import (
+	"repro/internal/pointsto"
+	"repro/internal/sema"
+	"repro/internal/simple"
+)
+
+// Via identifies how a memory word was accessed: through which pointer
+// variable and at what offset. The zero Via ("other") covers accesses whose
+// provenance is not a simple pointer+field (calls, local struct storage,
+// block copies through a different route).
+type Via struct {
+	P   *simple.Var // nil for "other"
+	Off int
+}
+
+// Other is the provenance for accesses not made via a simple pointer+field.
+var Other = Via{}
+
+// AccessMap records, for each abstract location, the set of provenances
+// through which the statement may access it.
+type AccessMap map[pointsto.Loc]map[Via]bool
+
+func (m AccessMap) add(l pointsto.Loc, v Via) bool {
+	s, ok := m[l]
+	if !ok {
+		s = make(map[Via]bool)
+		m[l] = s
+	}
+	if s[v] {
+		return false
+	}
+	s[v] = true
+	return true
+}
+
+func (m AccessMap) addAll(o AccessMap) bool {
+	changed := false
+	for l, vs := range o {
+		for v := range vs {
+			if m.add(l, v) {
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// Effects summarizes what a statement (or function) may do to memory.
+type Effects struct {
+	// VarReads/VarWrites are the scalar variables read/written directly by
+	// name (frame slots and globals).
+	VarReads  map[*simple.Var]bool
+	VarWrites map[*simple.Var]bool
+	// Reads/Writes are the abstract memory words possibly read/written,
+	// with provenance.
+	Reads  AccessMap
+	Writes AccessMap
+	// HasCall reports whether the statement may invoke a user function.
+	HasCall bool
+}
+
+func newEffects() *Effects {
+	return &Effects{
+		VarReads:  make(map[*simple.Var]bool),
+		VarWrites: make(map[*simple.Var]bool),
+		Reads:     make(AccessMap),
+		Writes:    make(AccessMap),
+	}
+}
+
+func (e *Effects) mergeFrom(o *Effects) bool {
+	changed := false
+	for v := range o.VarReads {
+		if !e.VarReads[v] {
+			e.VarReads[v] = true
+			changed = true
+		}
+	}
+	for v := range o.VarWrites {
+		if !e.VarWrites[v] {
+			e.VarWrites[v] = true
+			changed = true
+		}
+	}
+	if e.Reads.addAll(o.Reads) {
+		changed = true
+	}
+	if e.Writes.addAll(o.Writes) {
+		changed = true
+	}
+	if o.HasCall && !e.HasCall {
+		e.HasCall = true
+		changed = true
+	}
+	return changed
+}
+
+// Result holds the computed read/write sets for a program.
+type Result struct {
+	PT   *pointsto.Result
+	prog *simple.Program
+	// Stmt maps every statement (basic and compound) to its effects.
+	Stmt map[simple.Stmt]*Effects
+	// Summary maps each function to its transitive effects (heap and
+	// global; callee-local frame effects are excluded except where
+	// reachable through pointers).
+	Summary map[*simple.Func]*Effects
+}
+
+// Analyze computes read/write sets given points-to results.
+func Analyze(prog *simple.Program, pt *pointsto.Result) *Result {
+	r := &Result{
+		PT:      pt,
+		prog:    prog,
+		Stmt:    make(map[simple.Stmt]*Effects),
+		Summary: make(map[*simple.Func]*Effects),
+	}
+	for _, f := range prog.Funcs {
+		r.Summary[f] = newEffects()
+	}
+	// Fixpoint over function summaries (call graph cycles converge).
+	for {
+		changed := false
+		for _, f := range prog.Funcs {
+			eff := r.computeStmt(f.Body, f, true)
+			summ := summarize(eff, f)
+			if r.Summary[f].mergeFrom(summ) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// Final pass to populate r.Stmt with converged summaries.
+	for _, f := range prog.Funcs {
+		r.computeStmt(f.Body, f, false)
+	}
+	return r
+}
+
+// summarize projects a function body's effects into a caller-visible
+// summary: frame variables of the callee are dropped (their lifetimes end),
+// but heap locations, globals, and any variable whose address escapes are
+// kept.
+func summarize(eff *Effects, f *simple.Func) *Effects {
+	out := newEffects()
+	out.HasCall = true
+	isOwnFrame := func(b pointsto.Base) bool {
+		v, ok := b.(*simple.Var)
+		if !ok {
+			return false
+		}
+		if v.Kind == simple.VarGlobal {
+			return false
+		}
+		// A frame variable of f itself: accesses die with the frame.
+		// (A caller variable reached through a pointer parameter has a
+		// different *Var and is kept.)
+		for _, p := range f.Params {
+			if p == v {
+				return true
+			}
+		}
+		for _, l := range f.Locals {
+			if l == v {
+				return true
+			}
+		}
+		return false
+	}
+	for v := range eff.VarReads {
+		if v.Kind == simple.VarGlobal {
+			out.VarReads[v] = true
+		}
+	}
+	for v := range eff.VarWrites {
+		if v.Kind == simple.VarGlobal {
+			out.VarWrites[v] = true
+		}
+	}
+	for l, vs := range eff.Reads {
+		if isOwnFrame(l.Base) {
+			continue
+		}
+		_ = vs
+		// Provenance does not survive the call boundary: the caller sees
+		// the access as "via other" (an alias it cannot name).
+		out.Reads.add(l, Other)
+	}
+	for l := range eff.Writes {
+		if isOwnFrame(l.Base) {
+			continue
+		}
+		out.Writes.add(l, Other)
+	}
+	return out
+}
+
+// computeStmt computes (and records, when record is false... always records)
+// effects for s. When summariesOnly is true it is being used inside the
+// fixpoint; the returned value matters but intermediate Stmt entries are
+// still updated (cheap and idempotent).
+func (r *Result) computeStmt(s simple.Stmt, f *simple.Func, summariesOnly bool) *Effects {
+	eff := newEffects()
+	switch st := s.(type) {
+	case *simple.Basic:
+		r.basic(eff, st, f)
+	default:
+		for _, seq := range simple.Subseqs(st) {
+			// Record effects for the subsequence itself too: parallel-arm
+			// interference checks query sibling sequences directly.
+			seqEff := newEffects()
+			for _, c := range seq.Stmts {
+				seqEff.mergeFrom(r.computeStmt(c, f, summariesOnly))
+			}
+			r.Stmt[seq] = seqEff
+			eff.mergeFrom(seqEff)
+		}
+		// Loop/forall conditions read their atoms.
+		switch st := s.(type) {
+		case *simple.If:
+			r.condReads(eff, st.Cond)
+		case *simple.While:
+			r.condReads(eff, st.Cond)
+		case *simple.Do:
+			r.condReads(eff, st.Cond)
+		case *simple.Forall:
+			r.condReads(eff, st.Cond)
+		case *simple.Switch:
+			r.atomRead(eff, st.Tag)
+		}
+	}
+	r.Stmt[s] = eff
+	return eff
+}
+
+func (r *Result) condReads(eff *Effects, c simple.Cond) {
+	for _, a := range c.Atoms() {
+		r.atomRead(eff, a)
+	}
+}
+
+func (r *Result) atomRead(eff *Effects, a simple.Atom) {
+	if v := simple.AtomVar(a); v != nil {
+		eff.VarReads[v] = true
+	}
+}
+
+func (r *Result) basic(eff *Effects, b *simple.Basic, f *simple.Func) {
+	switch b.Kind {
+	case simple.KAssign:
+		r.rvalue(eff, b.Rhs)
+		r.lvalue(eff, b.Lhs)
+	case simple.KCall:
+		for _, a := range b.Args {
+			r.atomRead(eff, a)
+		}
+		if b.Place != nil && b.Place.Arg != nil {
+			r.atomRead(eff, b.Place.Arg)
+		}
+		if b.Dst != nil {
+			eff.VarWrites[b.Dst] = true
+		}
+		eff.HasCall = true
+		if callee := r.prog.FuncByName(b.Fun); callee != nil {
+			eff.mergeFrom(r.Summary[callee])
+		}
+	case simple.KBuiltin:
+		for _, a := range b.Args {
+			r.atomRead(eff, a)
+		}
+		if b.Dst != nil {
+			eff.VarWrites[b.Dst] = true
+		}
+		for _, sv := range b.ArgVars {
+			switch sema.Builtin(b.BFun) {
+			case sema.BWriteTo, sema.BAddTo:
+				eff.Writes.add(pointsto.Loc{Base: sv, Off: 0}, Other)
+				if sema.Builtin(b.BFun) == sema.BAddTo {
+					eff.Reads.add(pointsto.Loc{Base: sv, Off: 0}, Other)
+				}
+			case sema.BValueOf:
+				eff.Reads.add(pointsto.Loc{Base: sv, Off: 0}, Other)
+			}
+		}
+	case simple.KAlloc:
+		if b.Node != nil {
+			r.atomRead(eff, b.Node)
+		}
+		if b.Dst != nil {
+			eff.VarWrites[b.Dst] = true
+		}
+	case simple.KReturn:
+		if b.Val != nil {
+			r.atomRead(eff, b.Val)
+		}
+	case simple.KBlkCopy:
+		// Source range.
+		if b.P != nil {
+			eff.VarReads[b.P] = true
+			// Block copies are never redirected to a shadow copy by the
+			// selection phase, so their accesses count as aliased ("other")
+			// accesses: tuples must not float across an overlapping one.
+			for i := 0; i < b.Size; i++ {
+				for pl := range r.PT.Pts(b.P) {
+					eff.Reads.add(pointsto.Loc{Base: pl.Base, Off: pl.Off + b.Off + i}, Other)
+				}
+			}
+		} else if b.Local != nil {
+			for i := 0; i < b.Size; i++ {
+				eff.Reads.add(pointsto.Loc{Base: b.Local, Off: b.Off + i}, Other)
+			}
+		}
+		// Destination range.
+		if b.P2 != nil {
+			eff.VarReads[b.P2] = true
+			for i := 0; i < b.Size; i++ {
+				for pl := range r.PT.Pts(b.P2) {
+					eff.Writes.add(pointsto.Loc{Base: pl.Base, Off: pl.Off + b.Off2 + i}, Other)
+				}
+			}
+		} else if b.Dst != nil {
+			for i := 0; i < b.Size; i++ {
+				eff.Writes.add(pointsto.Loc{Base: b.Dst, Off: b.Off2 + i}, Other)
+			}
+		}
+	case simple.KGetF:
+		// Post-selection split-phase and block operations count as aliased
+		// accesses: later analyses must not float tuples across them.
+		eff.VarReads[b.P] = true
+		if b.Dst != nil {
+			eff.VarWrites[b.Dst] = true
+		}
+		for pl := range r.PT.Pts(b.P) {
+			eff.Reads.add(pointsto.Loc{Base: pl.Base, Off: pl.Off + b.Off}, Other)
+		}
+	case simple.KPutF:
+		eff.VarReads[b.P] = true
+		if b.Val != nil {
+			r.atomRead(eff, b.Val)
+		}
+		if b.Local != nil {
+			eff.Reads.add(pointsto.Loc{Base: b.Local, Off: b.Off2}, Other)
+		}
+		for pl := range r.PT.Pts(b.P) {
+			eff.Writes.add(pointsto.Loc{Base: pl.Base, Off: pl.Off + b.Off}, Other)
+		}
+	case simple.KBlkRead:
+		eff.VarReads[b.P] = true
+		for i := 0; i < b.Size; i++ {
+			for pl := range r.PT.Pts(b.P) {
+				eff.Reads.add(pointsto.Loc{Base: pl.Base, Off: pl.Off + b.Off + i}, Other)
+			}
+			eff.Writes.add(pointsto.Loc{Base: b.Local, Off: i}, Other)
+		}
+	case simple.KBlkWrite:
+		eff.VarReads[b.P] = true
+		for i := 0; i < b.Size; i++ {
+			for pl := range r.PT.Pts(b.P) {
+				eff.Writes.add(pointsto.Loc{Base: pl.Base, Off: pl.Off + b.Off + i}, Other)
+			}
+			eff.Reads.add(pointsto.Loc{Base: b.Local, Off: i}, Other)
+		}
+	}
+}
+
+func (r *Result) rvalue(eff *Effects, rv simple.Rvalue) {
+	switch x := rv.(type) {
+	case simple.AtomRV:
+		r.atomRead(eff, x.A)
+	case simple.UnaryRV:
+		r.atomRead(eff, x.X)
+	case simple.BinaryRV:
+		r.atomRead(eff, x.X)
+		r.atomRead(eff, x.Y)
+	case simple.LoadRV:
+		eff.VarReads[x.P] = true
+		for pl := range r.PT.Pts(x.P) {
+			eff.Reads.add(pointsto.Loc{Base: pl.Base, Off: pl.Off + x.Off}, Via{P: x.P, Off: x.Off})
+		}
+	case simple.LocalLoadRV:
+		if x.Idx != nil {
+			r.atomRead(eff, x.Idx)
+			for i := 0; i < x.Base.Size; i++ {
+				eff.Reads.add(pointsto.Loc{Base: x.Base, Off: i}, Other)
+			}
+		} else {
+			eff.Reads.add(pointsto.Loc{Base: x.Base, Off: x.Off}, Other)
+		}
+	case simple.AddrRV:
+		// No memory access; the variable's address is computed.
+	case simple.FieldAddrRV:
+		eff.VarReads[x.P] = true
+	}
+}
+
+func (r *Result) lvalue(eff *Effects, lv simple.Lvalue) {
+	switch x := lv.(type) {
+	case simple.VarLV:
+		eff.VarWrites[x.V] = true
+	case simple.StoreLV:
+		eff.VarReads[x.P] = true
+		for pl := range r.PT.Pts(x.P) {
+			eff.Writes.add(pointsto.Loc{Base: pl.Base, Off: pl.Off + x.Off}, Via{P: x.P, Off: x.Off})
+		}
+	case simple.LocalStoreLV:
+		if x.Idx != nil {
+			r.atomRead(eff, x.Idx)
+			for i := 0; i < x.Base.Size; i++ {
+				eff.Writes.add(pointsto.Loc{Base: x.Base, Off: i}, Other)
+			}
+		} else {
+			eff.Writes.add(pointsto.Loc{Base: x.Base, Off: x.Off}, Other)
+		}
+	}
+}
+
+// --------------------------------------------------------------- queries ---
+
+// VarWritten reports whether statement s may modify the value of variable p
+// itself: a direct assignment, or — when p's address has been taken — an
+// indirect write reaching p's slot, or a call that may do the same.
+func (r *Result) VarWritten(p *simple.Var, s simple.Stmt) bool {
+	eff := r.Stmt[s]
+	if eff == nil {
+		return true // unknown statement: be conservative
+	}
+	if eff.VarWrites[p] {
+		return true
+	}
+	if r.PT.AddressTaken(p) {
+		for i := 0; i < max(1, p.Size); i++ {
+			if _, hit := eff.Writes[pointsto.Loc{Base: p, Off: i}]; hit {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// AccessedViaAlias reports whether statement s may read (write=false) or
+// write (write=true) the word p->off through something other than the
+// direct pointer p itself. Direct accesses via (p, off) are excluded: the
+// paper's rules keep tuples alive across direct accesses because the
+// transformation redirects all of them to the same local copy.
+func (r *Result) AccessedViaAlias(p *simple.Var, off int, s simple.Stmt, write bool) bool {
+	eff := r.Stmt[s]
+	if eff == nil {
+		return true
+	}
+	m := eff.Reads
+	if write {
+		m = eff.Writes
+	}
+	self := Via{P: p, Off: off}
+	for pl := range r.PT.Pts(p) {
+		target := pointsto.Loc{Base: pl.Base, Off: pl.Off + off}
+		vias, hit := m[target]
+		if !hit {
+			continue
+		}
+		for v := range vias {
+			if v != self {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Register computes and records the effects of a newly created basic
+// statement. The selection phase calls this for every communication
+// statement it inserts, so later queries (dereference safety, write floats)
+// see sound effects instead of falling back to "unknown".
+func (r *Result) Register(b *simple.Basic) {
+	eff := newEffects()
+	r.basic(eff, b, nil)
+	r.Stmt[b] = eff
+}

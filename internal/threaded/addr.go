@@ -1,0 +1,17 @@
+package threaded
+
+// Global address packing for the distributed memory: an address is
+// (node+1) << 40 | offset. Address 0 is the null pointer. The global
+// variable segment occupies the low offsets of node 0's memory.
+
+// PackAddr builds a global address from a node id and word offset.
+func PackAddr(node int, off int64) int64 { return int64(node+1)<<40 | off }
+
+// AddrNode extracts the owning node of an address (-1 for null/invalid).
+func AddrNode(addr int64) int { return int(addr>>40) - 1 }
+
+// AddrOff extracts the word offset within the owning node's memory.
+func AddrOff(addr int64) int64 { return addr & ((1 << 40) - 1) }
+
+// GlobalAddress returns the address of a global-segment word.
+func GlobalAddress(off int) int64 { return PackAddr(0, int64(off)) }

@@ -1,0 +1,254 @@
+package threaded
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/earthc"
+	"repro/internal/locality"
+	"repro/internal/simple"
+)
+
+// Options control code generation.
+type Options struct {
+	// Sequential produces the paper's "truly sequential" baseline: parallel
+	// constructs are serialized, placed calls become plain calls, and every
+	// memory access is a direct local access with no EARTH runtime calls.
+	// Such code is only valid on a 1-node machine.
+	Sequential bool
+}
+
+// Additional direct-memory opcodes used for local (or sequential-mode)
+// accesses: these bypass the EARTH runtime and cost only a local memory
+// access.
+const (
+	OpMemLoad    Op = 100 + iota // frame[A] = mem[frame[B]+C] (must be local)
+	OpMemStore                   // mem[frame[B]+C] = frame[A]
+	OpMemToFrame                 // frame[A..A+D) = mem[frame[B]+C..]
+	OpFrameToMem                 // mem[frame[B]+C..] = frame[A..A+D)
+	OpMemCopyMem                 // mem[frame[B]+C..] -> mem[frame[A]+D..), Imm words
+)
+
+func init() {
+	opNames[OpMemLoad] = "mload"
+	opNames[OpMemStore] = "mstore"
+	opNames[OpMemToFrame] = "m2f"
+	opNames[OpFrameToMem] = "f2m"
+	opNames[OpMemCopyMem] = "m2m"
+}
+
+// Generate compiles a SIMPLE program to threaded code. loc may be nil (all
+// pointers treated as possibly remote).
+func Generate(prog *simple.Program, loc *locality.Result, opt Options) (*Program, error) {
+	g := &gen{prog: prog, loc: loc, opt: opt,
+		globalOff: make(map[*simple.Var]int),
+		out: &Program{
+			Funcs:         make(map[string]*FnCode),
+			GlobalSlot:    make(map[string]int),
+			SharedGlobals: make(map[string]bool),
+		}}
+	for _, gv := range prog.Globals {
+		g.out.GlobalSlot[gv.Name] = g.out.GlobalWords
+		g.globalOff[gv] = g.out.GlobalWords
+		if bits, ok := prog.GlobalInit[gv]; ok {
+			g.out.GlobalInit = append(g.out.GlobalInit,
+				[2]int64{int64(g.out.GlobalWords), bits})
+		}
+		g.out.GlobalWords += max(1, gv.Size)
+		if gv.Shared {
+			g.out.SharedGlobals[gv.Name] = true
+		}
+	}
+	// Pre-create FnCode shells so calls can reference them.
+	for _, f := range prog.Funcs {
+		g.out.Funcs[f.Name] = &FnCode{Name: f.Name}
+	}
+	for _, f := range prog.Funcs {
+		if err := g.fun(f); err != nil {
+			return nil, err
+		}
+	}
+	g.out.Main = g.out.Funcs["main"]
+	if g.out.Main == nil {
+		return nil, fmt.Errorf("threaded: program has no main function")
+	}
+	return g.out, nil
+}
+
+type gen struct {
+	prog *simple.Program
+	loc  *locality.Result
+	opt  Options
+	out  *Program
+	// globalOff maps global variables to their word offsets in the global
+	// segment (resident on node 0).
+	globalOff map[*simple.Var]int
+
+	fn    *simple.Func
+	fc    *FnCode
+	slots map[*simple.Var]int
+	// family collects the fiber bodies (forall iterations, parallel arms)
+	// created while compiling the current function; they share the
+	// function's frame layout, so their NSlots are unified to the final
+	// frame size at the end of fun().
+	family []*FnCode
+	err    error
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (g *gen) errorf(format string, args ...any) {
+	if g.err == nil {
+		g.err = fmt.Errorf("threaded: %s: %s", g.fn.Name, fmt.Sprintf(format, args...))
+	}
+}
+
+func (g *gen) fun(f *simple.Func) error {
+	g.fn = f
+	g.fc = g.out.Funcs[f.Name]
+	g.slots = make(map[*simple.Var]int)
+	n := 0
+	for _, p := range f.Params {
+		g.slots[p] = n
+		g.fc.Params = append(g.fc.Params, n)
+		n += max(1, p.Size)
+	}
+	var sharedLocals []*simple.Var
+	for _, l := range f.Locals {
+		g.slots[l] = n
+		if l.Shared {
+			// Shared locals live in node heap storage so that fibers
+			// holding frame copies (forall iterations) still reach the one
+			// shared cell; the frame slot holds its address.
+			n++
+			sharedLocals = append(sharedLocals, l)
+		} else {
+			n += max(1, l.Size)
+		}
+	}
+	g.fc.NSlots = n
+	for _, l := range sharedLocals {
+		g.emit(g.fc, Instr{Op: OpAlloc, A: g.slots[l], B: -1, C: max(1, l.Size)})
+	}
+	g.family = nil
+	g.seq(g.fc, f.Body)
+	// Implicit return at end.
+	g.emit(g.fc, Instr{Op: OpRet, A: -1})
+	// Spawned bodies share this function's frame layout; unify sizes so
+	// frame copies and aliases cover the whole final frame.
+	for _, child := range g.family {
+		child.NSlots = g.fc.NSlots
+	}
+	return g.err
+}
+
+func (g *gen) emit(fc *FnCode, in Instr) int {
+	fc.Code = append(fc.Code, in)
+	return len(fc.Code) - 1
+}
+
+// scratch allocates a fresh frame slot.
+func (g *gen) scratch() int {
+	s := g.fc.NSlots
+	g.fc.NSlots++
+	return s
+}
+
+// slot returns the frame slot of a variable; globals have no slot.
+func (g *gen) slot(v *simple.Var) int {
+	if s, ok := g.slots[v]; ok {
+		return s
+	}
+	g.errorf("variable %s has no frame slot (global used as ordinary operand?)", v.Name)
+	return 0
+}
+
+func (g *gen) isGlobal(v *simple.Var) bool {
+	_, ok := g.globalOff[v]
+	return ok
+}
+
+// atom materializes an atom into a frame slot of fc.
+func (g *gen) atom(fc *FnCode, a simple.Atom) int {
+	switch x := a.(type) {
+	case simple.VarAtom:
+		if g.isGlobal(x.V) {
+			return g.globalRead(fc, x.V)
+		}
+		return g.slot(x.V)
+	case simple.IntAtom:
+		s := g.scratch()
+		g.emit(fc, Instr{Op: OpLoadImm, A: s, Imm: x.Val})
+		return s
+	case simple.FloatAtom:
+		s := g.scratch()
+		g.emit(fc, Instr{Op: OpLoadImm, A: s, Imm: int64(math.Float64bits(x.Val))})
+		return s
+	case simple.NullAtom:
+		s := g.scratch()
+		g.emit(fc, Instr{Op: OpLoadImm, A: s, Imm: 0})
+		return s
+	}
+	g.errorf("unknown atom %T", a)
+	return 0
+}
+
+// globalAddr emits code producing the global segment address of v.
+func (g *gen) globalAddr(fc *FnCode, v *simple.Var) int {
+	s := g.scratch()
+	g.emit(fc, Instr{Op: OpLoadImm, A: s, Imm: GlobalAddress(g.globalOff[v])})
+	return s
+}
+
+// globalRead loads an ordinary global (resident on node 0; remote from
+// other nodes, synchronizing at first use).
+func (g *gen) globalRead(fc *FnCode, v *simple.Var) int {
+	addr := g.globalAddr(fc, v)
+	dst := g.scratch()
+	if g.opt.Sequential {
+		g.emit(fc, Instr{Op: OpMemLoad, A: dst, B: addr, C: 0})
+	} else {
+		g.emit(fc, Instr{Op: OpGet, A: dst, B: addr, C: 0})
+	}
+	return dst
+}
+
+func (g *gen) globalWrite(fc *FnCode, v *simple.Var, val int) {
+	addr := g.globalAddr(fc, v)
+	if g.opt.Sequential {
+		g.emit(fc, Instr{Op: OpMemStore, A: val, B: addr, C: 0})
+	} else {
+		g.emit(fc, Instr{Op: OpPut, A: val, B: addr, C: 0})
+	}
+}
+
+// remotePtr reports whether dereferences through p use the EARTH runtime.
+func (g *gen) remotePtr(p *simple.Var) bool {
+	if g.opt.Sequential {
+		return false
+	}
+	if g.loc == nil {
+		return true
+	}
+	return g.loc.RemoteLoad(p)
+}
+
+func isDoubleVar(v *simple.Var) bool {
+	pt, ok := v.Type.(*earthc.PrimType)
+	return ok && pt.Kind == earthc.Double
+}
+
+func atomIsDouble(a simple.Atom) bool {
+	switch x := a.(type) {
+	case simple.VarAtom:
+		return isDoubleVar(x.V)
+	case simple.FloatAtom:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,57 @@
+// The paper's Figure 1: counting occurrences of a node in a list, in both
+// the forall/shared-counter style and the recursive parallel style.
+struct Node {
+	int value;
+	struct Node *next;
+};
+
+int equal_node(Node local *p, Node *q) {
+	return p->value == q->value;
+}
+
+int count(Node *head, Node *x) {
+	shared int count;
+	Node *p;
+	writeto(&count, 0);
+	forall (p = head; p != NULL; p = p->next) {
+		if (equal_node(p, x)@OWNER_OF(p) == 1) addto(&count, 1);
+	}
+	return valueof(&count);
+}
+
+int count_rec(Node *head, Node *x) {
+	int c1;
+	int c2;
+	Node *nxt;
+	if (head == NULL) return 0;
+	nxt = head->next;
+	{^
+		c1 = equal_node(head, x)@OWNER_OF(head);
+		c2 = count_rec(nxt, x);
+	^}
+	return c1 + c2;
+}
+
+int main() {
+	Node *head;
+	Node *p;
+	Node *x;
+	int i;
+	int a;
+	int b;
+	head = NULL;
+	for (i = 0; i < 24; i++) {
+		p = alloc_on(Node, i % num_nodes());
+		p->value = i % 5;
+		p->next = head;
+		head = p;
+	}
+	x = alloc(Node);
+	x->value = 3;
+	x->next = NULL;
+	a = count(head, x);
+	b = count_rec(head, x);
+	print_int(a);
+	print_int(b);
+	return a * 100 + b;
+}

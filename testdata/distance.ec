@@ -1,0 +1,25 @@
+// The paper's Figure 3 motivating example: with no locality information the
+// compiler must assume each indirect reference through p is remote.
+// Try:  earthcc -O -labels testdata/distance.ec
+//       earthrun -compare -nodes 2 testdata/distance.ec
+struct Point {
+	double x;
+	double y;
+};
+
+double distance(Point *p) {
+	double dist_p;
+	dist_p = sqrt((p->x * p->x) + (p->y * p->y));
+	return dist_p;
+}
+
+int main() {
+	Point *p;
+	double d;
+	p = alloc_on(Point, num_nodes() - 1);
+	p->x = 3.0;
+	p->y = 4.0;
+	d = distance(p);
+	print_double(d);
+	return trunc(d);
+}

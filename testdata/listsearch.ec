@@ -1,0 +1,65 @@
+// The paper's Figure 7/8 worked example: find the last point within epsilon
+// of *t, then compute coordinate differences.
+// Try:  earthcc -O -dump=placement testdata/listsearch.ec
+struct Point {
+	double x;
+	double y;
+	struct Point *next;
+};
+
+double f(double ax, double ay, double bx, double by) {
+	double dx;
+	double dy;
+	dx = ax - bx;
+	dy = ay - by;
+	return sqrt(dx * dx + dy * dy);
+}
+
+double example(Point *head, Point *t, double epsilon) {
+	Point *p;
+	Point *close;
+	double ax; double ay; double bx; double by;
+	double cx; double tx; double diffx;
+	double cy; double ty; double diffy;
+	double dist;
+	close = NULL;
+	p = head;
+	while (p != NULL) {
+		ax = p->x;
+		ay = p->y;
+		bx = t->x;
+		by = t->y;
+		dist = f(ax, ay, bx, by);
+		if (dist < epsilon) close = p;
+		p = p->next;
+	}
+	cx = close->x;
+	tx = t->x;
+	diffx = cx - tx;
+	cy = close->y;
+	ty = t->y;
+	diffy = cy - ty;
+	return diffx + diffy;
+}
+
+int main() {
+	Point *head;
+	Point *t;
+	Point *p;
+	int i;
+	double d;
+	head = NULL;
+	for (i = 0; i < 32; i++) {
+		p = alloc_on(Point, i % num_nodes());
+		p->x = dbl(i % 11);
+		p->y = dbl(i % 7);
+		p->next = head;
+		head = p;
+	}
+	t = alloc(Point);
+	t->x = 5.0;
+	t->y = 3.0;
+	d = example(head, t, 3.5);
+	print_double(d);
+	return trunc(d);
+}

@@ -1,0 +1,26 @@
+// The paper's Figure 4: reads collected early, writes delayed late.
+// Try:  earthcc -O -labels testdata/scale_point.ec
+struct Point {
+	double x;
+	double y;
+};
+
+double scale(double v, double k) {
+	return v * k;
+}
+
+void scale_point(Point *p, double k) {
+	p->x = scale(p->x, k);
+	p->y = scale(p->y, k);
+}
+
+int main() {
+	Point *p;
+	p = alloc_on(Point, num_nodes() - 1);
+	p->x = 1.5;
+	p->y = 2.5;
+	scale_point(p, 4.0);
+	print_double(p->x);
+	print_double(p->y);
+	return trunc(p->x + p->y);
+}
