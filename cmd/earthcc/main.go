@@ -6,16 +6,21 @@
 //
 //	earthcc [flags] file.ec
 //
-//	-O               enable communication optimization (Phase II)
-//	-dump=simple     print SIMPLE form (default)
-//	-dump=ast        print the (inlined, restructured) AST
-//	-dump=threaded   print threaded-code disassembly
-//	-dump=placement  print per-statement RemoteReads/RemoteWrites sets
-//	-labels          include Si statement labels in SIMPLE output
-//	-no-inline       disable Phase I function inlining
-//	-threshold N     blocking threshold in words (default 3)
-//	-report          print the communication-selection report
-//	-reorder         cluster remotely-accessed struct fields (paper's §7)
+//	-O                 enable communication optimization (Phase II)
+//	-dump=simple       print SIMPLE form (default)
+//	-dump=ast          print the (inlined, restructured) AST
+//	-dump=threaded     print threaded-code disassembly
+//	-dump=placement    print per-statement RemoteReads/RemoteWrites sets
+//	-func name         restrict -dump=simple/placement output to one function
+//	-labels            include Si statement labels in SIMPLE output
+//	-no-inline         disable Phase I function inlining
+//	-threshold N       blocking threshold in words (default 3)
+//	-report            print the communication-selection report
+//	-reorder           cluster remotely-accessed struct fields (paper's §7)
+//	-profile-gen out   compile instrumented, run on -nodes, write the
+//	                   profile artifact to out (no dump)
+//	-profile-use in    optimize with measured frequencies from in (implies -O)
+//	-nodes N           machine size for -profile-gen (default 1)
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/earthc"
+	"repro/internal/profile"
 	"repro/internal/simple"
 	"repro/internal/threaded"
 )
@@ -33,11 +39,15 @@ import (
 func main() {
 	optimize := flag.Bool("O", false, "enable communication optimization")
 	dump := flag.String("dump", "simple", "what to print: simple|ast|threaded|placement")
+	fnFilter := flag.String("func", "", "restrict simple/placement dumps to one function")
 	labels := flag.Bool("labels", false, "show Si statement labels")
 	noInline := flag.Bool("no-inline", false, "disable function inlining")
 	threshold := flag.Int("threshold", 3, "blocking threshold in words")
 	report := flag.Bool("report", false, "print the selection report")
 	reorder := flag.Bool("reorder", false, "reorder struct fields to cluster remote accesses")
+	profGen := flag.String("profile-gen", "", "collect a profile via an instrumented run and write it here")
+	profUse := flag.String("profile-use", "", "optimize using a previously collected profile (implies -O)")
+	nodes := flag.Int("nodes", 1, "machine size for -profile-gen")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: earthcc [flags] file.ec")
@@ -49,18 +59,55 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	if *profGen != "" {
+		u, err := core.Compile(name, string(src), core.Options{NoInline: *noInline})
+		if err != nil {
+			fatal(err)
+		}
+		res, err := u.Run(core.RunConfig{Nodes: *nodes, Profile: true})
+		if err != nil {
+			fatal(err)
+		}
+		if err := res.Profile.WriteFile(*profGen); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "earthcc: wrote profile for %s (%d nodes) to %s\n",
+			name, *nodes, *profGen)
+		return
+	}
+
 	opts := core.Options{Optimize: *optimize, NoInline: *noInline, ReorderFields: *reorder}
 	opts.Sel.BlockThreshold = *threshold
+	if *profUse != "" {
+		p, err := profile.ReadFile(*profUse)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Profile = p
+		opts.Optimize = true
+	}
 	u, err := core.Compile(name, string(src), opts)
 	if err != nil {
 		fatal(err)
+	}
+	for _, w := range u.Warnings {
+		fmt.Fprintln(os.Stderr, "earthcc: warning:", w)
+	}
+	wantFn := func(f *simple.Func) bool {
+		return *fnFilter == "" || f.Name == *fnFilter
+	}
+	if *fnFilter != "" && u.Simple.FuncByName(*fnFilter) == nil {
+		fmt.Fprintf(os.Stderr, "earthcc: warning: -func %q matches no function\n", *fnFilter)
 	}
 	switch *dump {
 	case "ast":
 		fmt.Print(earthc.Print(u.File))
 	case "simple":
 		for _, f := range u.Simple.Funcs {
-			fmt.Println(simple.FuncString(f, simple.PrintOptions{Labels: *labels}))
+			if wantFn(f) {
+				fmt.Println(simple.FuncString(f, simple.PrintOptions{Labels: *labels}))
+			}
 		}
 	case "threaded":
 		tp, err := u.Threaded(threaded.Options{})
@@ -80,6 +127,9 @@ func main() {
 			fatal(fmt.Errorf("placement sets require -O"))
 		}
 		for _, f := range u.Simple.Funcs {
+			if !wantFn(f) {
+				continue
+			}
 			fmt.Printf("=== %s ===\n", f.Name)
 			simple.WalkStmts(f.Body, func(s simple.Stmt) {
 				if b, ok := s.(*simple.Basic); ok {

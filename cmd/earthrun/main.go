@@ -5,11 +5,15 @@
 //
 //	earthrun [flags] file.ec
 //
-//	-nodes N    machine size (default 1)
-//	-O          enable communication optimization
-//	-seq        sequential baseline build (serialized, direct memory)
-//	-stats      print simulated time and communication counters
-//	-compare    run both simple and optimized builds and compare
+//	-nodes N          machine size (default 1)
+//	-O                enable communication optimization
+//	-seq              sequential baseline build (serialized, direct memory)
+//	-stats            print simulated time and communication counters
+//	-compare          run both simple and optimized builds and compare
+//	-profile out      instrument the run and write (or merge into) the
+//	                  profile artifact at out
+//	-profile-use in   optimize using a previously collected profile
+//	                  (implies -O)
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/profile"
 )
 
 func main() {
@@ -26,6 +31,8 @@ func main() {
 	seq := flag.Bool("seq", false, "sequential baseline build")
 	stats := flag.Bool("stats", false, "print time and counters")
 	compare := flag.Bool("compare", false, "run simple and optimized, compare")
+	profOut := flag.String("profile", "", "instrument the run and write/merge the profile here")
+	profUse := flag.String("profile-use", "", "optimize using a previously collected profile (implies -O)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: earthrun [flags] file.ec")
@@ -39,12 +46,21 @@ func main() {
 	}
 	src := string(srcBytes)
 
-	if *compare {
-		simple, err := run(name, src, false, *nodes, *seq)
+	var prof *profile.Data
+	if *profUse != "" {
+		prof, err = profile.ReadFile(*profUse)
 		if err != nil {
 			fatal(err)
 		}
-		opt, err := run(name, src, true, *nodes, *seq)
+		*optimize = true
+	}
+
+	if *compare {
+		simple, err := run(name, src, runOpts{nodes: *nodes, seq: *seq})
+		if err != nil {
+			fatal(err)
+		}
+		opt, err := run(name, src, runOpts{optimize: true, nodes: *nodes, seq: *seq, prof: prof})
 		if err != nil {
 			fatal(err)
 		}
@@ -58,33 +74,72 @@ func main() {
 		return
 	}
 
-	r, err := run(name, src, *optimize, *nodes, *seq)
+	r, err := run(name, src, runOpts{
+		optimize: *optimize, nodes: *nodes, seq: *seq,
+		prof: prof, instrument: *profOut != "",
+	})
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Print(r.out)
+	if *profOut != "" {
+		saved, err := saveProfile(*profOut, r.prof)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "earthrun: profile written to %s (%d run(s) accumulated)\n",
+			*profOut, saved.Runs)
+	}
 	if *stats {
 		fmt.Printf("time: %d ns (%.3f ms) on %d node(s)\n", r.time, float64(r.time)/1e6, *nodes)
 		fmt.Printf("comm: %s\n", r.counts)
 	}
 }
 
+// saveProfile writes p to path, merging into an existing compatible profile
+// first so repeated -profile runs accumulate (runs sum). It returns the
+// profile actually written.
+func saveProfile(path string, p *profile.Data) (*profile.Data, error) {
+	if prev, err := profile.ReadFile(path); err == nil {
+		if mergeErr := prev.Merge(p); mergeErr != nil {
+			fmt.Fprintf(os.Stderr, "earthrun: warning: not merging into %s: %v\n", path, mergeErr)
+		} else {
+			p = prev
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	return p, p.WriteFile(path)
+}
+
+type runOpts struct {
+	optimize   bool
+	nodes      int
+	seq        bool
+	prof       *profile.Data // measured frequencies for the optimizer
+	instrument bool          // collect a profile during the run
+}
+
 type runResult struct {
 	out    string
 	time   int64
 	counts fmt.Stringer
+	prof   *profile.Data
 }
 
-func run(name, src string, optimize bool, nodes int, seq bool) (*runResult, error) {
-	u, err := core.Compile(name, src, core.Options{Optimize: optimize})
+func run(name, src string, ro runOpts) (*runResult, error) {
+	u, err := core.Compile(name, src, core.Options{Optimize: ro.optimize, Profile: ro.prof})
 	if err != nil {
 		return nil, err
 	}
-	res, err := u.Run(core.RunConfig{Nodes: nodes, Sequential: seq})
+	for _, w := range u.Warnings {
+		fmt.Fprintln(os.Stderr, "earthrun: warning:", w)
+	}
+	res, err := u.Run(core.RunConfig{Nodes: ro.nodes, Sequential: ro.seq, Profile: ro.instrument})
 	if err != nil {
 		return nil, err
 	}
-	return &runResult{out: res.Output, time: res.Time, counts: res.Counts}, nil
+	return &runResult{out: res.Output, time: res.Time, counts: res.Counts, prof: res.Profile}, nil
 }
 
 func fatal(err error) {

@@ -6,15 +6,18 @@
 //	-table2    Table II: benchmark descriptions
 //	-fig10     Figure 10: dynamic communication counts, simple vs optimized
 //	-table3    Table III: execution times, speedups, improvements
+//	-pgo       PGO ablation: static-heuristic vs profile-guided optimization
 //	-all       everything (default when no flag given)
 //
-//	-nodes N       machine size for fig10 (default 4)
+//	-nodes N       machine size for fig10 and the PGO table (default 4)
 //	-procs list    comma-separated processor counts for table3
 //	               (default 1,2,4,8,16)
 //	-scale s       problem scale: quick | default (default "default")
+//	-json          emit one machine-readable JSON object instead of text
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,23 +28,34 @@ import (
 	"repro/internal/olden"
 )
 
+// jsonReport is the -json output shape: one object per requested artifact.
+type jsonReport struct {
+	Table1 *harness.Table1Result `json:"table1,omitempty"`
+	Fig10  *harness.Fig10Result  `json:"fig10,omitempty"`
+	Table3 *harness.Table3Result `json:"table3,omitempty"`
+	PGO    *harness.PGOResult    `json:"pgo,omitempty"`
+}
+
 func main() {
 	t1 := flag.Bool("table1", false, "Table I")
 	t2 := flag.Bool("table2", false, "Table II")
 	f10 := flag.Bool("fig10", false, "Figure 10")
 	t3 := flag.Bool("table3", false, "Table III")
+	pgo := flag.Bool("pgo", false, "PGO ablation table")
 	all := flag.Bool("all", false, "everything")
-	nodes := flag.Int("nodes", 4, "machine size for fig10")
+	nodes := flag.Int("nodes", 4, "machine size for fig10 and the PGO table")
 	procsFlag := flag.String("procs", "1,2,4,8,16", "processor counts for table3")
 	scale := flag.String("scale", "default", "problem scale: quick|default")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON")
 	flag.Parse()
 
-	if !*t1 && !*t2 && !*f10 && !*t3 {
+	if !*t1 && !*t2 && !*f10 && !*t3 && !*pgo {
 		*all = true
 	}
 	params := paramsFor(*scale)
+	var rep jsonReport
 
-	if *all || *t2 {
+	if (*all || *t2) && !*asJSON {
 		fmt.Println(harness.Table2())
 	}
 	if *all || *t1 {
@@ -49,15 +63,21 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Println(res)
+		rep.Table1 = res
+		if !*asJSON {
+			fmt.Println(res)
+		}
 	}
 	if *all || *f10 {
 		res, err := harness.MeasureFig10(*nodes, params)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Println(res)
-		fmt.Println(res.Bars())
+		rep.Fig10 = res
+		if !*asJSON {
+			fmt.Println(res)
+			fmt.Println(res.Bars())
+		}
 	}
 	if *all || *t3 {
 		var procs []int
@@ -72,7 +92,27 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Println(res)
+		rep.Table3 = res
+		if !*asJSON {
+			fmt.Println(res)
+		}
+	}
+	if *all || *pgo {
+		res, err := harness.MeasurePGO(*nodes, params)
+		if err != nil {
+			fatal(err)
+		}
+		rep.PGO = res
+		if !*asJSON {
+			fmt.Println(res)
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(&rep); err != nil {
+			fatal(err)
+		}
 	}
 }
 

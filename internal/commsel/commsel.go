@@ -47,6 +47,15 @@ type Options struct {
 	// (ablation: redundancy elimination and pipelining across statements
 	// are lost; reads still become split-phase gets).
 	NoReadMotion bool
+	// ProfileGuided signals that the placement tuples carry *measured*
+	// frequencies (see internal/profile) rather than the static ×10/÷2/÷k
+	// guesses. Selection then also weighs expected dynamic operation
+	// counts for the pipelined-vs-blocked decision: a field group whose
+	// measured frequency sum alone reaches BlockThreshold blocks even
+	// with fewer distinct fields, since one blkmov replaces that many
+	// expected gets. The rule is strictly additive — everything that
+	// blocked statically still blocks — so it can only reduce op counts.
+	ProfileGuided bool
 }
 
 // Defaults returns the paper's configuration.

@@ -150,8 +150,18 @@ func (s *sel) selectReadsAt(set *placement.Set, st simple.Stmt, stack []frame) [
 		if needed > 0 {
 			span = all[needed-1].t.Off + 1 - all[0].t.Off
 		}
+		// Under profile guidance the measured frequency sum of the full
+		// candidates is the expected number of pipelined gets a block fill
+		// would replace; when that alone reaches the threshold, blocking
+		// wins even with fewer distinct fields.
+		hotFreq := 0.0
+		for _, c := range group {
+			hotFreq += c.t.Freq
+		}
 		block := !s.opt.NoBlocking && layout != nil &&
-			needed >= s.opt.BlockThreshold &&
+			(needed >= s.opt.BlockThreshold ||
+				(s.opt.ProfileGuided && len(group) >= 2 &&
+					hotFreq >= float64(s.opt.BlockThreshold))) &&
 			(s.opt.MaxBlockWaste == 0 || span <= s.opt.MaxBlockWaste*needed)
 		if block {
 			group = all

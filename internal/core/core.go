@@ -18,6 +18,7 @@ import (
 	"repro/internal/lower"
 	"repro/internal/placement"
 	"repro/internal/pointsto"
+	"repro/internal/profile"
 	"repro/internal/rwsets"
 	"repro/internal/sema"
 	"repro/internal/simple"
@@ -43,6 +44,13 @@ type Options struct {
 	// program is compiled once to collect access counts, then recompiled
 	// with the permuted layouts.
 	ReorderFields bool
+	// Profile supplies measured execution frequencies from an instrumented
+	// simulator run (see internal/profile and CompileWithProfile): the
+	// placement analysis replaces its static ×10/÷2/÷k guesses with the
+	// measured per-site factors and selection becomes profile-guided. A
+	// profile whose source hash does not match the unit being compiled is
+	// ignored with a warning (static heuristics apply).
+	Profile *profile.Data
 }
 
 // Unit is a compiled translation unit with all intermediate artifacts.
@@ -56,7 +64,15 @@ type Unit struct {
 	Locality  *locality.Result
 	Placement *placement.Result // nil unless optimizing
 	Report    *commsel.Report   // nil unless optimizing
+	// SourceHash keys profiles to this unit's source text ("" when the unit
+	// was compiled from a constructed AST rather than source).
+	SourceHash string
+	// Warnings are non-fatal compilation notes (e.g. a stale profile).
+	Warnings []string
 }
+
+// Profiles implement placement.FreqProvider directly.
+var _ placement.FreqProvider = (*profile.Data)(nil)
 
 // Compile runs the full pipeline over EARTH-C source text.
 func Compile(name, src string, opt Options) (*Unit, error) {
@@ -64,7 +80,20 @@ func Compile(name, src string, opt Options) (*Unit, error) {
 	if err != nil {
 		return nil, err
 	}
-	return CompileFile(file, opt)
+	hash := profile.HashSource(src)
+	var warnings []string
+	if opt.Profile != nil && opt.Profile.SourceHash != "" && opt.Profile.SourceHash != hash {
+		warnings = append(warnings,
+			"profile is stale (collected from a different source revision); falling back to static frequency heuristics")
+		opt.Profile = nil
+	}
+	u, err := CompileFile(file, opt)
+	if err != nil {
+		return nil, err
+	}
+	u.SourceHash = hash
+	u.Warnings = append(warnings, u.Warnings...)
+	return u, nil
 }
 
 // CompileFile runs the pipeline from a parsed (possibly programmatically
@@ -105,13 +134,23 @@ func build(file *earthc.File, opt Options) (*Unit, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Site IDs are assigned on the freshly-lowered SIMPLE form, before any
+	// transformation: the instrumented (unoptimized) compile and a later
+	// profile-guided compile of the same source then agree on every key.
+	simple.AssignSites(sp)
 	u := &Unit{Name: file.Name, File: file, Sema: sm, Simple: sp}
 	u.PointsTo = pointsto.Analyze(sp)
 	u.RWSets = rwsets.Analyze(sp, u.PointsTo)
 	u.Locality = locality.Analyze(sp, u.PointsTo)
 	if opt.Optimize {
-		u.Placement = placement.Analyze(sp, u.RWSets, u.Locality)
-		u.Report = commsel.Transform(sp, u.Placement, u.RWSets, u.Locality, opt.Sel)
+		var fp placement.FreqProvider
+		sel := opt.Sel
+		if opt.Profile != nil {
+			fp = opt.Profile
+			sel.ProfileGuided = true
+		}
+		u.Placement = placement.AnalyzeProfiled(sp, u.RWSets, u.Locality, fp)
+		u.Report = commsel.Transform(sp, u.Placement, u.RWSets, u.Locality, sel)
 	}
 	return u, nil
 }

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/earthsim"
+	"repro/internal/profile"
+)
+
+// remoteListSrc allocates a list on node 1 and walks it from node 0, so an
+// instrumented run sees genuinely remote accesses.
+const remoteListSrc = `
+struct Point {
+	double x;
+	double y;
+	double z;
+	struct Point *next;
+};
+
+int main() {
+	Point *head;
+	Point *p;
+	int i;
+	double sum;
+	head = NULL;
+	for (i = 0; i < 30; i++) {
+		p = alloc_on(Point, 1);
+		p->x = dbl(i);
+		p->y = dbl(i * 2);
+		p->z = dbl(i * 3);
+		p->next = head;
+		head = p;
+	}
+	sum = 0.0;
+	p = head;
+	while (p != NULL) {
+		sum = sum + p->x + p->y + p->z;
+		p = p->next;
+	}
+	print_double(sum);
+	return trunc(sum);
+}
+`
+
+func totalOps(c earthsim.Counts) int64 {
+	return c.RemoteReads + c.LocalReads +
+		c.RemoteWrites + c.LocalWrites +
+		c.RemoteBlk + c.LocalBlk
+}
+
+// TestProfileDeterminism: the simulator is deterministic, so two
+// instrumented runs of the same build produce equal counters and
+// byte-identical profile artifacts.
+func TestProfileDeterminism(t *testing.T) {
+	u, err := Compile("det.ec", remoteListSrc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bufs [2]bytes.Buffer
+	var counts [2]earthsim.Counts
+	for i := 0; i < 2; i++ {
+		res, err := u.Run(RunConfig{Nodes: 2, Profile: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Profile == nil {
+			t.Fatal("instrumented run produced no profile")
+		}
+		if err := res.Profile.Write(&bufs[i]); err != nil {
+			t.Fatal(err)
+		}
+		counts[i] = res.Counts
+	}
+	if counts[0] != counts[1] {
+		t.Errorf("counts differ between identical runs:\n%+v\n%+v", counts[0], counts[1])
+	}
+	if !bytes.Equal(bufs[0].Bytes(), bufs[1].Bytes()) {
+		t.Errorf("profiles not byte-identical:\n%s\nvs\n%s", bufs[0].String(), bufs[1].String())
+	}
+}
+
+// TestCompileWithProfile: the full feedback loop preserves semantics and
+// never issues more communication ops than the statically optimized build.
+func TestCompileWithProfile(t *testing.T) {
+	simple, err := CompileAndRun("pgo.ec", remoteListSrc, false, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := CompileAndRun("pgo.ec", remoteListSrc, true, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, prof, err := CompileWithProfile("pgo.ec", remoteListSrc,
+		Options{Optimize: true}, RunConfig{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof == nil || prof.Runs == 0 {
+		t.Fatal("CompileWithProfile returned no profile")
+	}
+	if len(u.Warnings) != 0 {
+		t.Errorf("fresh profile produced warnings: %v", u.Warnings)
+	}
+	pgo, err := u.Run(RunConfig{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pgo.Output != simple.Output {
+		t.Errorf("PGO output %q differs from simple %q", pgo.Output, simple.Output)
+	}
+	if totalOps(pgo.Counts) > totalOps(static.Counts) {
+		t.Errorf("PGO ops %d exceed static ops %d",
+			totalOps(pgo.Counts), totalOps(static.Counts))
+	}
+}
+
+// TestStaleProfileFallsBack: a profile collected from a different source
+// revision must not fail the compile; it degrades to the static heuristics
+// with a warning, and the result matches the static build exactly.
+func TestStaleProfileFallsBack(t *testing.T) {
+	stale := profile.New()
+	stale.SourceHash = profile.HashSource("int main() { return 1; }")
+	stale.Runs = 1
+	u, err := Compile("stale.ec", remoteListSrc, Options{Optimize: true, Profile: stale})
+	if err != nil {
+		t.Fatalf("stale profile failed the compile: %v", err)
+	}
+	if len(u.Warnings) == 0 || !strings.Contains(u.Warnings[0], "stale") {
+		t.Errorf("expected a staleness warning, got %v", u.Warnings)
+	}
+	static, err := CompileAndRun("stale.ec", remoteListSrc, true, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := u.Run(RunConfig{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != static.Output || res.Counts != static.Counts {
+		t.Errorf("stale-profile build differs from static build:\n%+v\nvs\n%+v",
+			res.Counts, static.Counts)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/earthsim"
+	"repro/internal/profile"
 	"repro/internal/threaded"
 )
 
@@ -23,6 +24,9 @@ type RunConfig struct {
 	// Machine overrides the simulator cost model; zero means the calibrated
 	// EARTH-MANNA defaults.
 	Machine *earthsim.Config
+	// Profile instruments the generated code so the run collects a
+	// profile.Data (returned in Result.Profile; see internal/profile).
+	Profile bool
 }
 
 // Run generates threaded code and executes it on a simulated EARTH-MANNA
@@ -31,7 +35,7 @@ func (u *Unit) Run(rc RunConfig) (*earthsim.Result, error) {
 	if rc.Sequential && rc.Nodes > 1 {
 		return nil, fmt.Errorf("core: the sequential baseline uses direct local memory accesses and is only valid on 1 node (got %d)", rc.Nodes)
 	}
-	tp, err := u.Threaded(threaded.Options{Sequential: rc.Sequential})
+	tp, err := u.Threaded(threaded.Options{Sequential: rc.Sequential, Profile: rc.Profile})
 	if err != nil {
 		return nil, err
 	}
@@ -40,7 +44,14 @@ func (u *Unit) Run(rc RunConfig) (*earthsim.Result, error) {
 		cfg = *rc.Machine
 		cfg.Nodes = rc.Nodes
 	}
-	return earthsim.New(tp, cfg).Run()
+	res, err := earthsim.New(tp, cfg).Run()
+	if err != nil {
+		return nil, err
+	}
+	if res.Profile != nil {
+		res.Profile.SourceHash = u.SourceHash
+	}
+	return res, nil
 }
 
 // CompileAndRun is a convenience for tests and examples: parse, optimize
@@ -51,4 +62,35 @@ func CompileAndRun(name, src string, optimize bool, nodes int) (*earthsim.Result
 		return nil, err
 	}
 	return u.Run(RunConfig{Nodes: nodes})
+}
+
+// CompileWithProfile runs the two-pass profile-guided flow: compile the
+// program unoptimized with instrumentation, run it once under rc to collect
+// a profile, then recompile optimizing with the measured frequencies. It
+// returns the profile-guided unit and the profile it was built from.
+func CompileWithProfile(name, src string, opt Options, rc RunConfig) (*Unit, *profile.Data, error) {
+	genOpt := opt
+	genOpt.Optimize = false
+	genOpt.Profile = nil
+	gu, err := Compile(name, src, genOpt)
+	if err != nil {
+		return nil, nil, err
+	}
+	grc := rc
+	grc.Profile = true
+	res, err := gu.Run(grc)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: instrumented run failed: %w", err)
+	}
+	if res.Profile == nil {
+		return nil, nil, fmt.Errorf("core: instrumented run produced no profile")
+	}
+	useOpt := opt
+	useOpt.Optimize = true
+	useOpt.Profile = res.Profile
+	u, err := Compile(name, src, useOpt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return u, res.Profile, nil
 }

@@ -95,6 +95,24 @@ func (m *Machine) execFiber(f *fiber, t *int64) {
 		switch in.Op {
 		case threaded.OpNop:
 
+		case threaded.OpProbe:
+			if m.prof != nil && in.Site != "" {
+				switch in.C {
+				case threaded.ProbeLoopEnter:
+					m.prof.LoopEnter(in.Site)
+				case threaded.ProbeLoopTrip:
+					m.prof.LoopTrip(in.Site)
+				case threaded.ProbeBranchEnter:
+					m.prof.BranchEnter(in.Site)
+				case threaded.ProbeBranchThen:
+					m.prof.BranchThen(in.Site)
+				case threaded.ProbeSwitchEnter:
+					m.prof.SwitchEnter(in.Site)
+				case threaded.ProbeSwitchCase:
+					m.prof.SwitchCase(in.Site, in.D)
+				}
+			}
+
 		case threaded.OpMove:
 			v := rd(in.B)
 			if blocked {
@@ -265,6 +283,9 @@ func (m *Machine) execFiber(f *fiber, t *int64) {
 			if !ok {
 				return
 			}
+			if m.prof != nil && in.Site != "" {
+				m.prof.RecordAccess(in.Site, false)
+			}
 			*t += cfg.LocalMemCost
 			wr(in.A, v)
 
@@ -276,6 +297,9 @@ func (m *Machine) execFiber(f *fiber, t *int64) {
 			}
 			if !m.localWordStore(f, p, in.C, v) {
 				return
+			}
+			if m.prof != nil && in.Site != "" {
+				m.prof.RecordAccess(in.Site, false)
 			}
 			*t += cfg.LocalMemCost
 
@@ -335,6 +359,9 @@ func (m *Machine) execFiber(f *fiber, t *int64) {
 				m.trapf("%s@%d: remote read through null pointer", f.code.Name, f.pc)
 				return
 			}
+			if m.prof != nil && in.Site != "" {
+				m.prof.RecordAccess(in.Site, threaded.AddrNode(p) != n.id)
+			}
 			if threaded.AddrNode(p) == n.id {
 				*t += cfg.LocalRTCost
 			} else {
@@ -351,6 +378,9 @@ func (m *Machine) execFiber(f *fiber, t *int64) {
 			if p == 0 {
 				m.trapf("%s@%d: remote write through null pointer", f.code.Name, f.pc)
 				return
+			}
+			if m.prof != nil && in.Site != "" {
+				m.prof.RecordAccess(in.Site, threaded.AddrNode(p) != n.id)
 			}
 			if threaded.AddrNode(p) == n.id {
 				*t += cfg.LocalRTCost

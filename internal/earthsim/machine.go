@@ -19,6 +19,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/profile"
 	"repro/internal/threaded"
 )
 
@@ -122,6 +123,9 @@ type Result struct {
 	Counts  Counts
 	Output  string
 	MainRet int64 // main's return value (raw bits)
+	// Profile carries the per-site measurements of a profiled program
+	// (prog.Profiled; see internal/profile), nil otherwise.
+	Profile *profile.Data
 }
 
 // ------------------------------------------------------------------ events ---
@@ -299,6 +303,7 @@ type Machine struct {
 	nEvents       int64
 	liveFibers    int64
 	maxFiberInstr int64
+	prof          *profile.Data // non-nil when prog.Profiled
 }
 
 // New loads a threaded program onto a fresh machine.
@@ -309,6 +314,9 @@ func New(prog *threaded.Program, cfg Config) *Machine {
 	m := &Machine{cfg: cfg, prog: prog, maxFiberInstr: cfg.MaxFiberInstr}
 	if m.maxFiberInstr == 0 {
 		m.maxFiberInstr = 2_000_000_000
+	}
+	if prog.Profiled {
+		m.prof = profile.New()
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		maxWords := cfg.MaxNodeWords
@@ -374,7 +382,12 @@ func (m *Machine) Run() (*Result, error) {
 	if !m.mainDone {
 		return nil, fmt.Errorf("earthsim: deadlock — event queue drained with main incomplete (%d live fibers)", m.liveFibers)
 	}
-	return &Result{Time: m.mainTime, Counts: m.counts, Output: m.renderOutput(), MainRet: m.mainRet}, nil
+	res := &Result{Time: m.mainTime, Counts: m.counts, Output: m.renderOutput(), MainRet: m.mainRet}
+	if m.prof != nil {
+		m.prof.Runs = 1
+		res.Profile = m.prof
+	}
+	return res, nil
 }
 
 func (m *Machine) renderOutput() string {

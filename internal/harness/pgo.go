@@ -1,0 +1,91 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/olden"
+)
+
+// PGORow is one benchmark's static-heuristic vs profile-guided comparison.
+type PGORow struct {
+	Benchmark  string
+	SimpleOps  int64 // total communication ops, simple version
+	StaticOps  int64 // optimized with the ×10/÷2/÷k heuristics
+	PGOOps     int64 // optimized with measured frequencies
+	StaticTime int64 // simulated ns
+	PGOTime    int64
+}
+
+// PGOResult is the profile-guided-optimization ablation table.
+type PGOResult struct {
+	Nodes int
+	Rows  []PGORow
+}
+
+// MeasurePGO runs the PGO ablation over every Olden benchmark: the simple
+// and statically-optimized versions (output-verified against each other),
+// then the two-pass profile-guided flow (instrumented simple run feeding a
+// recompile), verifying the PGO version's output too. Op totals follow the
+// Figure 10 convention: runtime reads + writes + block moves, whether the
+// target turned out remote or local.
+func MeasurePGO(nodes int, paramsFor func(*olden.Benchmark) olden.Params) (*PGOResult, error) {
+	res := &PGOResult{Nodes: nodes}
+	for _, bm := range olden.All() {
+		params := paramsFor(bm)
+		simple, static, err := RunPair(bm, params, nodes)
+		if err != nil {
+			return nil, err
+		}
+		src := bm.Source(params)
+		u, _, err := core.CompileWithProfile(bm.Name+".ec", src,
+			core.Options{Optimize: true}, core.RunConfig{Nodes: nodes})
+		if err != nil {
+			return nil, fmt.Errorf("%s pgo: %w", bm.Name, err)
+		}
+		pgo, err := u.Run(core.RunConfig{Nodes: nodes})
+		if err != nil {
+			return nil, fmt.Errorf("%s pgo run: %w", bm.Name, err)
+		}
+		if pgo.Output != simple.Output {
+			return nil, fmt.Errorf("%s: profile-guided output diverged:\nsimple: %q\npgo:    %q",
+				bm.Name, simple.Output, pgo.Output)
+		}
+		res.Rows = append(res.Rows, PGORow{
+			Benchmark: bm.Name,
+			SimpleOps: simple.Counts.RemoteReads + simple.Counts.LocalReads +
+				simple.Counts.RemoteWrites + simple.Counts.LocalWrites +
+				simple.Counts.RemoteBlk + simple.Counts.LocalBlk,
+			StaticOps: static.Counts.RemoteReads + static.Counts.LocalReads +
+				static.Counts.RemoteWrites + static.Counts.LocalWrites +
+				static.Counts.RemoteBlk + static.Counts.LocalBlk,
+			PGOOps: pgo.Counts.RemoteReads + pgo.Counts.LocalReads +
+				pgo.Counts.RemoteWrites + pgo.Counts.LocalWrites +
+				pgo.Counts.RemoteBlk + pgo.Counts.LocalBlk,
+			StaticTime: static.Time,
+			PGOTime:    pgo.Time,
+		})
+	}
+	return res, nil
+}
+
+// String renders the PGO ablation table.
+func (r *PGOResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "PGO ablation: static-heuristic vs profile-guided optimization, %d nodes\n", r.Nodes)
+	fmt.Fprintf(&b, "%-10s %12s %12s %12s %8s | %12s %12s %8s\n",
+		"Benchmark", "simple ops", "static ops", "pgo ops", "Δops",
+		"static (ms)", "pgo (ms)", "Δtime")
+	for _, row := range r.Rows {
+		dOps := row.PGOOps - row.StaticOps
+		dTime := 0.0
+		if row.StaticTime != 0 {
+			dTime = 100 * (1 - float64(row.PGOTime)/float64(row.StaticTime))
+		}
+		fmt.Fprintf(&b, "%-10s %12d %12d %12d %8d | %12.2f %12.2f %+7.2f%%\n",
+			row.Benchmark, row.SimpleOps, row.StaticOps, row.PGOOps, dOps,
+			float64(row.StaticTime)/1e6, float64(row.PGOTime)/1e6, dTime)
+	}
+	return b.String()
+}

@@ -11,6 +11,23 @@ import (
 // count).
 const LoopFreq = 10.0
 
+// FreqProvider supplies measured frequency factors for compound-statement
+// sites (see internal/profile), overriding the static ×10/÷2/÷k scaling of
+// adjustFrequency. Every query may decline (ok == false) — e.g. the site
+// was never reached while profiling — in which case the analysis falls
+// back to the static heuristic for exactly that site.
+type FreqProvider interface {
+	// LoopFactor is the measured expected iteration count per arrival at
+	// the loop (replaces LoopFreq).
+	LoopFactor(site string) (float64, bool)
+	// BranchFactors are the measured then/else probabilities (replace the
+	// uniform 0.5/0.5).
+	BranchFactors(site string) (thenF, elseF float64, ok bool)
+	// SwitchFactors are the measured per-case probabilities in declaration
+	// order (replace the uniform 1/k).
+	SwitchFactors(site string, ncases int) ([]float64, bool)
+}
+
 // Result carries the per-statement possible-placement sets for a program.
 type Result struct {
 	// Reads maps each statement S to RemoteReads(S): tuples placeable just
@@ -25,16 +42,26 @@ type Result struct {
 	ExitWrites map[*simple.Func]*Set
 }
 
-// Analyze runs possible-placement analysis over every function.
+// Analyze runs possible-placement analysis over every function using the
+// static frequency heuristics.
 func Analyze(prog *simple.Program, rw *rwsets.Result, loc *locality.Result) *Result {
+	return AnalyzeProfiled(prog, rw, loc, nil)
+}
+
+// AnalyzeProfiled is Analyze with measured frequency factors: wherever fp
+// answers for a site, its factor replaces the static constant; everywhere
+// else (fp nil, site unassigned, or no data) the static heuristics apply
+// unchanged.
+func AnalyzeProfiled(prog *simple.Program, rw *rwsets.Result, loc *locality.Result, fp FreqProvider) *Result {
 	res := &Result{
 		Reads:      make(map[simple.Stmt]*Set),
 		Writes:     make(map[simple.Stmt]*Set),
 		EntryReads: make(map[*simple.Func]*Set),
 		ExitWrites: make(map[*simple.Func]*Set),
 	}
-	a := &analysis{rw: rw, loc: loc, res: res}
+	a := &analysis{rw: rw, loc: loc, res: res, fp: fp}
 	for _, f := range prog.Funcs {
+		a.fn = f
 		res.EntryReads[f] = a.readsSeq(f.Body)
 		res.ExitWrites[f] = a.writesSeq(f.Body)
 	}
@@ -45,7 +72,49 @@ type analysis struct {
 	rw      *rwsets.Result
 	loc     *locality.Result
 	res     *Result
+	fp      FreqProvider // nil: static heuristics only
+	fn      *simple.Func // function under analysis (for site keys)
 	retMemo map[simple.Stmt]bool
+}
+
+// branchFactors returns the then/else scaling of an if: measured when the
+// profile knows the site, the paper's uniform 0.5/0.5 otherwise.
+func (a *analysis) branchFactors(st *simple.If) (float64, float64) {
+	if a.fp != nil && st.Site != 0 {
+		if tf, ef, ok := a.fp.BranchFactors(simple.CompoundSiteKey(a.fn.Name, st.Site)); ok {
+			return tf, ef
+		}
+	}
+	return 0.5, 0.5
+}
+
+// switchFactors returns the per-case scaling of a switch: measured when
+// known, the paper's uniform 1/k otherwise.
+func (a *analysis) switchFactors(st *simple.Switch) []float64 {
+	n := len(st.Cases)
+	if a.fp != nil && st.Site != 0 {
+		if fs, ok := a.fp.SwitchFactors(simple.CompoundSiteKey(a.fn.Name, st.Site), n); ok {
+			return fs
+		}
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 1.0 / float64(n)
+	}
+	return out
+}
+
+// loopFactor returns the iteration scaling applied when hoisting out of a
+// loop: measured when known, LoopFreq otherwise.
+func (a *analysis) loopFactor(loop simple.Stmt) float64 {
+	if a.fp != nil {
+		if site := simple.SiteOf(loop); site != 0 {
+			if f, ok := a.fp.LoopFactor(simple.CompoundSiteKey(a.fn.Name, site)); ok {
+				return f
+			}
+		}
+	}
+	return LoopFreq
 }
 
 // containsReturn reports whether the statement subtree can return from the
@@ -162,20 +231,21 @@ func (a *analysis) readsStmt(s simple.Stmt) *Set {
 		thenSet := a.readsSeq(st.Then)
 		elseSet := a.readsSeq(st.Else)
 		out := NewSet()
-		thenSet.scale(0.5)
-		elseSet.scale(0.5)
+		tf, ef := a.branchFactors(st)
+		thenSet.scale(tf)
+		elseSet.scale(ef)
 		out.AddAll(thenSet)
 		out.AddAll(elseSet)
 		return out
 	case *simple.Switch:
 		out := NewSet()
-		n := len(st.Cases)
-		if n == 0 {
+		if len(st.Cases) == 0 {
 			return out
 		}
-		for _, cc := range st.Cases {
+		factors := a.switchFactors(st)
+		for i, cc := range st.Cases {
 			cs := a.readsSeq(cc.Body)
-			cs.scale(1.0 / float64(n))
+			cs.scale(factors[i])
 			out.AddAll(cs)
 		}
 		return out
@@ -248,7 +318,7 @@ func (a *analysis) hoistLoop(loop simple.Stmt, top *Set) *Set {
 			continue
 		}
 		nt := t.clone()
-		nt.Freq *= LoopFreq
+		nt.Freq *= a.loopFactor(loop)
 		for _, w := range a.directAccessLabels(loop, t.P, t.Off, true) {
 			if nt.CrossedW == nil {
 				nt.CrossedW = make(map[int]bool)
@@ -325,15 +395,16 @@ func (a *analysis) writesStmt(s simple.Stmt) *Set {
 		thenSet := a.writesSeq(st.Then)
 		elseSet := a.writesSeq(st.Else)
 		out := NewSet()
+		tf, ef := a.branchFactors(st)
 		// Conservative: only tuples written on *all* alternatives may move
 		// below the conditional (no spurious writes).
 		for _, t := range thenSet.Tuples() {
 			if other := elseSet.Get(t.Key()); other != nil {
 				a1 := t.clone()
-				a1.Freq *= 0.5
+				a1.Freq *= tf
 				out.Add(a1)
 				a2 := other.clone()
-				a2.Freq *= 0.5
+				a2.Freq *= ef
 				out.Add(a2)
 			}
 		}
@@ -356,6 +427,7 @@ func (a *analysis) writesStmt(s simple.Stmt) *Set {
 			// Some execution may take no case; nothing may move below.
 			return out
 		}
+		factors := a.switchFactors(st)
 		for _, t := range caseSets[0].Tuples() {
 			inAll := true
 			for _, cs := range caseSets[1:] {
@@ -367,9 +439,9 @@ func (a *analysis) writesStmt(s simple.Stmt) *Set {
 			if !inAll {
 				continue
 			}
-			for _, cs := range caseSets {
+			for i, cs := range caseSets {
 				ct := cs.Get(t.Key()).clone()
-				ct.Freq *= 1.0 / float64(n)
+				ct.Freq *= factors[i]
 				out.Add(ct)
 			}
 		}

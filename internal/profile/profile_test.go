@@ -1,0 +1,120 @@
+package profile
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sample() *Data {
+	d := New()
+	d.SourceHash = HashSource("int main() { return 0; }")
+	d.Runs = 1
+	d.LoopEnter("f:C1")
+	for i := 0; i < 7; i++ {
+		d.LoopTrip("f:C1")
+	}
+	d.BranchEnter("f:C2")
+	d.BranchEnter("f:C2")
+	d.BranchEnter("f:C2")
+	d.BranchThen("f:C2")
+	d.SwitchEnter("f:C3")
+	d.SwitchEnter("f:C3")
+	d.SwitchCase("f:C3", 0)
+	d.SwitchCase("f:C3", 2)
+	d.RecordAccess("f:S5", true)
+	d.RecordAccess("f:S5", false)
+	return d
+}
+
+func TestRoundTrip(t *testing.T) {
+	d := sample()
+	var buf bytes.Buffer
+	if err := d.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := got.Write(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	var buf1 bytes.Buffer
+	if err := d.Write(&buf1); err != nil {
+		t.Fatal(err)
+	}
+	if buf1.String() != buf2.String() {
+		t.Fatalf("round trip not byte-identical:\n%s\nvs\n%s", buf1.String(), buf2.String())
+	}
+	if got.SourceHash != d.SourceHash || got.Runs != 1 {
+		t.Fatalf("round trip lost metadata: %+v", got)
+	}
+}
+
+func TestMergeSums(t *testing.T) {
+	a, b := sample(), sample()
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Runs != 2 {
+		t.Fatalf("Runs = %d, want 2", a.Runs)
+	}
+	if l := a.Loops["f:C1"]; l.Entries != 2 || l.Trips != 14 {
+		t.Fatalf("loop not summed: %+v", l)
+	}
+	if br := a.Branches["f:C2"]; br.Entries != 6 || br.Then != 2 {
+		t.Fatalf("branch not summed: %+v", br)
+	}
+	if s := a.Switches["f:C3"]; s.Entries != 4 || s.Cases[0] != 2 || s.Cases[2] != 2 {
+		t.Fatalf("switch not summed: %+v", s)
+	}
+	if ac := a.Accesses["f:S5"]; ac.Execs != 4 || ac.Remote != 2 {
+		t.Fatalf("access not summed: %+v", ac)
+	}
+}
+
+func TestMergeRejectsDifferentSources(t *testing.T) {
+	a, b := sample(), sample()
+	b.SourceHash = HashSource("something else entirely")
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merge of profiles with different source hashes succeeded")
+	}
+}
+
+func TestReadRejectsBadVersion(t *testing.T) {
+	_, err := Read(strings.NewReader(`{"version": 99, "runs": 1}`))
+	if err == nil {
+		t.Fatal("Read accepted an unsupported version")
+	}
+}
+
+func TestFactors(t *testing.T) {
+	d := sample()
+	if f, ok := d.LoopFactor("f:C1"); !ok || f != 7 {
+		t.Fatalf("LoopFactor = %v, %v; want 7, true", f, ok)
+	}
+	tf, ef, ok := d.BranchFactors("f:C2")
+	if !ok || math.Abs(tf-1.0/3) > 1e-12 || math.Abs(ef-2.0/3) > 1e-12 {
+		t.Fatalf("BranchFactors = %v, %v, %v", tf, ef, ok)
+	}
+	fs, ok := d.SwitchFactors("f:C3", 3)
+	if !ok || fs[0] != 0.5 || fs[1] != 0 || fs[2] != 0.5 {
+		t.Fatalf("SwitchFactors = %v, %v", fs, ok)
+	}
+	if execs, remote, ok := d.AccessCount("f:S5"); !ok || execs != 2 || remote != 1 {
+		t.Fatalf("AccessCount = %d, %d, %v", execs, remote, ok)
+	}
+	// Unknown sites decline so callers keep the static heuristics.
+	if _, ok := d.LoopFactor("f:C9"); ok {
+		t.Fatal("LoopFactor answered for an unknown site")
+	}
+	if _, _, ok := d.BranchFactors("f:C9"); ok {
+		t.Fatal("BranchFactors answered for an unknown site")
+	}
+	if _, ok := d.SwitchFactors("f:C9", 2); ok {
+		t.Fatal("SwitchFactors answered for an unknown site")
+	}
+}

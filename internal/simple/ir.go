@@ -325,6 +325,7 @@ type If struct {
 	Cond Cond
 	Then *Seq
 	Else *Seq // may be empty, never nil
+	Site int  // stable profiling site ID (see AssignSites); 0 = unassigned
 }
 
 // SwitchCase is one alternative of a Switch.
@@ -338,6 +339,7 @@ type SwitchCase struct {
 type Switch struct {
 	Tag   Atom
 	Cases []*SwitchCase
+	Site  int // stable profiling site ID
 }
 
 // While is a top-tested loop. Eval re-computes the condition's inputs; it is
@@ -347,6 +349,7 @@ type While struct {
 	Eval *Seq
 	Cond Cond
 	Body *Seq
+	Site int // stable profiling site ID
 }
 
 // Do is a bottom-tested loop; Eval recomputes the condition inputs after
@@ -355,6 +358,7 @@ type Do struct {
 	Body *Seq
 	Eval *Seq
 	Cond Cond
+	Site int // stable profiling site ID
 }
 
 // Forall is a parallel loop: Body instances may run concurrently; the
@@ -365,6 +369,7 @@ type Forall struct {
 	Cond Cond
 	Body *Seq
 	Step *Seq
+	Site int // stable profiling site ID
 }
 
 // Par is a parallel statement sequence {^ ... ^}: arms run concurrently and

@@ -67,6 +67,18 @@ const (
 	OpOwnerOf // frame[A] = node id owning address frame[B]
 	OpMyNode  // frame[A] = executing node
 	OpNumNodes
+	// Profiling.
+	OpProbe // record event kind C (site Site, aux D) in the run profile
+)
+
+// Probe kinds (OpProbe.C) recorded against the instruction's Site key.
+const (
+	ProbeLoopEnter   = iota // arrival at a loop statement
+	ProbeLoopTrip           // one loop body execution
+	ProbeBranchEnter        // arrival at an if statement
+	ProbeBranchThen         // then-alternative taken
+	ProbeSwitchEnter        // arrival at a switch statement
+	ProbeSwitchCase         // case D (declaration order) taken
 )
 
 var opNames = map[Op]string{
@@ -83,6 +95,7 @@ var opNames = map[Op]string{
 	OpRet: "ret", OpSharedRead: "shread", OpSharedWrite: "shwrite",
 	OpSharedAdd: "shadd", OpBuiltin: "builtin", OpPrint: "print",
 	OpOwnerOf: "ownerof", OpMyNode: "mynode", OpNumNodes: "numnodes",
+	OpProbe: "probe",
 }
 
 func (o Op) String() string {
@@ -120,6 +133,9 @@ type Instr struct {
 	Fn   *FnCode
 	Args []int
 	Str  string
+	// Site is the profiling site key this instruction reports under (probes
+	// and instrumented remote accesses; "" otherwise). See internal/profile.
+	Site string
 }
 
 // String disassembles the instruction.
@@ -138,6 +154,9 @@ func (in Instr) String() string {
 	}
 	if in.Str != "" {
 		fmt.Fprintf(&b, " str=%q", in.Str)
+	}
+	if in.Site != "" {
+		fmt.Fprintf(&b, " site=%s", in.Site)
 	}
 	return b.String()
 }
@@ -176,4 +195,7 @@ type Program struct {
 	GlobalSlot map[string]int
 	// SharedGlobals marks globals that are EARTH-C shared variables.
 	SharedGlobals map[string]bool
+	// Profiled records that the code carries profiling probes and site
+	// tags; the simulator then collects a Profile alongside Counts.
+	Profiled bool
 }

@@ -16,6 +16,10 @@ type Options struct {
 	// memory access is a direct local access with no EARTH runtime calls.
 	// Such code is only valid on a 1-node machine.
 	Sequential bool
+	// Profile emits profiling probes at compound statements and tags
+	// remote-access instructions with their site keys, so a simulator run
+	// collects a profile.Data (see internal/profile) alongside Counts.
+	Profile bool
 }
 
 // Additional direct-memory opcodes used for local (or sequential-mode)
@@ -46,6 +50,7 @@ func Generate(prog *simple.Program, loc *locality.Result, opt Options) (*Program
 			Funcs:         make(map[string]*FnCode),
 			GlobalSlot:    make(map[string]int),
 			SharedGlobals: make(map[string]bool),
+			Profiled:      opt.Profile,
 		}}
 	for _, gv := range prog.Globals {
 		g.out.GlobalSlot[gv.Name] = g.out.GlobalWords
@@ -87,6 +92,10 @@ type gen struct {
 	fn    *simple.Func
 	fc    *FnCode
 	slots map[*simple.Var]int
+	// curSite is the profiling site key of the basic statement being
+	// compiled (set only under opt.Profile); remote-access instructions
+	// emitted for it carry the key so the simulator can attribute ops.
+	curSite string
 	// family collects the fiber bodies (forall iterations, parallel arms)
 	// created while compiling the current function; they share the
 	// function's frame layout, so their NSlots are unified to the final

@@ -14,6 +14,16 @@ func (g *gen) seq(fc *FnCode, s *simple.Seq) {
 	}
 }
 
+// probe emits a profiling probe for a compound-statement site (no-op unless
+// profiling is on and the statement carries a site ID).
+func (g *gen) probe(fc *FnCode, kind int, site int, aux int) {
+	if !g.opt.Profile || site == 0 {
+		return
+	}
+	g.emit(fc, Instr{Op: OpProbe, C: kind, D: aux,
+		Site: simple.CompoundSiteKey(g.fn.Name, site)})
+}
+
 func (g *gen) stmt(fc *FnCode, st simple.Stmt) {
 	if g.err != nil {
 		return
@@ -24,8 +34,10 @@ func (g *gen) stmt(fc *FnCode, st simple.Stmt) {
 	case *simple.Seq:
 		g.seq(fc, c)
 	case *simple.If:
+		g.probe(fc, ProbeBranchEnter, c.Site, 0)
 		cond := g.cond(fc, c.Cond)
 		jElse := g.emit(fc, Instr{Op: OpJmpIfNot, A: cond})
+		g.probe(fc, ProbeBranchThen, c.Site, 0)
 		g.seq(fc, c.Then)
 		if len(c.Else.Stmts) == 0 {
 			fc.Code[jElse].C = len(fc.Code)
@@ -38,15 +50,19 @@ func (g *gen) stmt(fc *FnCode, st simple.Stmt) {
 	case *simple.Switch:
 		g.switchStmt(fc, c)
 	case *simple.While:
+		g.probe(fc, ProbeLoopEnter, c.Site, 0)
 		top := len(fc.Code)
 		g.seq(fc, c.Eval)
 		cond := g.cond(fc, c.Cond)
 		jEnd := g.emit(fc, Instr{Op: OpJmpIfNot, A: cond})
+		g.probe(fc, ProbeLoopTrip, c.Site, 0)
 		g.seq(fc, c.Body)
 		g.emit(fc, Instr{Op: OpJmp, C: top})
 		fc.Code[jEnd].C = len(fc.Code)
 	case *simple.Do:
+		g.probe(fc, ProbeLoopEnter, c.Site, 0)
 		top := len(fc.Code)
+		g.probe(fc, ProbeLoopTrip, c.Site, 0)
 		g.seq(fc, c.Body)
 		g.seq(fc, c.Eval)
 		cond := g.cond(fc, c.Cond)
@@ -74,6 +90,7 @@ func (g *gen) cond(fc *FnCode, c simple.Cond) int {
 }
 
 func (g *gen) switchStmt(fc *FnCode, c *simple.Switch) {
+	g.probe(fc, ProbeSwitchEnter, c.Site, 0)
 	tag := g.atom(fc, c.Tag)
 	type caseRef struct {
 		jumps []int // OpJmpEq indices
@@ -97,6 +114,7 @@ func (g *gen) switchStmt(fc *FnCode, c *simple.Switch) {
 	var ends []int
 	for i, r := range refs {
 		start := len(fc.Code)
+		g.probe(fc, ProbeSwitchCase, c.Site, i) // jumps land on the probe
 		for _, j := range r.jumps {
 			fc.Code[j].C = start
 		}
@@ -120,10 +138,12 @@ func (g *gen) switchStmt(fc *FnCode, c *simple.Switch) {
 // serialized.
 func (g *gen) forall(fc *FnCode, c *simple.Forall) {
 	if g.opt.Sequential {
+		g.probe(fc, ProbeLoopEnter, c.Site, 0)
 		top := len(fc.Code)
 		g.seq(fc, c.Eval)
 		cond := g.cond(fc, c.Cond)
 		jEnd := g.emit(fc, Instr{Op: OpJmpIfNot, A: cond})
+		g.probe(fc, ProbeLoopTrip, c.Site, 0)
 		g.seq(fc, c.Body)
 		g.seq(fc, c.Step)
 		g.emit(fc, Instr{Op: OpJmp, C: top})
@@ -149,10 +169,12 @@ func (g *gen) forall(fc *FnCode, c *simple.Forall) {
 	}
 	g.fc = saved
 
+	g.probe(fc, ProbeLoopEnter, c.Site, 0)
 	top := len(fc.Code)
 	g.seq(fc, c.Eval)
 	cond := g.cond(fc, c.Cond)
 	jEnd := g.emit(fc, Instr{Op: OpJmpIfNot, A: cond})
+	g.probe(fc, ProbeLoopTrip, c.Site, 0)
 	g.emit(fc, Instr{Op: OpSpawnIter, Fn: body})
 	g.seq(fc, c.Step)
 	g.emit(fc, Instr{Op: OpJmp, C: top})
@@ -215,6 +237,12 @@ func (g *gen) hasReturnSeq(s *simple.Seq) bool {
 // ------------------------------------------------------------------ basics ---
 
 func (g *gen) basic(fc *FnCode, b *simple.Basic) {
+	if g.opt.Profile && b.Kind == simple.KAssign {
+		// Remote-access instructions emitted for this statement report
+		// under its Si label (see internal/profile).
+		g.curSite = simple.BasicSiteKey(g.fn.Name, b.Label)
+		defer func() { g.curSite = "" }()
+	}
 	switch b.Kind {
 	case simple.KAssign:
 		g.assign(fc, b)
@@ -315,9 +343,9 @@ func (g *gen) assign(fc *FnCode, b *simple.Basic) {
 		val := g.rvalue(fc, b.Rhs, nil)
 		p := g.slot(lhs.P)
 		if g.remotePtr(lhs.P) {
-			g.emit(fc, Instr{Op: OpPut, A: val, B: p, C: lhs.Off})
+			g.emit(fc, Instr{Op: OpPut, A: val, B: p, C: lhs.Off, Site: g.curSite})
 		} else {
-			g.emit(fc, Instr{Op: OpMemStore, A: val, B: p, C: lhs.Off})
+			g.emit(fc, Instr{Op: OpMemStore, A: val, B: p, C: lhs.Off, Site: g.curSite})
 		}
 	case simple.LocalStoreLV:
 		val := g.rvalue(fc, b.Rhs, nil)
@@ -376,9 +404,9 @@ func (g *gen) rvalueInto(fc *FnCode, rv simple.Rvalue, slot int, dstVar *simple.
 		d := dst()
 		p := g.slot(x.P)
 		if g.remotePtr(x.P) {
-			g.emit(fc, Instr{Op: OpGet, A: d, B: p, C: x.Off})
+			g.emit(fc, Instr{Op: OpGet, A: d, B: p, C: x.Off, Site: g.curSite})
 		} else {
-			g.emit(fc, Instr{Op: OpMemLoad, A: d, B: p, C: x.Off})
+			g.emit(fc, Instr{Op: OpMemLoad, A: d, B: p, C: x.Off, Site: g.curSite})
 		}
 		return d
 	case simple.LocalLoadRV:
