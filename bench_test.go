@@ -106,8 +106,9 @@ func BenchmarkCompile(b *testing.B) {
 	bm := olden.ByName("health")
 	src := bm.Source(bm.DefaultParams)
 	b.ReportAllocs()
+	p := core.NewPipeline(core.Options{Optimize: true})
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Compile("health.ec", src, core.Options{Optimize: true}); err != nil {
+		if _, err := p.Compile("health.ec", src); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -118,13 +119,14 @@ func BenchmarkCompile(b *testing.B) {
 func BenchmarkSimulator(b *testing.B) {
 	bm := olden.ByName("power")
 	src := bm.Source(quickParams(bm))
-	u, err := core.Compile("power.ec", src, core.Options{Optimize: true})
+	p := core.NewPipeline(core.Options{Optimize: true})
+	u, err := p.Compile("power.ec", src)
 	if err != nil {
 		b.Fatal(err)
 	}
 	var instr int64
 	for i := 0; i < b.N; i++ {
-		res, err := u.Run(core.RunConfig{Nodes: 4})
+		res, err := p.Run(u, core.RunConfig{Nodes: 4})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -16,6 +16,8 @@
 //	-no-inline         disable Phase I function inlining
 //	-threshold N       blocking threshold in words (default 3)
 //	-report            print the communication-selection report
+//	-stats             print per-phase compile timings and optimization
+//	                   counters
 //	-reorder           cluster remotely-accessed struct fields (paper's §7)
 //	-profile-gen out   compile instrumented, run on -nodes, write the
 //	                   profile artifact to out (no dump)
@@ -44,6 +46,7 @@ func main() {
 	noInline := flag.Bool("no-inline", false, "disable function inlining")
 	threshold := flag.Int("threshold", 3, "blocking threshold in words")
 	report := flag.Bool("report", false, "print the selection report")
+	stats := flag.Bool("stats", false, "print per-phase compile timings and optimization counters")
 	reorder := flag.Bool("reorder", false, "reorder struct fields to cluster remote accesses")
 	profGen := flag.String("profile-gen", "", "collect a profile via an instrumented run and write it here")
 	profUse := flag.String("profile-use", "", "optimize using a previously collected profile (implies -O)")
@@ -61,11 +64,12 @@ func main() {
 	}
 
 	if *profGen != "" {
-		u, err := core.Compile(name, string(src), core.Options{NoInline: *noInline})
+		p := core.NewPipeline(core.Options{NoInline: *noInline})
+		u, err := p.Compile(name, string(src))
 		if err != nil {
 			fatal(err)
 		}
-		res, err := u.Run(core.RunConfig{Nodes: *nodes, Profile: true})
+		res, err := p.Run(u, core.RunConfig{Nodes: *nodes, Profile: true})
 		if err != nil {
 			fatal(err)
 		}
@@ -77,7 +81,8 @@ func main() {
 		return
 	}
 
-	opts := core.Options{Optimize: *optimize, NoInline: *noInline, ReorderFields: *reorder}
+	opts := core.Options{Optimize: *optimize, NoInline: *noInline, ReorderFields: *reorder,
+		Stats: *stats}
 	opts.Sel.BlockThreshold = *threshold
 	if *profUse != "" {
 		p, err := profile.ReadFile(*profUse)
@@ -87,7 +92,7 @@ func main() {
 		opts.Profile = p
 		opts.Optimize = true
 	}
-	u, err := core.Compile(name, string(src), opts)
+	u, err := core.NewPipeline(opts).Compile(name, string(src))
 	if err != nil {
 		fatal(err)
 	}
@@ -147,6 +152,9 @@ func main() {
 	}
 	if *report && u.Report != nil {
 		fmt.Println(u.Report)
+	}
+	if *stats && u.Stats != nil {
+		fmt.Print(u.Stats)
 	}
 }
 

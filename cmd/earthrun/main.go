@@ -14,6 +14,15 @@
 //	                  profile artifact at out
 //	-profile-use in   optimize using a previously collected profile
 //	                  (implies -O)
+//	-trace out.json   record per-message/per-unit events and write a Chrome
+//	                  trace_event file (open in chrome://tracing or Perfetto)
+//	-trace-summary    print a text summary of the recorded events (latency
+//	                  histograms, per-site traffic, utilization); implies
+//	                  recording even without -trace
+//	-cost spec        override simulator cost parameters, e.g.
+//	                  "NetLatency=2500,SUService=800"
+//
+// With -compare, tracing applies to the optimized run.
 package main
 
 import (
@@ -22,7 +31,9 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/earthsim"
 	"repro/internal/profile"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -33,6 +44,9 @@ func main() {
 	compare := flag.Bool("compare", false, "run simple and optimized, compare")
 	profOut := flag.String("profile", "", "instrument the run and write/merge the profile here")
 	profUse := flag.String("profile-use", "", "optimize using a previously collected profile (implies -O)")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file of the run here")
+	traceSum := flag.Bool("trace-summary", false, "print a text summary of recorded events")
+	costSpec := flag.String("cost", "", "cost-model overrides, e.g. \"NetLatency=2500,SUService=800\"")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: earthrun [flags] file.ec")
@@ -46,6 +60,11 @@ func main() {
 	}
 	src := string(srcBytes)
 
+	machine, err := earthsim.ParseOverrides(*costSpec)
+	if err != nil {
+		fatal(err)
+	}
+
 	var prof *profile.Data
 	if *profUse != "" {
 		prof, err = profile.ReadFile(*profUse)
@@ -55,12 +74,18 @@ func main() {
 		*optimize = true
 	}
 
+	var rec *trace.Recorder
+	if *traceOut != "" || *traceSum {
+		rec = trace.NewRecorder(*nodes)
+	}
+
 	if *compare {
-		simple, err := run(name, src, runOpts{nodes: *nodes, seq: *seq})
+		simple, err := run(name, src, runOpts{nodes: *nodes, seq: *seq, machine: machine})
 		if err != nil {
 			fatal(err)
 		}
-		opt, err := run(name, src, runOpts{optimize: true, nodes: *nodes, seq: *seq, prof: prof})
+		opt, err := run(name, src, runOpts{optimize: true, nodes: *nodes, seq: *seq,
+			prof: prof, machine: machine, rec: rec})
 		if err != nil {
 			fatal(err)
 		}
@@ -71,12 +96,14 @@ func main() {
 		fmt.Printf("simple:    %12d ns   %s\n", simple.time, simple.counts)
 		fmt.Printf("optimized: %12d ns   %s\n", opt.time, opt.counts)
 		fmt.Printf("improvement: %.2f%%\n", 100*(1-float64(opt.time)/float64(simple.time)))
+		emitTrace(rec, *traceOut, *traceSum)
 		return
 	}
 
 	r, err := run(name, src, runOpts{
 		optimize: *optimize, nodes: *nodes, seq: *seq,
 		prof: prof, instrument: *profOut != "",
+		machine: machine, rec: rec,
 	})
 	if err != nil {
 		fatal(err)
@@ -93,6 +120,32 @@ func main() {
 	if *stats {
 		fmt.Printf("time: %d ns (%.3f ms) on %d node(s)\n", r.time, float64(r.time)/1e6, *nodes)
 		fmt.Printf("comm: %s\n", r.counts)
+	}
+	emitTrace(rec, *traceOut, *traceSum)
+}
+
+// emitTrace writes the Chrome trace file and/or prints the text summary.
+func emitTrace(rec *trace.Recorder, out string, summary bool) {
+	if rec == nil {
+		return
+	}
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rec.WriteChrome(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "earthrun: trace written to %s (%d messages, %d spans)\n",
+			out, len(rec.Msgs()), len(rec.Spans()))
+	}
+	if summary {
+		fmt.Print(rec.Summarize().String())
 	}
 }
 
@@ -116,8 +169,10 @@ type runOpts struct {
 	optimize   bool
 	nodes      int
 	seq        bool
-	prof       *profile.Data // measured frequencies for the optimizer
-	instrument bool          // collect a profile during the run
+	prof       *profile.Data    // measured frequencies for the optimizer
+	instrument bool             // collect a profile during the run
+	machine    *earthsim.Config // cost-model override
+	rec        *trace.Recorder  // event sink (nil = no tracing)
 }
 
 type runResult struct {
@@ -128,14 +183,16 @@ type runResult struct {
 }
 
 func run(name, src string, ro runOpts) (*runResult, error) {
-	u, err := core.Compile(name, src, core.Options{Optimize: ro.optimize, Profile: ro.prof})
+	p := core.NewPipeline(core.Options{Optimize: ro.optimize, Profile: ro.prof, Trace: ro.rec})
+	u, err := p.Compile(name, src)
 	if err != nil {
 		return nil, err
 	}
 	for _, w := range u.Warnings {
 		fmt.Fprintln(os.Stderr, "earthrun: warning:", w)
 	}
-	res, err := u.Run(core.RunConfig{Nodes: ro.nodes, Sequential: ro.seq, Profile: ro.instrument})
+	res, err := p.Run(u, core.RunConfig{Nodes: ro.nodes, Sequential: ro.seq,
+		Profile: ro.instrument, Machine: ro.machine})
 	if err != nil {
 		return nil, err
 	}

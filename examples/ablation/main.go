@@ -19,7 +19,12 @@ func main() {
 		params := bm.DefaultParams
 		src := bm.Source(params)
 
-		base, err := core.CompileAndRun(name+".ec", src, false, 4)
+		basePipe := core.NewPipeline(core.Options{})
+		baseUnit, err := basePipe.Compile(name+".ec", src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		base, err := basePipe.Run(baseUnit, core.RunConfig{Nodes: 4})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -27,11 +32,12 @@ func main() {
 			name, float64(base.Time)/1e6)
 
 		run := func(label string, sel commsel.Options) {
-			u, err := core.Compile(name+".ec", src, core.Options{Optimize: true, Sel: sel})
+			p := core.NewPipeline(core.Options{Optimize: true, Sel: sel})
+			u, err := p.Compile(name+".ec", src)
 			if err != nil {
 				log.Fatal(err)
 			}
-			res, err := u.Run(core.RunConfig{Nodes: 4})
+			res, err := p.Run(u, core.RunConfig{Nodes: 4})
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -45,12 +51,12 @@ func main() {
 
 		run("full optimization", commsel.Options{})
 		runReorder := func(label string) {
-			u, err := core.Compile(name+".ec", src, core.Options{
-				Optimize: true, ReorderFields: true})
+			p := core.NewPipeline(core.Options{Optimize: true, ReorderFields: true})
+			u, err := p.Compile(name+".ec", src)
 			if err != nil {
 				log.Fatal(err)
 			}
-			res, err := u.Run(core.RunConfig{Nodes: 4})
+			res, err := p.Run(u, core.RunConfig{Nodes: 4})
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -18,25 +18,31 @@ func main() {
 	src := bm.Source(params)
 	fmt.Printf("health: %d levels, %d time steps\n\n", params.Size, params.Iters)
 
-	u, err := core.Compile("health.ec", src, core.Options{})
+	simplePipe := core.NewPipeline(core.Options{})
+	optPipe := core.NewPipeline(core.Options{Optimize: true})
+	u, err := simplePipe.Compile("health.ec", src)
 	if err != nil {
 		log.Fatal(err)
 	}
-	seq, err := u.Run(core.RunConfig{Nodes: 1, Sequential: true})
+	seq, err := simplePipe.Run(u, core.RunConfig{Nodes: 1, Sequential: true})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("sequential C baseline: %8.3f ms  output=%q\n\n",
 		float64(seq.Time)/1e6, seq.Output)
 
+	ou, err := optPipe.Compile("health.ec", src)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("%6s %12s %12s %8s %8s %8s\n",
 		"nodes", "simple (ms)", "opt (ms)", "s.speed", "o.speed", "impr%")
 	for _, nodes := range []int{1, 2, 4, 8} {
-		sres, err := core.CompileAndRun("health.ec", src, false, nodes)
+		sres, err := simplePipe.Run(u, core.RunConfig{Nodes: nodes})
 		if err != nil {
 			log.Fatal(err)
 		}
-		ores, err := core.CompileAndRun("health.ec", src, true, nodes)
+		ores, err := optPipe.Run(ou, core.RunConfig{Nodes: nodes})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -83,8 +83,8 @@ int main() {
 `
 
 func main() {
-	opts := core.Options{Optimize: true, NoInline: true}
-	u, err := core.Compile("listsearch.ec", src, opts)
+	optPipe := core.NewPipeline(core.Options{Optimize: true, NoInline: true})
+	u, err := optPipe.Compile("listsearch.ec", src)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -105,15 +105,16 @@ func main() {
 	fmt.Println(simple.FuncString(fn, simple.PrintOptions{Labels: true}))
 	fmt.Println(u.Report)
 
-	simpleUnit, err := core.Compile("listsearch.ec", src, core.Options{NoInline: true})
+	simplePipe := core.NewPipeline(core.Options{NoInline: true})
+	simpleUnit, err := simplePipe.Compile("listsearch.ec", src)
 	if err != nil {
 		log.Fatal(err)
 	}
-	sres, err := simpleUnit.Run(core.RunConfig{Nodes: 4})
+	sres, err := simplePipe.Run(simpleUnit, core.RunConfig{Nodes: 4})
 	if err != nil {
 		log.Fatal(err)
 	}
-	ores, err := u.Run(core.RunConfig{Nodes: 4})
+	ores, err := optPipe.Run(u, core.RunConfig{Nodes: 4})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -44,12 +44,14 @@ int main() {
 
 func main() {
 	// Compile without the communication optimization ("simple")...
-	simpleUnit, err := core.Compile("distance.ec", src, core.Options{NoInline: true})
+	simplePipe := core.NewPipeline(core.Options{NoInline: true})
+	simpleUnit, err := simplePipe.Compile("distance.ec", src)
 	if err != nil {
 		log.Fatal(err)
 	}
 	// ...and with it.
-	optUnit, err := core.Compile("distance.ec", src, core.Options{Optimize: true, NoInline: true})
+	optPipe := core.NewPipeline(core.Options{Optimize: true, NoInline: true})
+	optUnit, err := optPipe.Compile("distance.ec", src)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -62,11 +64,11 @@ func main() {
 	fmt.Println()
 
 	// Run both on a 2-node machine and compare.
-	sres, err := simpleUnit.Run(core.RunConfig{Nodes: 2})
+	sres, err := simplePipe.Run(simpleUnit, core.RunConfig{Nodes: 2})
 	if err != nil {
 		log.Fatal(err)
 	}
-	ores, err := optUnit.Run(core.RunConfig{Nodes: 2})
+	ores, err := optPipe.Run(optUnit, core.RunConfig{Nodes: 2})
 	if err != nil {
 		log.Fatal(err)
 	}

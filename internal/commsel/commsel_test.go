@@ -11,7 +11,7 @@ import (
 
 func optimized(t *testing.T, src string, sel commsel.Options) *core.Unit {
 	t.Helper()
-	u, err := core.Compile("t.ec", src, core.Options{Optimize: true, NoInline: true, Sel: sel})
+	u, err := core.NewPipeline(core.Options{Optimize: true, NoInline: true, Sel: sel}).Compile("t.ec", src)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,19 +9,18 @@
 package core
 
 import (
-	"fmt"
 	"sort"
 
 	"repro/internal/commsel"
 	"repro/internal/earthc"
 	"repro/internal/locality"
-	"repro/internal/lower"
 	"repro/internal/placement"
 	"repro/internal/pointsto"
 	"repro/internal/profile"
 	"repro/internal/rwsets"
 	"repro/internal/sema"
 	"repro/internal/simple"
+	"repro/internal/trace"
 )
 
 // Options configure compilation.
@@ -45,12 +44,20 @@ type Options struct {
 	// with the permuted layouts.
 	ReorderFields bool
 	// Profile supplies measured execution frequencies from an instrumented
-	// simulator run (see internal/profile and CompileWithProfile): the
+	// simulator run (see internal/profile and Pipeline.ProfileCycle): the
 	// placement analysis replaces its static ×10/÷2/÷k guesses with the
 	// measured per-site factors and selection becomes profile-guided. A
 	// profile whose source hash does not match the unit being compiled is
 	// ignored with a warning (static heuristics apply).
 	Profile *profile.Data
+	// Stats collects per-phase compiler timings and communication
+	// optimization counters on the compiled unit (Unit.Stats).
+	Stats bool
+	// Trace, when non-nil, receives simulator events from every run the
+	// pipeline performs (see internal/trace). Tracing is purely
+	// observational: a traced run produces a bit-identical Result to an
+	// untraced one.
+	Trace *trace.Recorder
 }
 
 // Unit is a compiled translation unit with all intermediate artifacts.
@@ -69,90 +76,32 @@ type Unit struct {
 	SourceHash string
 	// Warnings are non-fatal compilation notes (e.g. a stale profile).
 	Warnings []string
+	// Stats holds per-phase timings and optimization counters; nil unless
+	// the pipeline's Stats option was on.
+	Stats *trace.CompileStats
+
+	// pipe is the pipeline that built this unit; the deprecated Unit.Run
+	// delegates through it so trace sinks keep working.
+	pipe *Pipeline
 }
 
 // Profiles implement placement.FreqProvider directly.
 var _ placement.FreqProvider = (*profile.Data)(nil)
 
 // Compile runs the full pipeline over EARTH-C source text.
+//
+// Deprecated: construct a Pipeline and call its Compile method.
 func Compile(name, src string, opt Options) (*Unit, error) {
-	file, err := earthc.ParseFile(name, src)
-	if err != nil {
-		return nil, err
-	}
-	hash := profile.HashSource(src)
-	var warnings []string
-	if opt.Profile != nil && opt.Profile.SourceHash != "" && opt.Profile.SourceHash != hash {
-		warnings = append(warnings,
-			"profile is stale (collected from a different source revision); falling back to static frequency heuristics")
-		opt.Profile = nil
-	}
-	u, err := CompileFile(file, opt)
-	if err != nil {
-		return nil, err
-	}
-	u.SourceHash = hash
-	u.Warnings = append(warnings, u.Warnings...)
-	return u, nil
+	return NewPipeline(opt).Compile(name, src)
 }
 
 // CompileFile runs the pipeline from a parsed (possibly programmatically
 // constructed) AST. The AST is modified in place by loop desugaring and
 // goto elimination.
+//
+// Deprecated: construct a Pipeline and call its CompileAST method.
 func CompileFile(file *earthc.File, opt Options) (*Unit, error) {
-	if !opt.NoInline {
-		earthc.InlineFunctions(file, opt.Inline)
-	}
-	for _, fn := range file.Funcs {
-		if err := earthc.DesugarLoops(fn); err != nil {
-			return nil, fmt.Errorf("%s: %w", file.Name, err)
-		}
-		if err := earthc.EliminateGotos(fn); err != nil {
-			return nil, fmt.Errorf("%s: %w", file.Name, err)
-		}
-	}
-	if opt.ReorderFields {
-		// Probe compile (unoptimized) to count remote field accesses on
-		// the original layouts, then permute and compile for real.
-		probe, err := build(file, Options{})
-		if err != nil {
-			return nil, err
-		}
-		reorderStructFields(file, probe)
-	}
-	return build(file, opt)
-}
-
-// build runs semantic analysis through communication selection on an
-// already-restructured AST.
-func build(file *earthc.File, opt Options) (*Unit, error) {
-	sm, err := sema.Check(file)
-	if err != nil {
-		return nil, err
-	}
-	sp, err := lower.Program(sm)
-	if err != nil {
-		return nil, err
-	}
-	// Site IDs are assigned on the freshly-lowered SIMPLE form, before any
-	// transformation: the instrumented (unoptimized) compile and a later
-	// profile-guided compile of the same source then agree on every key.
-	simple.AssignSites(sp)
-	u := &Unit{Name: file.Name, File: file, Sema: sm, Simple: sp}
-	u.PointsTo = pointsto.Analyze(sp)
-	u.RWSets = rwsets.Analyze(sp, u.PointsTo)
-	u.Locality = locality.Analyze(sp, u.PointsTo)
-	if opt.Optimize {
-		var fp placement.FreqProvider
-		sel := opt.Sel
-		if opt.Profile != nil {
-			fp = opt.Profile
-			sel.ProfileGuided = true
-		}
-		u.Placement = placement.AnalyzeProfiled(sp, u.RWSets, u.Locality, fp)
-		u.Report = commsel.Transform(sp, u.Placement, u.RWSets, u.Locality, sel)
-	}
-	return u, nil
+	return NewPipeline(opt).CompileAST(file)
 }
 
 // reorderStructFields permutes each struct's fields so the most frequently

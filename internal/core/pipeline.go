@@ -1,0 +1,258 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/commsel"
+	"repro/internal/earthc"
+	"repro/internal/earthsim"
+	"repro/internal/locality"
+	"repro/internal/lower"
+	"repro/internal/placement"
+	"repro/internal/pointsto"
+	"repro/internal/profile"
+	"repro/internal/rwsets"
+	"repro/internal/sema"
+	"repro/internal/simple"
+	"repro/internal/threaded"
+	"repro/internal/trace"
+)
+
+// Pipeline is the unified compile-and-run entry point: construct one from
+// Options, then call Compile / CompileAST / Run / ProfileCycle. A Pipeline
+// is cheap (it only holds the options) and safe to reuse across units;
+// observability sinks (Options.Stats, Options.Trace) plug in at
+// construction so every compile and run it performs feeds them.
+//
+// The free functions Compile, CompileFile, CompileAndRun and
+// CompileWithProfile are deprecated wrappers over a throwaway Pipeline.
+type Pipeline struct {
+	opt Options
+}
+
+// NewPipeline builds a pipeline from the given options.
+func NewPipeline(opt Options) *Pipeline { return &Pipeline{opt: opt} }
+
+// Options returns the pipeline's configuration.
+func (p *Pipeline) Options() Options { return p.opt }
+
+// Compile runs the full pipeline over EARTH-C source text.
+func (p *Pipeline) Compile(name, src string) (*Unit, error) {
+	opt := p.opt
+	st := p.newStats()
+	t0 := time.Now()
+	file, err := earthc.ParseFile(name, src)
+	if err != nil {
+		return nil, err
+	}
+	st.AddPhase("parse", time.Since(t0))
+	hash := profile.HashSource(src)
+	var warnings []string
+	if opt.Profile != nil && opt.Profile.SourceHash != "" && opt.Profile.SourceHash != hash {
+		warnings = append(warnings,
+			"profile is stale (collected from a different source revision); falling back to static frequency heuristics")
+		opt.Profile = nil
+	}
+	u, err := p.compileAST(file, opt, st)
+	if err != nil {
+		return nil, err
+	}
+	u.SourceHash = hash
+	u.Warnings = append(warnings, u.Warnings...)
+	return u, nil
+}
+
+// CompileAST runs the pipeline from a parsed (possibly programmatically
+// constructed) AST. The AST is modified in place by loop desugaring and
+// goto elimination.
+func (p *Pipeline) CompileAST(file *earthc.File) (*Unit, error) {
+	return p.compileAST(file, p.opt, p.newStats())
+}
+
+// newStats returns a stats collector when the pipeline asks for one; its
+// nil-receiver methods make the disabled case free.
+func (p *Pipeline) newStats() *trace.CompileStats {
+	if !p.opt.Stats {
+		return nil
+	}
+	return &trace.CompileStats{}
+}
+
+func (p *Pipeline) compileAST(file *earthc.File, opt Options, st *trace.CompileStats) (*Unit, error) {
+	t0 := time.Now()
+	if !opt.NoInline {
+		earthc.InlineFunctions(file, opt.Inline)
+	}
+	st.AddPhase("inline", time.Since(t0))
+	t0 = time.Now()
+	for _, fn := range file.Funcs {
+		if err := earthc.DesugarLoops(fn); err != nil {
+			return nil, fmt.Errorf("%s: %w", file.Name, err)
+		}
+		if err := earthc.EliminateGotos(fn); err != nil {
+			return nil, fmt.Errorf("%s: %w", file.Name, err)
+		}
+	}
+	st.AddPhase("restructure", time.Since(t0))
+	if opt.ReorderFields {
+		// Probe compile (unoptimized, unobserved) to count remote field
+		// accesses on the original layouts, then permute and compile for
+		// real.
+		t0 = time.Now()
+		probe, err := p.build(file, Options{}, nil)
+		if err != nil {
+			return nil, err
+		}
+		reorderStructFields(file, probe)
+		st.AddPhase("reorder", time.Since(t0))
+	}
+	u, err := p.build(file, opt, st)
+	if err != nil {
+		return nil, err
+	}
+	return u, nil
+}
+
+// build runs semantic analysis through communication selection on an
+// already-restructured AST.
+func (p *Pipeline) build(file *earthc.File, opt Options, st *trace.CompileStats) (*Unit, error) {
+	t0 := time.Now()
+	sm, err := sema.Check(file)
+	if err != nil {
+		return nil, err
+	}
+	st.AddPhase("sema", time.Since(t0))
+	t0 = time.Now()
+	sp, err := lower.Program(sm)
+	if err != nil {
+		return nil, err
+	}
+	// Site IDs are assigned on the freshly-lowered SIMPLE form, before any
+	// transformation: the instrumented (unoptimized) compile and a later
+	// profile-guided compile of the same source then agree on every key.
+	simple.AssignSites(sp)
+	st.AddPhase("lower", time.Since(t0))
+	u := &Unit{Name: file.Name, File: file, Sema: sm, Simple: sp, Stats: st, pipe: p}
+	t0 = time.Now()
+	u.PointsTo = pointsto.Analyze(sp)
+	st.AddPhase("pointsto", time.Since(t0))
+	t0 = time.Now()
+	u.RWSets = rwsets.Analyze(sp, u.PointsTo)
+	st.AddPhase("rwsets", time.Since(t0))
+	t0 = time.Now()
+	u.Locality = locality.Analyze(sp, u.PointsTo)
+	st.AddPhase("locality", time.Since(t0))
+	if st != nil {
+		// Candidate remote accesses, counted before selection rewrites the
+		// SIMPLE form.
+		for _, fn := range sp.Funcs {
+			simple.WalkBasics(fn.Body, func(b *simple.Basic) {
+				if b.Kind != simple.KAssign {
+					return
+				}
+				if ld, ok := b.Rhs.(simple.LoadRV); ok && u.Locality.RemoteLoad(ld.P) {
+					st.CandidateReads++
+				}
+				if stv, ok := b.Lhs.(simple.StoreLV); ok && u.Locality.RemoteLoad(stv.P) {
+					st.CandidateWrites++
+				}
+			})
+		}
+	}
+	if opt.Optimize {
+		var fp placement.FreqProvider
+		sel := opt.Sel
+		if opt.Profile != nil {
+			fp = opt.Profile
+			sel.ProfileGuided = true
+		}
+		t0 = time.Now()
+		u.Placement = placement.AnalyzeProfiled(sp, u.RWSets, u.Locality, fp)
+		st.AddPhase("placement", time.Since(t0))
+		t0 = time.Now()
+		u.Report = commsel.Transform(sp, u.Placement, u.RWSets, u.Locality, sel)
+		st.AddPhase("commsel", time.Since(t0))
+		if st != nil {
+			for _, set := range u.Placement.Reads {
+				st.PlacedReadTuples += set.Len()
+			}
+			for _, set := range u.Placement.Writes {
+				st.PlacedWriteTuples += set.Len()
+			}
+			t := u.Report.Totals()
+			st.PipelinedReads = t.PipelinedReads
+			st.BlockedReads = t.BlockedReads
+			st.PipelinedWrites = t.PipelinedWrites
+			st.BlockedWrites = t.BlockedWrites
+			st.ReadsEliminated = t.ReadsEliminated
+		}
+	}
+	return u, nil
+}
+
+// Run generates threaded code for the unit and executes it on a simulated
+// EARTH-MANNA machine, starting at main() on node 0. When the pipeline has
+// a trace recorder, the machine streams events into it; tracing is purely
+// observational and never changes the simulated outcome.
+func (p *Pipeline) Run(u *Unit, rc RunConfig) (*earthsim.Result, error) {
+	if rc.Sequential && rc.Nodes > 1 {
+		return nil, fmt.Errorf("core: the sequential baseline uses direct local memory accesses and is only valid on 1 node (got %d)", rc.Nodes)
+	}
+	tp, err := u.Threaded(threaded.Options{Sequential: rc.Sequential, Profile: rc.Profile})
+	if err != nil {
+		return nil, err
+	}
+	cfg := earthsim.DefaultConfig(rc.Nodes)
+	if rc.Machine != nil {
+		cfg = *rc.Machine
+		cfg.Nodes = rc.Nodes
+	}
+	m := earthsim.New(tp, cfg)
+	if p.opt.Trace != nil {
+		m.SetTrace(p.opt.Trace)
+	}
+	res, err := m.Run()
+	if err != nil {
+		return nil, err
+	}
+	if res.Profile != nil {
+		res.Profile.SourceHash = u.SourceHash
+	}
+	return res, nil
+}
+
+// ProfileCycle runs the two-pass profile-guided flow: compile the program
+// unoptimized with instrumentation, run it once under rc to collect a
+// profile, then recompile optimizing with the measured frequencies. It
+// returns the profile-guided unit and the profile it was built from.
+func (p *Pipeline) ProfileCycle(name, src string, rc RunConfig) (*Unit, *profile.Data, error) {
+	gen := *p
+	gen.opt.Optimize = false
+	gen.opt.Profile = nil
+	// The instrumented run is a measurement pass, not the run of interest:
+	// keep it out of the trace recorder.
+	gen.opt.Trace = nil
+	gu, err := gen.Compile(name, src)
+	if err != nil {
+		return nil, nil, err
+	}
+	grc := rc
+	grc.Profile = true
+	res, err := gen.Run(gu, grc)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: instrumented run failed: %w", err)
+	}
+	if res.Profile == nil {
+		return nil, nil, fmt.Errorf("core: instrumented run produced no profile")
+	}
+	use := *p
+	use.opt.Optimize = true
+	use.opt.Profile = res.Profile
+	u, err := use.Compile(name, src)
+	if err != nil {
+		return nil, nil, err
+	}
+	u.pipe = p
+	return u, res.Profile, nil
+}

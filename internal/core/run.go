@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"repro/internal/earthsim"
 	"repro/internal/profile"
 	"repro/internal/threaded"
@@ -21,76 +19,45 @@ type RunConfig struct {
 	// parallel constructs and direct local memory accesses (valid only with
 	// Nodes == 1).
 	Sequential bool
-	// Machine overrides the simulator cost model; zero means the calibrated
-	// EARTH-MANNA defaults.
+	// Machine overrides the simulator cost model; nil means the calibrated
+	// EARTH-MANNA defaults. Nodes always comes from the field above, so an
+	// override built once (e.g. from earthsim.ParseOverrides) is reusable
+	// across node counts.
 	Machine *earthsim.Config
 	// Profile instruments the generated code so the run collects a
 	// profile.Data (returned in Result.Profile; see internal/profile).
 	Profile bool
 }
 
-// Run generates threaded code and executes it on a simulated EARTH-MANNA
-// machine, starting at main() on node 0.
+// Run executes the unit through the pipeline that compiled it (so trace
+// sinks configured there keep working); units constructed by hand fall back
+// to a default pipeline.
+//
+// Deprecated: call Pipeline.Run.
 func (u *Unit) Run(rc RunConfig) (*earthsim.Result, error) {
-	if rc.Sequential && rc.Nodes > 1 {
-		return nil, fmt.Errorf("core: the sequential baseline uses direct local memory accesses and is only valid on 1 node (got %d)", rc.Nodes)
+	p := u.pipe
+	if p == nil {
+		p = &Pipeline{}
 	}
-	tp, err := u.Threaded(threaded.Options{Sequential: rc.Sequential, Profile: rc.Profile})
-	if err != nil {
-		return nil, err
-	}
-	cfg := earthsim.DefaultConfig(rc.Nodes)
-	if rc.Machine != nil {
-		cfg = *rc.Machine
-		cfg.Nodes = rc.Nodes
-	}
-	res, err := earthsim.New(tp, cfg).Run()
-	if err != nil {
-		return nil, err
-	}
-	if res.Profile != nil {
-		res.Profile.SourceHash = u.SourceHash
-	}
-	return res, nil
+	return p.Run(u, rc)
 }
 
 // CompileAndRun is a convenience for tests and examples: parse, optimize
 // (or not), and run.
+//
+// Deprecated: construct a Pipeline, then Compile and Run.
 func CompileAndRun(name, src string, optimize bool, nodes int) (*earthsim.Result, error) {
-	u, err := Compile(name, src, Options{Optimize: optimize})
+	p := NewPipeline(Options{Optimize: optimize})
+	u, err := p.Compile(name, src)
 	if err != nil {
 		return nil, err
 	}
-	return u.Run(RunConfig{Nodes: nodes})
+	return p.Run(u, RunConfig{Nodes: nodes})
 }
 
-// CompileWithProfile runs the two-pass profile-guided flow: compile the
-// program unoptimized with instrumentation, run it once under rc to collect
-// a profile, then recompile optimizing with the measured frequencies. It
-// returns the profile-guided unit and the profile it was built from.
+// CompileWithProfile runs the two-pass profile-guided flow.
+//
+// Deprecated: call Pipeline.ProfileCycle.
 func CompileWithProfile(name, src string, opt Options, rc RunConfig) (*Unit, *profile.Data, error) {
-	genOpt := opt
-	genOpt.Optimize = false
-	genOpt.Profile = nil
-	gu, err := Compile(name, src, genOpt)
-	if err != nil {
-		return nil, nil, err
-	}
-	grc := rc
-	grc.Profile = true
-	res, err := gu.Run(grc)
-	if err != nil {
-		return nil, nil, fmt.Errorf("core: instrumented run failed: %w", err)
-	}
-	if res.Profile == nil {
-		return nil, nil, fmt.Errorf("core: instrumented run produced no profile")
-	}
-	useOpt := opt
-	useOpt.Optimize = true
-	useOpt.Profile = res.Profile
-	u, err := Compile(name, src, useOpt)
-	if err != nil {
-		return nil, nil, err
-	}
-	return u, res.Profile, nil
+	return NewPipeline(opt).ProfileCycle(name, src, rc)
 }

@@ -21,7 +21,13 @@ func (m *Machine) runEU(n *node, t int64) {
 	f := n.ready[0]
 	n.ready = n.ready[1:]
 	t += m.cfg.CtxSwitch
-	m.execFiber(f, &t)
+	if m.tr != nil {
+		start, name, fid := t, f.code.Name, f.id
+		m.execFiber(f, &t)
+		m.tr.EUSpan(n.id, fid, name, start, t)
+	} else {
+		m.execFiber(f, &t)
+	}
 	n.euFree = t
 	if len(n.ready) > 0 {
 		m.schedule(t, evEURun, n.id, func(m *Machine, t int64) { m.runEU(n, t) })
@@ -367,7 +373,7 @@ func (m *Machine) execFiber(f *fiber, t *int64) {
 			} else {
 				*t += cfg.EUIssue
 			}
-			m.issueGet(f, *t, p+int64(in.C), f.base+int64(in.A))
+			m.issueGet(f, *t, p+int64(in.C), f.base+int64(in.A), in.Site)
 
 		case threaded.OpPut:
 			p := rd(in.B)
@@ -387,7 +393,7 @@ func (m *Machine) execFiber(f *fiber, t *int64) {
 			} else {
 				*t += cfg.EUIssue
 			}
-			m.issuePut(f, *t, p+int64(in.C), v)
+			m.issuePut(f, *t, p+int64(in.C), v, in.Site)
 
 		case threaded.OpBlkGet:
 			p := rd(in.B)
@@ -403,7 +409,7 @@ func (m *Machine) execFiber(f *fiber, t *int64) {
 			} else {
 				*t += cfg.EUIssue
 			}
-			m.issueBlkGet(f, *t, p+int64(in.C), f.base+int64(in.A), in.D)
+			m.issueBlkGet(f, *t, p+int64(in.C), f.base+int64(in.A), in.D, in.Site)
 
 		case threaded.OpBlkPut:
 			p := rd(in.B)
@@ -426,7 +432,7 @@ func (m *Machine) execFiber(f *fiber, t *int64) {
 			} else {
 				*t += cfg.EUIssue
 			}
-			m.issueBlkPut(f, *t, p+int64(in.C), vals)
+			m.issueBlkPut(f, *t, p+int64(in.C), vals, in.Site)
 
 		case threaded.OpFence:
 			if f.outstanding > 0 {
@@ -460,7 +466,7 @@ func (m *Machine) execFiber(f *fiber, t *int64) {
 					return
 				}
 				*t += cfg.EUIssue
-				m.issueAlloc(f, *t, nodeSel, in.C, f.base+int64(in.A))
+				m.issueAlloc(f, *t, nodeSel, in.C, f.base+int64(in.A), in.Site)
 			}
 
 		case threaded.OpCall:
@@ -764,7 +770,7 @@ func (m *Machine) execCallAt(f *fiber, t *int64, in *threaded.Instr) bool {
 	} else {
 		f.outstanding++
 	}
-	m.issueInvoke(f, *t, target, in.Fn, args, retSlot)
+	m.issueInvoke(f, *t, target, in.Fn, args, retSlot, in.Site)
 	return true
 }
 
@@ -825,13 +831,13 @@ func (m *Machine) execShared(f *fiber, t *int64, in *threaded.Instr) bool {
 		slot := f.base + int64(in.A)
 		f.pending[slot]++
 		n.pending[slot]++
-		m.issueShared(f, *t, addr, 0, 0, slot, false)
+		m.issueShared(f, *t, addr, 0, 0, slot, false, in.Site)
 	case threaded.OpSharedWrite:
 		f.outstanding++
-		m.issueShared(f, *t, addr, 1, val, -1, false)
+		m.issueShared(f, *t, addr, 1, val, -1, false, in.Site)
 	case threaded.OpSharedAdd:
 		f.outstanding++
-		m.issueShared(f, *t, addr, 2, val, -1, in.Flt)
+		m.issueShared(f, *t, addr, 2, val, -1, in.Flt, in.Site)
 	}
 	return true
 }

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/profile"
 	"repro/internal/threaded"
+	"repro/internal/trace"
 )
 
 // Config describes the simulated machine. All costs are in nanoseconds.
@@ -111,10 +112,10 @@ func (c Counts) TotalRemote() int64 { return c.RemoteReads + c.RemoteWrites + c.
 
 // String summarizes the counters.
 func (c Counts) String() string {
-	return fmt.Sprintf("reads=%d writes=%d blkmov=%d (local rt: %d/%d/%d) shared=%d rpc=%d spawn=%d instr=%d",
-		c.RemoteReads, c.RemoteWrites, c.RemoteBlk,
+	return fmt.Sprintf("reads=%d writes=%d blkmov=%d blkwords=%d (local rt: %d/%d/%d) shared=%d rpc=%d spawn=%d alloc=%d instr=%d",
+		c.RemoteReads, c.RemoteWrites, c.RemoteBlk, c.BlkWords,
 		c.LocalReads, c.LocalWrites, c.LocalBlk,
-		c.SharedOps, c.RPCs, c.Spawns, c.Instructions)
+		c.SharedOps, c.RPCs, c.Spawns, c.Allocs, c.Instructions)
 }
 
 // Result is the outcome of a run.
@@ -303,7 +304,8 @@ type Machine struct {
 	nEvents       int64
 	liveFibers    int64
 	maxFiberInstr int64
-	prof          *profile.Data // non-nil when prog.Profiled
+	prof          *profile.Data   // non-nil when prog.Profiled
+	tr            *trace.Recorder // nil: tracing disabled (the common case)
 }
 
 // New loads a threaded program onto a fresh machine.
@@ -334,6 +336,17 @@ func New(prog *threaded.Program, cfg Config) *Machine {
 	for _, iv := range prog.GlobalInit {
 		m.nodes[0].mem[iv[0]] = iv[1]
 	}
+	return m
+}
+
+// SetTrace attaches an event recorder to the machine (call before Run; nil
+// detaches). Tracing is purely observational: the recorder sees message
+// lifecycles and busy intervals but never alters costs or scheduling, so a
+// traced run's Result is bit-identical to an untraced one. Returns m for
+// chaining.
+func (m *Machine) SetTrace(r *trace.Recorder) *Machine {
+	m.tr = r
+	r.SetNodes(len(m.nodes))
 	return m
 }
 

@@ -46,7 +46,7 @@ func TestSUTaskSerialization(t *testing.T) {
 	n := m.nodes[0]
 	var done []int64
 	for i := 0; i < 3; i++ {
-		m.suTask(n, 0, 100, func(d int64) { done = append(done, d) })
+		m.suTask(n, 0, 100, "test", 0, func(d int64) { done = append(done, d) })
 	}
 	drain(m)
 	if len(done) != 3 || done[0] != 100 || done[1] != 200 || done[2] != 300 {
@@ -66,8 +66,8 @@ func TestNetFIFO(t *testing.T) {
 	src, dst := m.nodes[0], m.nodes[1]
 	var order []int
 	// A large (slow) message sent first, then a zero-payload one.
-	m.netSend(src, dst, 0, 100, func(int64) { order = append(order, 1) })
-	m.netSend(src, dst, 1, 0, func(int64) { order = append(order, 2) })
+	m.netSend(src, dst, 0, 100, "test", 0, func(int64) { order = append(order, 1) })
+	m.netSend(src, dst, 1, 0, "test", 0, func(int64) { order = append(order, 2) })
 	drain(m)
 	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
 		t.Errorf("per-link FIFO violated: %v", order)

@@ -4,24 +4,31 @@ import (
 	"math"
 
 	"repro/internal/threaded"
+	"repro/internal/trace"
 )
 
 // suTask schedules work on a node's SU: the SU is a serial resource, so the
-// task completes at max(suFree, t) + svc.
-func (m *Machine) suTask(n *node, t, svc int64, effect func(done int64)) {
-	done := max64(n.suFree, t) + svc
+// task completes at max(suFree, t) + svc. lab and mid describe the task for
+// the trace sink (mid 0: no associated message); they never influence the
+// schedule.
+func (m *Machine) suTask(n *node, t, svc int64, lab string, mid int64, effect func(done int64)) {
+	start := max64(n.suFree, t)
+	done := start + svc
 	n.suFree = done
+	m.tr.SUSpan(n.id, lab, mid, t, start, done)
 	m.schedule(done, evSUEffect, n.id, func(m *Machine, _ int64) { effect(done) })
 }
 
 // netSend models the point-to-point link: per-message latency plus per-word
-// transfer time, FIFO per (src, dst) pair.
-func (m *Machine) netSend(src, dst *node, t int64, words int, then func(arrive int64)) {
+// transfer time, FIFO per (src, dst) pair. The traced span covers send to
+// arrival (wire time plus any FIFO queuing).
+func (m *Machine) netSend(src, dst *node, t int64, words int, lab string, mid int64, then func(arrive int64)) {
 	arrive := t + m.cfg.NetLatency + m.cfg.NetPerWord*int64(words)
 	if arrive <= src.netLast[dst.id] {
 		arrive = src.netLast[dst.id] + 1
 	}
 	src.netLast[dst.id] = arrive
+	m.tr.NetSpan(src.id, dst.id, lab, mid, words, t, arrive)
 	m.schedule(arrive, evNetArrive, dst.id, func(m *Machine, _ int64) { then(arrive) })
 }
 
@@ -117,8 +124,9 @@ func (m *Machine) ack(f *fiber, t int64) {
 // ------------------------------------------------------------- operations ---
 
 // issueGet starts a split-phase scalar read of mem[addr] into frame slot
-// abs of fiber f.
-func (m *Machine) issueGet(f *fiber, t int64, addr, abs int64) {
+// abs of fiber f. site is the issuing instruction's SIMPLE site key (trace
+// attribution only).
+func (m *Machine) issueGet(f *fiber, t int64, addr, abs int64, site string) {
 	src := f.node
 	dstID := threaded.AddrNode(addr)
 	if dstID < 0 || dstID >= len(m.nodes) {
@@ -137,14 +145,16 @@ func (m *Machine) issueGet(f *fiber, t int64, addr, abs int64) {
 	f.pending[abs]++
 	src.pending[abs]++
 	m.counts.RemoteReads++
+	mid := m.tr.MsgIssue(trace.ClassGet, site, src.id, dstID, f.id, 1, t)
 	dst := m.nodes[dstID]
-	m.suTask(src, t, m.cfg.SUService, func(t1 int64) {
-		m.netSend(src, dst, t1, 0, func(t2 int64) {
-			m.suTask(dst, t2, m.cfg.SUService, func(t3 int64) {
+	m.suTask(src, t, m.cfg.SUService, "get.req", mid, func(t1 int64) {
+		m.netSend(src, dst, t1, 0, "get", mid, func(t2 int64) {
+			m.suTask(dst, t2, m.cfg.SUService, "get.svc", mid, func(t3 int64) {
 				v := m.memWord(dstID, threaded.AddrOff(addr))
-				m.netSend(dst, src, t3, 1, func(t4 int64) {
-					m.suTask(src, t4, m.cfg.SUService, func(t5 int64) {
+				m.netSend(dst, src, t3, 1, "get.reply", mid, func(t4 int64) {
+					m.suTask(src, t4, m.cfg.SUService, "get.reply", mid, func(t5 int64) {
 						m.fill(f, abs, v, t5)
+						m.tr.MsgDone(mid, t5)
 					})
 				})
 			})
@@ -153,7 +163,7 @@ func (m *Machine) issueGet(f *fiber, t int64, addr, abs int64) {
 }
 
 // issuePut starts a split-phase scalar write.
-func (m *Machine) issuePut(f *fiber, t int64, addr, val int64) {
+func (m *Machine) issuePut(f *fiber, t int64, addr, val int64, site string) {
 	src := f.node
 	dstID := threaded.AddrNode(addr)
 	if dstID < 0 || dstID >= len(m.nodes) {
@@ -168,14 +178,16 @@ func (m *Machine) issuePut(f *fiber, t int64, addr, val int64) {
 	}
 	f.outstanding++
 	m.counts.RemoteWrites++
+	mid := m.tr.MsgIssue(trace.ClassPut, site, src.id, dstID, f.id, 1, t)
 	dst := m.nodes[dstID]
-	m.suTask(src, t, m.cfg.SUService, func(t1 int64) {
-		m.netSend(src, dst, t1, 1, func(t2 int64) {
-			m.suTask(dst, t2, m.cfg.SUWriteSvc, func(t3 int64) {
+	m.suTask(src, t, m.cfg.SUService, "put.req", mid, func(t1 int64) {
+		m.netSend(src, dst, t1, 1, "put", mid, func(t2 int64) {
+			m.suTask(dst, t2, m.cfg.SUWriteSvc, "put.svc", mid, func(t3 int64) {
 				m.memStore(dstID, threaded.AddrOff(addr), val)
-				m.netSend(dst, src, t3, 0, func(t4 int64) {
-					m.suTask(src, t4, m.cfg.SUAck, func(t5 int64) {
+				m.netSend(dst, src, t3, 0, "put.ack", mid, func(t4 int64) {
+					m.suTask(src, t4, m.cfg.SUAck, "put.ack", mid, func(t5 int64) {
 						m.ack(f, t5)
+						m.tr.MsgDone(mid, t5)
 					})
 				})
 			})
@@ -184,7 +196,7 @@ func (m *Machine) issuePut(f *fiber, t int64, addr, val int64) {
 }
 
 // issueBlkGet starts a split-phase block read of size words.
-func (m *Machine) issueBlkGet(f *fiber, t int64, addr, abs int64, size int) {
+func (m *Machine) issueBlkGet(f *fiber, t int64, addr, abs int64, size int, site string) {
 	src := f.node
 	dstID := threaded.AddrNode(addr)
 	if dstID < 0 || dstID >= len(m.nodes) {
@@ -215,14 +227,16 @@ func (m *Machine) issueBlkGet(f *fiber, t int64, addr, abs int64, size int) {
 		src.pending[abs+int64(i)]++
 	}
 	m.counts.RemoteBlk++
+	mid := m.tr.MsgIssue(trace.ClassBlkGet, site, src.id, dstID, f.id, size, t)
 	dst := m.nodes[dstID]
-	m.suTask(src, t, m.cfg.SUBlock, func(t1 int64) {
-		m.netSend(src, dst, t1, 0, func(t2 int64) {
-			m.suTask(dst, t2, m.cfg.SUBlockSvc, func(t3 int64) {
+	m.suTask(src, t, m.cfg.SUBlock, "blkget.req", mid, func(t1 int64) {
+		m.netSend(src, dst, t1, 0, "blkget", mid, func(t2 int64) {
+			m.suTask(dst, t2, m.cfg.SUBlockSvc, "blkget.svc", mid, func(t3 int64) {
 				vals := readWords()
-				m.netSend(dst, src, t3, size, func(t4 int64) {
-					m.suTask(src, t4, replySvc, func(t5 int64) {
+				m.netSend(dst, src, t3, size, "blkget.reply", mid, func(t4 int64) {
+					m.suTask(src, t4, replySvc, "blkget.reply", mid, func(t5 int64) {
 						m.fillBlock(f, abs, vals, t5)
+						m.tr.MsgDone(mid, t5)
 					})
 				})
 			})
@@ -231,7 +245,7 @@ func (m *Machine) issueBlkGet(f *fiber, t int64, addr, abs int64, size int) {
 }
 
 // issueBlkPut starts a split-phase block write.
-func (m *Machine) issueBlkPut(f *fiber, t int64, addr int64, vals []int64) {
+func (m *Machine) issueBlkPut(f *fiber, t int64, addr int64, vals []int64, site string) {
 	src := f.node
 	dstID := threaded.AddrNode(addr)
 	if dstID < 0 || dstID >= len(m.nodes) {
@@ -256,14 +270,16 @@ func (m *Machine) issueBlkPut(f *fiber, t int64, addr int64, vals []int64) {
 	}
 	f.outstanding++
 	m.counts.RemoteBlk++
+	mid := m.tr.MsgIssue(trace.ClassBlkPut, site, src.id, dstID, f.id, size, t)
 	dst := m.nodes[dstID]
-	m.suTask(src, t, reqSvc, func(t1 int64) {
-		m.netSend(src, dst, t1, size, func(t2 int64) {
-			m.suTask(dst, t2, m.cfg.SUBlockSvc, func(t3 int64) {
+	m.suTask(src, t, reqSvc, "blkput.req", mid, func(t1 int64) {
+		m.netSend(src, dst, t1, size, "blkput", mid, func(t2 int64) {
+			m.suTask(dst, t2, m.cfg.SUBlockSvc, "blkput.svc", mid, func(t3 int64) {
 				writeWords()
-				m.netSend(dst, src, t3, 0, func(t4 int64) {
-					m.suTask(src, t4, m.cfg.SUAck, func(t5 int64) {
+				m.netSend(dst, src, t3, 0, "blkput.ack", mid, func(t4 int64) {
+					m.suTask(src, t4, m.cfg.SUAck, "blkput.ack", mid, func(t5 int64) {
 						m.ack(f, t5)
+						m.tr.MsgDone(mid, t5)
 					})
 				})
 			})
@@ -273,23 +289,25 @@ func (m *Machine) issueBlkPut(f *fiber, t int64, addr int64, vals []int64) {
 
 // issueAlloc performs a remote allocation, delivering the address into a
 // pending slot.
-func (m *Machine) issueAlloc(f *fiber, t int64, nodeID, size int, abs int64) {
+func (m *Machine) issueAlloc(f *fiber, t int64, nodeID, size int, abs int64, site string) {
 	src := f.node
 	dst := m.nodes[nodeID]
 	f.pending[abs]++
 	src.pending[abs]++
-	m.suTask(src, t, m.cfg.SUService, func(t1 int64) {
-		m.netSend(src, dst, t1, 0, func(t2 int64) {
-			m.suTask(dst, t2, m.cfg.SUService, func(t3 int64) {
+	mid := m.tr.MsgIssue(trace.ClassAlloc, site, src.id, nodeID, f.id, 1, t)
+	m.suTask(src, t, m.cfg.SUService, "alloc.req", mid, func(t1 int64) {
+		m.netSend(src, dst, t1, 0, "alloc", mid, func(t2 int64) {
+			m.suTask(dst, t2, m.cfg.SUService, "alloc.svc", mid, func(t3 int64) {
 				base := dst.allocWords(size)
 				if base < 0 {
 					m.trapf("node %d out of memory for a remote allocation", nodeID)
 					return
 				}
 				addr := threaded.PackAddr(nodeID, base)
-				m.netSend(dst, src, t3, 1, func(t4 int64) {
-					m.suTask(src, t4, m.cfg.SUService, func(t5 int64) {
+				m.netSend(dst, src, t3, 1, "alloc.reply", mid, func(t4 int64) {
+					m.suTask(src, t4, m.cfg.SUService, "alloc.reply", mid, func(t5 int64) {
 						m.fill(f, abs, addr, t5)
+						m.tr.MsgDone(mid, t5)
 					})
 				})
 			})
@@ -298,18 +316,22 @@ func (m *Machine) issueAlloc(f *fiber, t int64, nodeID, size int, abs int64) {
 }
 
 // issueInvoke performs a remote function invocation (the placed-call
-// mechanism behind @OWNER_OF / @ON).
+// mechanism behind @OWNER_OF / @ON). The message completes when the callee
+// fiber has been placed on the remote node's ready queue; the reply to the
+// requester is a separate ClassReply message (see finishFiber).
 func (m *Machine) issueInvoke(f *fiber, t int64, nodeID int, fn *threaded.FnCode,
-	args []int64, retAbs int64) {
+	args []int64, retAbs int64, site string) {
 	src := f.node
 	dst := m.nodes[nodeID]
-	m.suTask(src, t, m.cfg.SUService, func(t1 int64) {
-		m.netSend(src, dst, t1, len(args), func(t2 int64) {
-			m.suTask(dst, t2, m.cfg.SUService, func(t3 int64) {
+	mid := m.tr.MsgIssue(trace.ClassRPC, site, src.id, nodeID, f.id, len(args), t)
+	m.suTask(src, t, m.cfg.SUService, "rpc.req", mid, func(t1 int64) {
+		m.netSend(src, dst, t1, len(args), "rpc", mid, func(t2 int64) {
+			m.suTask(dst, t2, m.cfg.SUService, "rpc.svc", mid, func(t3 int64) {
 				child := m.newFiber(nodeID, fn, args, replyRoute{
 					kind: 2, rpcNode: src.id, rpcFiber: f, rpcSlot: int(retAbs),
 				})
 				m.enqueueReady(dst, child, t3)
+				m.tr.MsgDone(mid, t3)
 			})
 		})
 	})
@@ -318,17 +340,18 @@ func (m *Machine) issueInvoke(f *fiber, t int64, nodeID int, fn *threaded.FnCode
 // issueShared performs a remote atomic shared-variable operation.
 // op: 0 read, 1 write, 2 add.
 func (m *Machine) issueShared(f *fiber, t int64, addr int64, op int, val int64,
-	replyAbs int64, flt bool) {
+	replyAbs int64, flt bool, site string) {
 	src := f.node
 	dstID := threaded.AddrNode(addr)
 	if dstID < 0 || dstID >= len(m.nodes) {
 		m.trapf("shared op: bad address node %d", dstID)
 		return
 	}
+	mid := m.tr.MsgIssue(trace.ClassShared, site, src.id, dstID, f.id, 1, t)
 	dst := m.nodes[dstID]
-	m.suTask(src, t, m.cfg.SUService, func(t1 int64) {
-		m.netSend(src, dst, t1, 1, func(t2 int64) {
-			m.suTask(dst, t2, m.cfg.SUShared, func(t3 int64) {
+	m.suTask(src, t, m.cfg.SUService, "shared.req", mid, func(t1 int64) {
+		m.netSend(src, dst, t1, 1, "shared", mid, func(t2 int64) {
+			m.suTask(dst, t2, m.cfg.SUShared, "shared.svc", mid, func(t3 int64) {
 				off := threaded.AddrOff(addr)
 				var result int64
 				switch op {
@@ -345,13 +368,14 @@ func (m *Machine) issueShared(f *fiber, t int64, addr int64, op int, val int64,
 						m.memStore(dstID, off, old+val)
 					}
 				}
-				m.netSend(dst, src, t3, 1, func(t4 int64) {
-					m.suTask(src, t4, m.cfg.SUAck, func(t5 int64) {
+				m.netSend(dst, src, t3, 1, "shared.reply", mid, func(t4 int64) {
+					m.suTask(src, t4, m.cfg.SUAck, "shared.reply", mid, func(t5 int64) {
 						if op == 0 {
 							m.fill(f, replyAbs, result, t5)
 						} else {
 							m.ack(f, t5)
 						}
+						m.tr.MsgDone(mid, t5)
 					})
 				})
 			})
@@ -385,14 +409,16 @@ func (m *Machine) finishFiber(f *fiber, t int64, val int64) {
 		n.freeFrame(f.base, f.size)
 		req := f.route.rpcFiber
 		src := m.nodes[f.route.rpcNode]
-		m.suTask(n, t+m.cfg.EUIssue, m.cfg.SUService, func(t1 int64) {
-			m.netSend(n, src, t1, 1, func(t2 int64) {
-				m.suTask(src, t2, m.cfg.SUService, func(t3 int64) {
+		mid := m.tr.MsgIssue(trace.ClassReply, f.code.Name, n.id, src.id, f.id, 1, t+m.cfg.EUIssue)
+		m.suTask(n, t+m.cfg.EUIssue, m.cfg.SUService, "reply.req", mid, func(t1 int64) {
+			m.netSend(n, src, t1, 1, "reply", mid, func(t2 int64) {
+				m.suTask(src, t2, m.cfg.SUService, "reply.svc", mid, func(t3 int64) {
 					if f.route.rpcSlot >= 0 {
 						m.fill(req, int64(f.route.rpcSlot), val, t3)
 					} else {
 						m.ack(req, t3)
 					}
+					m.tr.MsgDone(mid, t3)
 				})
 			})
 		})

@@ -1,0 +1,72 @@
+package earthsim
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Set assigns one named cost parameter (an int64 Config field, matched
+// case-insensitively) to val. It rejects unknown names and the Nodes field,
+// which is owned by the run configuration.
+func (c *Config) Set(name string, val int64) error {
+	v := reflect.ValueOf(c).Elem()
+	t := v.Type()
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if f.Type.Kind() != reflect.Int64 || !strings.EqualFold(f.Name, name) {
+			continue
+		}
+		if val < 0 {
+			return fmt.Errorf("earthsim: %s must be non-negative (got %d)", f.Name, val)
+		}
+		v.Field(i).SetInt(val)
+		return nil
+	}
+	return fmt.Errorf("earthsim: unknown cost parameter %q (see earthsim.ConfigParams)", name)
+}
+
+// ConfigParams lists the settable cost-parameter names in declaration
+// order.
+func ConfigParams() []string {
+	t := reflect.TypeOf(Config{})
+	var names []string
+	for i := 0; i < t.NumField(); i++ {
+		if t.Field(i).Type.Kind() == reflect.Int64 {
+			names = append(names, t.Field(i).Name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ParseOverrides builds a cost model from the calibrated defaults plus a
+// comma-separated "Name=value" spec (e.g. "NetLatency=2500,SUService=800"),
+// the format of the earthrun/paperbench -cost flag. An empty spec returns
+// nil (no override).
+func ParseOverrides(spec string) (*Config, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	cfg := DefaultConfig(1)
+	for _, kv := range strings.Split(spec, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		name, valStr, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("earthsim: bad cost override %q (want Name=value)", kv)
+		}
+		val, err := strconv.ParseInt(strings.TrimSpace(valStr), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("earthsim: bad cost override %q: %v", kv, err)
+		}
+		if err := cfg.Set(strings.TrimSpace(name), val); err != nil {
+			return nil, err
+		}
+	}
+	return &cfg, nil
+}

@@ -10,7 +10,12 @@ import (
 
 func run(t *testing.T, src string, nodes int, optimize bool) *earthsim.Result {
 	t.Helper()
-	res, err := core.CompileAndRun("t.ec", src, optimize, nodes)
+	p := core.NewPipeline(core.Options{Optimize: optimize})
+	u, err := p.Compile("t.ec", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run(u, core.RunConfig{Nodes: nodes})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -19,7 +24,12 @@ func run(t *testing.T, src string, nodes int, optimize bool) *earthsim.Result {
 
 func runErr(t *testing.T, src string, nodes int) error {
 	t.Helper()
-	_, err := core.CompileAndRun("t.ec", src, false, nodes)
+	p := core.NewPipeline(core.Options{})
+	u, err := p.Compile("t.ec", src)
+	if err != nil {
+		return err
+	}
+	_, err = p.Run(u, core.RunConfig{Nodes: nodes})
 	return err
 }
 
@@ -276,15 +286,16 @@ int main() {
 	return s;
 }
 `
-	u, err := core.Compile("t.ec", src, core.Options{})
+	p := core.NewPipeline(core.Options{})
+	u, err := p.Compile("t.ec", src)
 	if err != nil {
 		t.Fatal(err)
 	}
-	seq, err := u.Run(core.RunConfig{Nodes: 1, Sequential: true})
+	seq, err := p.Run(u, core.RunConfig{Nodes: 1, Sequential: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := u.Run(core.RunConfig{Nodes: 1})
+	par, err := p.Run(u, core.RunConfig{Nodes: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -300,11 +311,12 @@ int main() {
 func TestInfiniteLoopTrapped(t *testing.T) {
 	cfg := earthsim.DefaultConfig(1)
 	cfg.MaxFiberInstr = 10000
-	u, err := core.Compile("t.ec", `int main() { int x; x = 0; while (x == 0) { } return x; }`, core.Options{})
+	p := core.NewPipeline(core.Options{})
+	u, err := p.Compile("t.ec", `int main() { int x; x = 0; while (x == 0) { } return x; }`)
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = u.Run(core.RunConfig{Nodes: 1, Machine: &cfg})
+	_, err = p.Run(u, core.RunConfig{Nodes: 1, Machine: &cfg})
 	if err == nil || !strings.Contains(err.Error(), "runaway") {
 		t.Errorf("expected a runaway trap, got %v", err)
 	}
@@ -382,7 +394,8 @@ func TestMemoryBudgetTrapped(t *testing.T) {
 	cfg := earthsim.DefaultConfig(1)
 	cfg.MaxNodeWords = 4096
 	cfg.MaxFiberInstr = 50_000_000
-	u, err := core.Compile("t.ec", `
+	p := core.NewPipeline(core.Options{})
+	u, err := p.Compile("t.ec", `
 struct Blob { int a; int b; int c; int d; };
 int main() {
 	Blob *p;
@@ -395,11 +408,11 @@ int main() {
 	}
 	return 0;
 }
-`, core.Options{})
+`)
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = u.Run(core.RunConfig{Nodes: 1, Machine: &cfg})
+	_, err = p.Run(u, core.RunConfig{Nodes: 1, Machine: &cfg})
 	if err == nil || !strings.Contains(err.Error(), "out of memory") {
 		t.Errorf("expected an out-of-memory trap, got %v", err)
 	}
@@ -411,14 +424,15 @@ func TestDeepRecursionTrapped(t *testing.T) {
 	cfg := earthsim.DefaultConfig(1)
 	cfg.MaxNodeWords = 8192
 	cfg.MaxFiberInstr = 50_000_000
-	u, err := core.Compile("t.ec", `
+	p := core.NewPipeline(core.Options{})
+	u, err := p.Compile("t.ec", `
 int down(int n) { return down(n + 1); }
 int main() { return down(0); }
-`, core.Options{})
+`)
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = u.Run(core.RunConfig{Nodes: 1, Machine: &cfg})
+	_, err = p.Run(u, core.RunConfig{Nodes: 1, Machine: &cfg})
 	if err == nil || !strings.Contains(err.Error(), "out of memory") {
 		t.Errorf("expected an out-of-memory trap, got %v", err)
 	}

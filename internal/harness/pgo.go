@@ -39,12 +39,12 @@ func MeasurePGO(nodes int, paramsFor func(*olden.Benchmark) olden.Params) (*PGOR
 			return nil, err
 		}
 		src := bm.Source(params)
-		u, _, err := core.CompileWithProfile(bm.Name+".ec", src,
-			core.Options{Optimize: true}, core.RunConfig{Nodes: nodes})
+		p := core.NewPipeline(core.Options{Optimize: true})
+		u, _, err := p.ProfileCycle(bm.Name+".ec", src, core.RunConfig{Nodes: nodes})
 		if err != nil {
 			return nil, fmt.Errorf("%s pgo: %w", bm.Name, err)
 		}
-		pgo, err := u.Run(core.RunConfig{Nodes: nodes})
+		pgo, err := p.Run(u, core.RunConfig{Nodes: nodes})
 		if err != nil {
 			return nil, fmt.Errorf("%s pgo run: %w", bm.Name, err)
 		}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/earthsim"
 	"repro/internal/olden"
+	"repro/internal/trace"
 )
 
 // Table2 renders the benchmark registry (the paper's Table II), with both
@@ -42,20 +43,37 @@ func harnessSize(bm *olden.Benchmark) string {
 // RunPair compiles and runs one benchmark in simple and optimized form on
 // the given machine size, verifying the outputs agree.
 func RunPair(bm *olden.Benchmark, params olden.Params, nodes int) (simple, opt *earthsim.Result, err error) {
+	simple, opt, _, err = runPair(bm, params, nodes, false)
+	return simple, opt, err
+}
+
+// runPair is RunPair plus, when stats is set, the optimized build's compile
+// statistics.
+func runPair(bm *olden.Benchmark, params olden.Params, nodes int, stats bool) (simple, opt *earthsim.Result, cs *trace.CompileStats, err error) {
 	src := bm.Source(params)
-	simple, err = core.CompileAndRun(bm.Name+".ec", src, false, nodes)
+	sp := core.NewPipeline(core.Options{})
+	su, err := sp.Compile(bm.Name+".ec", src)
 	if err != nil {
-		return nil, nil, fmt.Errorf("%s simple: %w", bm.Name, err)
+		return nil, nil, nil, fmt.Errorf("%s simple: %w", bm.Name, err)
 	}
-	opt, err = core.CompileAndRun(bm.Name+".ec", src, true, nodes)
+	simple, err = sp.Run(su, core.RunConfig{Nodes: nodes})
 	if err != nil {
-		return nil, nil, fmt.Errorf("%s optimized: %w", bm.Name, err)
+		return nil, nil, nil, fmt.Errorf("%s simple: %w", bm.Name, err)
+	}
+	op := core.NewPipeline(core.Options{Optimize: true, Stats: stats})
+	ou, err := op.Compile(bm.Name+".ec", src)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("%s optimized: %w", bm.Name, err)
+	}
+	opt, err = op.Run(ou, core.RunConfig{Nodes: nodes})
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("%s optimized: %w", bm.Name, err)
 	}
 	if simple.Output != opt.Output {
-		return nil, nil, fmt.Errorf("%s: optimized output diverged:\nsimple: %q\nopt:    %q",
+		return nil, nil, nil, fmt.Errorf("%s: optimized output diverged:\nsimple: %q\nopt:    %q",
 			bm.Name, simple.Output, opt.Output)
 	}
-	return simple, opt, nil
+	return simple, opt, ou.Stats, nil
 }
 
 // -------------------------------------------------------------- Figure 10 ---
@@ -70,6 +88,18 @@ type Fig10Row struct {
 	OptReads     int64
 	OptWrites    int64
 	OptBlk       int64
+	// Remaining message classes, beyond the figure's three data columns
+	// (these are unchanged by the optimization in principle; the table
+	// prints both sides so regressions show).
+	SimpleShared int64
+	SimpleRPC    int64
+	SimpleAlloc  int64
+	OptShared    int64
+	OptRPC       int64
+	OptAlloc     int64
+	// Stats is the optimized build's compile statistics (per-phase timings
+	// plus placement/selection counters).
+	Stats *trace.CompileStats `json:",omitempty"`
 }
 
 // OptTotal is the optimized version's total.
@@ -124,6 +154,83 @@ func (r *Fig10Result) String() string {
 			norm(row.OptReads), norm(row.OptWrites), norm(row.OptBlk),
 			row.Normalized())
 	}
+	b.WriteString(r.classBreakdown())
+	b.WriteString(r.phaseTable())
+	return b.String()
+}
+
+// classBreakdown renders the remaining message classes (absolute counts,
+// simple vs optimized) under the normalized figure.
+func (r *Fig10Result) classBreakdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "\nOther message classes (absolute ops, simple / optimized):\n")
+	fmt.Fprintf(&b, "%-10s %10s %10s | %10s %10s | %10s %10s\n",
+		"Benchmark", "s.shared", "o.shared", "s.rpc", "o.rpc", "s.alloc", "o.alloc")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-10s %10d %10d | %10d %10d | %10d %10d\n",
+			row.Benchmark,
+			row.SimpleShared, row.OptShared,
+			row.SimpleRPC, row.OptRPC,
+			row.SimpleAlloc, row.OptAlloc)
+	}
+	return b.String()
+}
+
+// phaseTable renders per-benchmark compiler phase timings and selection
+// counters for the optimized builds (rows without stats are skipped).
+func (r *Fig10Result) phaseTable() string {
+	// Collect the union of phase names in first-seen order so columns line
+	// up even if a benchmark skips a phase.
+	var names []string
+	seen := map[string]bool{}
+	for _, row := range r.Rows {
+		if row.Stats == nil {
+			continue
+		}
+		for _, p := range row.Stats.Phases {
+			if !seen[p.Name] {
+				seen[p.Name] = true
+				names = append(names, p.Name)
+			}
+		}
+	}
+	if len(names) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "\nCompiler phase timings, optimized build (ms):\n")
+	fmt.Fprintf(&b, "%-10s", "Benchmark")
+	for _, n := range names {
+		fmt.Fprintf(&b, " %9s", n)
+	}
+	fmt.Fprintf(&b, " %9s\n", "total")
+	for _, row := range r.Rows {
+		if row.Stats == nil {
+			continue
+		}
+		byName := map[string]int64{}
+		for _, p := range row.Stats.Phases {
+			byName[p.Name] += p.Ns
+		}
+		fmt.Fprintf(&b, "%-10s", row.Benchmark)
+		for _, n := range names {
+			fmt.Fprintf(&b, " %9.3f", float64(byName[n])/1e6)
+		}
+		fmt.Fprintf(&b, " %9.3f\n", float64(row.Stats.TotalNs())/1e6)
+	}
+	fmt.Fprintf(&b, "\nSelection results, optimized build:\n")
+	fmt.Fprintf(&b, "%-10s %12s %12s | %10s %10s %10s | %10s %10s\n",
+		"Benchmark", "r.cand", "w.cand", "r.pipe", "r.blk", "r.elim", "w.pipe", "w.blk")
+	for _, row := range r.Rows {
+		if row.Stats == nil {
+			continue
+		}
+		s := row.Stats
+		fmt.Fprintf(&b, "%-10s %12d %12d | %10d %10d %10d | %10d %10d\n",
+			row.Benchmark, s.CandidateReads, s.CandidateWrites,
+			s.PipelinedReads, s.BlockedReads, s.ReadsEliminated,
+			s.PipelinedWrites, s.BlockedWrites)
+	}
 	return b.String()
 }
 
@@ -165,11 +272,12 @@ func MeasureTable3(procs []int, paramsFor func(*olden.Benchmark) olden.Params) (
 	for _, bm := range olden.All() {
 		params := paramsFor(bm)
 		src := bm.Source(params)
-		u, err := core.Compile(bm.Name+".ec", src, core.Options{})
+		p := core.NewPipeline(core.Options{})
+		u, err := p.Compile(bm.Name+".ec", src)
 		if err != nil {
 			return nil, err
 		}
-		seq, err := u.Run(core.RunConfig{Nodes: 1, Sequential: true})
+		seq, err := p.Run(u, core.RunConfig{Nodes: 1, Sequential: true})
 		if err != nil {
 			return nil, fmt.Errorf("%s sequential: %w", bm.Name, err)
 		}
@@ -230,9 +338,10 @@ func (r *Table3Result) String() string {
 // DefaultParams returns each benchmark's default (scaled-down) parameters.
 func DefaultParams(bm *olden.Benchmark) olden.Params { return bm.DefaultParams }
 
-// MeasureFig10Single measures the Figure 10 quantities for one benchmark.
+// MeasureFig10Single measures the Figure 10 quantities for one benchmark,
+// plus the supplementary class breakdown and compile statistics.
 func MeasureFig10Single(bm *olden.Benchmark, params olden.Params, nodes int) (*Fig10Row, error) {
-	simple, opt, err := RunPair(bm, params, nodes)
+	simple, opt, cs, err := runPair(bm, params, nodes, true)
 	if err != nil {
 		return nil, err
 	}
@@ -244,6 +353,13 @@ func MeasureFig10Single(bm *olden.Benchmark, params olden.Params, nodes int) (*F
 		OptReads:     opt.Counts.RemoteReads + opt.Counts.LocalReads,
 		OptWrites:    opt.Counts.RemoteWrites + opt.Counts.LocalWrites,
 		OptBlk:       opt.Counts.RemoteBlk + opt.Counts.LocalBlk,
+		SimpleShared: simple.Counts.SharedOps,
+		SimpleRPC:    simple.Counts.RPCs,
+		SimpleAlloc:  simple.Counts.Allocs,
+		OptShared:    opt.Counts.SharedOps,
+		OptRPC:       opt.Counts.RPCs,
+		OptAlloc:     opt.Counts.Allocs,
+		Stats:        cs,
 	}
 	row.TotalSimple = row.SimpleReads + row.SimpleWrites + row.SimpleBlk
 	return row, nil

@@ -3,8 +3,6 @@ package olden
 import (
 	"strings"
 	"testing"
-
-	"repro/internal/core"
 )
 
 // TestHealthVillageStepByStep exercises one village's hospital pipeline step
@@ -50,11 +48,11 @@ int main() {
 	return 0;
 }
 `
-	su, err := core.CompileAndRun("hv.ec", src, false, 1)
+	su, err := pipelineRun("hv.ec", src, false, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ou, err := core.CompileAndRun("hv.ec", src, true, 1)
+	ou, err := pipelineRun("hv.ec", src, true, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

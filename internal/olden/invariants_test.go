@@ -13,7 +13,7 @@ import (
 func TestOneRemoteOpInvariant(t *testing.T) {
 	for _, b := range All() {
 		src := b.Source(small(b))
-		u, err := core.Compile(b.Name+".ec", src, core.Options{Optimize: true})
+		u, err := core.NewPipeline(core.Options{Optimize: true}).Compile(b.Name+".ec", src)
 		if err != nil {
 			t.Fatalf("%s: %v", b.Name, err)
 		}
@@ -52,7 +52,7 @@ func TestOneRemoteOpInvariant(t *testing.T) {
 func TestLabelsStayConsistent(t *testing.T) {
 	for _, b := range All() {
 		src := b.Source(small(b))
-		u, err := core.Compile(b.Name+".ec", src, core.Options{Optimize: true})
+		u, err := core.NewPipeline(core.Options{Optimize: true}).Compile(b.Name+".ec", src)
 		if err != nil {
 			t.Fatalf("%s: %v", b.Name, err)
 		}
@@ -76,15 +76,16 @@ func TestLabelsStayConsistent(t *testing.T) {
 func TestReorderFieldsOnBenchmarks(t *testing.T) {
 	for _, b := range All() {
 		src := b.Source(small(b))
-		plain, err := core.CompileAndRun(b.Name+".ec", src, true, 2)
+		plain, err := pipelineRun(b.Name+".ec", src, true, 2)
 		if err != nil {
 			t.Fatalf("%s: %v", b.Name, err)
 		}
-		u, err := core.Compile(b.Name+".ec", src, core.Options{Optimize: true, ReorderFields: true})
+		p := core.NewPipeline(core.Options{Optimize: true, ReorderFields: true})
+		u, err := p.Compile(b.Name+".ec", src)
 		if err != nil {
 			t.Fatalf("%s reorder: %v", b.Name, err)
 		}
-		res, err := u.Run(core.RunConfig{Nodes: 2})
+		res, err := p.Run(u, core.RunConfig{Nodes: 2})
 		if err != nil {
 			t.Fatalf("%s reorder run: %v", b.Name, err)
 		}
@@ -100,7 +101,7 @@ func TestReorderFieldsOnBenchmarks(t *testing.T) {
 func TestBenchmarkReportsNonTrivial(t *testing.T) {
 	for _, b := range All() {
 		src := b.Source(small(b))
-		u, err := core.Compile(b.Name+".ec", src, core.Options{Optimize: true})
+		u, err := core.NewPipeline(core.Options{Optimize: true}).Compile(b.Name+".ec", src)
 		if err != nil {
 			t.Fatalf("%s: %v", b.Name, err)
 		}

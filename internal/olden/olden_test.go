@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/earthsim"
 )
 
 // TestBenchmarksCompile checks every benchmark parses, checks, lowers, and
@@ -12,12 +13,23 @@ func TestBenchmarksCompile(t *testing.T) {
 	for _, b := range All() {
 		src := b.Source(b.DefaultParams)
 		for _, optimize := range []bool{false, true} {
-			_, err := core.Compile(b.Name+".ec", src, core.Options{Optimize: optimize})
+			_, err := core.NewPipeline(core.Options{Optimize: optimize}).Compile(b.Name+".ec", src)
 			if err != nil {
 				t.Errorf("%s (optimize=%v): %v", b.Name, optimize, err)
 			}
 		}
 	}
+}
+
+// pipelineRun compiles src through a fresh pipeline and runs it on the
+// given machine size; the common path of the semantic tests here.
+func pipelineRun(name, src string, optimize bool, nodes int) (*earthsim.Result, error) {
+	p := core.NewPipeline(core.Options{Optimize: optimize})
+	u, err := p.Compile(name, src)
+	if err != nil {
+		return nil, err
+	}
+	return p.Run(u, core.RunConfig{Nodes: nodes})
 }
 
 // small returns reduced parameters for quick semantic runs.
@@ -51,7 +63,12 @@ func TestBenchmarksRun(t *testing.T) {
 			first := true
 			for _, nodes := range []int{1, 4} {
 				for _, optimize := range []bool{false, true} {
-					res, err := core.CompileAndRun(b.Name+".ec", src, optimize, nodes)
+					p := core.NewPipeline(core.Options{Optimize: optimize})
+					u, err := p.Compile(b.Name+".ec", src)
+					if err != nil {
+						t.Fatalf("%s nodes=%d optimize=%v: %v", b.Name, nodes, optimize, err)
+					}
+					res, err := p.Run(u, core.RunConfig{Nodes: nodes})
 					if err != nil {
 						t.Fatalf("%s nodes=%d optimize=%v: %v", b.Name, nodes, optimize, err)
 					}
@@ -74,15 +91,16 @@ func TestBenchmarksRun(t *testing.T) {
 func TestSequentialBaseline(t *testing.T) {
 	for _, b := range All() {
 		src := b.Source(small(b))
-		u, err := core.Compile(b.Name+".ec", src, core.Options{})
+		p := core.NewPipeline(core.Options{})
+		u, err := p.Compile(b.Name+".ec", src)
 		if err != nil {
 			t.Fatalf("%s: %v", b.Name, err)
 		}
-		seq, err := u.Run(core.RunConfig{Nodes: 1, Sequential: true})
+		seq, err := p.Run(u, core.RunConfig{Nodes: 1, Sequential: true})
 		if err != nil {
 			t.Fatalf("%s sequential: %v", b.Name, err)
 		}
-		par, err := u.Run(core.RunConfig{Nodes: 1})
+		par, err := p.Run(u, core.RunConfig{Nodes: 1})
 		if err != nil {
 			t.Fatalf("%s parallel: %v", b.Name, err)
 		}

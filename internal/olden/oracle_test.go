@@ -6,8 +6,6 @@ import (
 	"sort"
 	"strings"
 	"testing"
-
-	"repro/internal/core"
 )
 
 // --------------------------------------------------------------- perimeter ---
@@ -52,7 +50,7 @@ func TestPerimeterAgainstGridOracle(t *testing.T) {
 	bm := Perimeter()
 	for _, depth := range []int{2, 3, 4, 5} {
 		src := bm.Source(Params{Size: depth})
-		res, err := core.CompileAndRun("perimeter.ec", src, true, 4)
+		res, err := pipelineRun("perimeter.ec", src, true, 4)
 		if err != nil {
 			t.Fatalf("depth %d: %v", depth, err)
 		}
@@ -128,7 +126,7 @@ func TestVoronoiHullAgainstOracle(t *testing.T) {
 	bm := Voronoi()
 	for _, n := range []int{16, 64, 128} {
 		src := bm.Source(Params{Size: n})
-		res, err := core.CompileAndRun("voronoi.ec", src, true, 4)
+		res, err := pipelineRun("voronoi.ec", src, true, 4)
 		if err != nil {
 			t.Fatalf("n=%d: %v", n, err)
 		}

@@ -62,7 +62,7 @@ int main() { return 0; }
 // site keys of its while loop and if statement.
 func compileFreq(t *testing.T) (*core.Unit, *simple.Func, string, string) {
 	t.Helper()
-	u, err := core.Compile("t.ec", freqSrc, core.Options{NoInline: true})
+	u, err := core.NewPipeline(core.Options{NoInline: true}).Compile("t.ec", freqSrc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +164,7 @@ int g(P *p, int k) {
 }
 int main() { return 0; }
 `
-	u, err := core.Compile("t.ec", src, core.Options{NoInline: true})
+	u, err := core.NewPipeline(core.Options{NoInline: true}).Compile("t.ec", src)
 	if err != nil {
 		t.Fatal(err)
 	}

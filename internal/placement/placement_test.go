@@ -13,7 +13,7 @@ import (
 // the placement analysis, returning the function and its sets.
 func analyze(t *testing.T, src, fn string) (*simple.Func, *placement.Result) {
 	t.Helper()
-	u, err := core.Compile("t.ec", src, core.Options{NoInline: true})
+	u, err := core.NewPipeline(core.Options{NoInline: true}).Compile("t.ec", src)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -10,7 +10,7 @@ import (
 
 func analyze(t *testing.T, src string) (*simple.Program, *pointsto.Result) {
 	t.Helper()
-	u, err := core.Compile("t.ec", src, core.Options{NoInline: true})
+	u, err := core.NewPipeline(core.Options{NoInline: true}).Compile("t.ec", src)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -237,12 +237,11 @@ func (g *gen) hasReturnSeq(s *simple.Seq) bool {
 // ------------------------------------------------------------------ basics ---
 
 func (g *gen) basic(fc *FnCode, b *simple.Basic) {
-	if g.opt.Profile && b.Kind == simple.KAssign {
-		// Remote-access instructions emitted for this statement report
-		// under its Si label (see internal/profile).
-		g.curSite = simple.BasicSiteKey(g.fn.Name, b.Label)
-		defer func() { g.curSite = "" }()
-	}
+	// Remote-access instructions emitted for this statement report under
+	// its Si label; profile keys (internal/profile) and trace attribution
+	// (internal/trace) share the same site namespace.
+	g.curSite = simple.BasicSiteKey(g.fn.Name, b.Label)
+	defer func() { g.curSite = "" }()
 	switch b.Kind {
 	case simple.KAssign:
 		g.assign(fc, b)
@@ -256,7 +255,7 @@ func (g *gen) basic(fc *FnCode, b *simple.Basic) {
 			node = g.atom(fc, b.Node)
 		}
 		dst := g.dstSlot(fc, b.Dst)
-		g.emit(fc, Instr{Op: OpAlloc, A: dst, B: node, C: b.AllocSize})
+		g.emit(fc, Instr{Op: OpAlloc, A: dst, B: node, C: b.AllocSize, Site: g.curSite})
 	case simple.KReturn:
 		val := -1
 		if b.Val != nil {
@@ -269,9 +268,9 @@ func (g *gen) basic(fc *FnCode, b *simple.Basic) {
 		dst := g.dstSlot(fc, b.Dst)
 		p := g.slot(b.P)
 		if g.remotePtr(b.P) {
-			g.emit(fc, Instr{Op: OpGet, A: dst, B: p, C: b.Off})
+			g.emit(fc, Instr{Op: OpGet, A: dst, B: p, C: b.Off, Site: g.curSite})
 		} else {
-			g.emit(fc, Instr{Op: OpMemLoad, A: dst, B: p, C: b.Off})
+			g.emit(fc, Instr{Op: OpMemLoad, A: dst, B: p, C: b.Off, Site: g.curSite})
 		}
 	case simple.KPutF:
 		var val int
@@ -283,9 +282,9 @@ func (g *gen) basic(fc *FnCode, b *simple.Basic) {
 		}
 		p := g.slot(b.P)
 		if g.remotePtr(b.P) {
-			g.emit(fc, Instr{Op: OpPut, A: val, B: p, C: b.Off})
+			g.emit(fc, Instr{Op: OpPut, A: val, B: p, C: b.Off, Site: g.curSite})
 		} else {
-			g.emit(fc, Instr{Op: OpMemStore, A: val, B: p, C: b.Off})
+			g.emit(fc, Instr{Op: OpMemStore, A: val, B: p, C: b.Off, Site: g.curSite})
 		}
 	case simple.KBlkRead:
 		// The buffer slot is offset by the span base so buffer field
@@ -293,7 +292,7 @@ func (g *gen) basic(fc *FnCode, b *simple.Basic) {
 		p := g.slot(b.P)
 		local := g.slot(b.Local) + b.Off
 		if g.remotePtr(b.P) {
-			g.emit(fc, Instr{Op: OpBlkGet, A: local, B: p, C: b.Off, D: b.Size})
+			g.emit(fc, Instr{Op: OpBlkGet, A: local, B: p, C: b.Off, D: b.Size, Site: g.curSite})
 		} else {
 			g.emit(fc, Instr{Op: OpMemToFrame, A: local, B: p, C: b.Off, D: b.Size})
 		}
@@ -301,7 +300,7 @@ func (g *gen) basic(fc *FnCode, b *simple.Basic) {
 		p := g.slot(b.P)
 		local := g.slot(b.Local) + b.Off
 		if g.remotePtr(b.P) {
-			g.emit(fc, Instr{Op: OpBlkPut, A: local, B: p, C: b.Off, D: b.Size})
+			g.emit(fc, Instr{Op: OpBlkPut, A: local, B: p, C: b.Off, D: b.Size, Site: g.curSite})
 		} else {
 			g.emit(fc, Instr{Op: OpFrameToMem, A: local, B: p, C: b.Off, D: b.Size})
 		}
@@ -445,14 +444,14 @@ func (g *gen) blkCopy(fc *FnCode, b *simple.Basic) {
 	case b.P != nil && b.Dst != nil: // memory -> frame
 		p := g.slot(b.P)
 		if g.remotePtr(b.P) {
-			g.emit(fc, Instr{Op: OpBlkGet, A: g.slot(b.Dst) + b.Off2, B: p, C: b.Off, D: b.Size})
+			g.emit(fc, Instr{Op: OpBlkGet, A: g.slot(b.Dst) + b.Off2, B: p, C: b.Off, D: b.Size, Site: g.curSite})
 		} else {
 			g.emit(fc, Instr{Op: OpMemToFrame, A: g.slot(b.Dst) + b.Off2, B: p, C: b.Off, D: b.Size})
 		}
 	case b.Local != nil && b.P2 != nil: // frame -> memory
 		p := g.slot(b.P2)
 		if g.remotePtr(b.P2) {
-			g.emit(fc, Instr{Op: OpBlkPut, A: g.slot(b.Local) + b.Off, B: p, C: b.Off2, D: b.Size})
+			g.emit(fc, Instr{Op: OpBlkPut, A: g.slot(b.Local) + b.Off, B: p, C: b.Off2, D: b.Size, Site: g.curSite})
 		} else {
 			g.emit(fc, Instr{Op: OpFrameToMem, A: g.slot(b.Local) + b.Off, B: p, C: b.Off2, D: b.Size})
 		}
@@ -487,7 +486,7 @@ func (g *gen) call(fc *FnCode, b *simple.Basic) {
 		g.emit(fc, Instr{Op: OpCall, A: dst, Fn: callee, Args: args})
 		return
 	}
-	in := Instr{Op: OpCallAt, A: dst, Fn: callee, Args: args}
+	in := Instr{Op: OpCallAt, A: dst, Fn: callee, Args: args, Site: g.curSite}
 	switch b.Place.Kind {
 	case earthc.PlaceOwnerOf:
 		in.B = 0
@@ -517,12 +516,12 @@ func (g *gen) builtin(fc *FnCode, b *simple.Basic) {
 		switch bi {
 		case sema.BWriteTo:
 			val := g.atom(fc, b.Args[0])
-			g.emit(fc, Instr{Op: OpSharedWrite, A: val, B: addr})
+			g.emit(fc, Instr{Op: OpSharedWrite, A: val, B: addr, Site: g.curSite})
 		case sema.BAddTo:
 			val := g.atom(fc, b.Args[0])
-			g.emit(fc, Instr{Op: OpSharedAdd, A: val, B: addr, Flt: isDoubleVar(sv)})
+			g.emit(fc, Instr{Op: OpSharedAdd, A: val, B: addr, Flt: isDoubleVar(sv), Site: g.curSite})
 		case sema.BValueOf:
-			g.emit(fc, Instr{Op: OpSharedRead, A: g.dstSlot(fc, b.Dst), B: addr})
+			g.emit(fc, Instr{Op: OpSharedRead, A: g.dstSlot(fc, b.Dst), B: addr, Site: g.curSite})
 		}
 	case sema.BSqrt:
 		g.emit(fc, Instr{Op: OpBuiltin, A: g.dstSlot(fc, b.Dst),

@@ -9,7 +9,7 @@ import (
 
 func gen(t *testing.T, src string, seq bool) *threaded.Program {
 	t.Helper()
-	u, err := core.Compile("t.ec", src, core.Options{NoInline: true})
+	u, err := core.NewPipeline(core.Options{NoInline: true}).Compile("t.ec", src)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace_event export. The format is the JSON object form of the
+// Trace Event Format: {"traceEvents": [...], "displayTimeUnit": "ns"},
+// loadable in chrome://tracing and Perfetto. Each simulated node becomes a
+// process (pid = node id) with three threads: EU (tid 0), SU (tid 1) and
+// NET out (tid 2). Busy intervals are complete events ("ph":"X"); message
+// lifecycles are async begin/end pairs ("ph":"b"/"e") on the issuing node,
+// carrying class, site, payload words and destination as args.
+//
+// Timestamps: the trace_event "ts"/"dur" fields are microseconds; simulated
+// nanoseconds are emitted as fixed-point micros with three decimals, so the
+// export is byte-deterministic for a deterministic simulation.
+
+// Thread ids within a node's process.
+const (
+	chromeTidEU  = 0
+	chromeTidSU  = 1
+	chromeTidNet = 2
+	chromeTidMsg = 3
+)
+
+// WriteChrome writes the recording as Chrome trace_event JSON.
+func (r *Recorder) WriteChrome(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n")
+	first := true
+	emit := func(line string) {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		bw.WriteString(line)
+	}
+	if r != nil {
+		for node := 0; node < r.nodes; node++ {
+			emit(fmt.Sprintf(`{"ph":"M","pid":%d,"tid":0,"name":"process_name","args":{"name":"node %d"}}`, node, node))
+			emit(fmt.Sprintf(`{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":"EU"}}`, node, chromeTidEU))
+			emit(fmt.Sprintf(`{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":"SU"}}`, node, chromeTidSU))
+			emit(fmt.Sprintf(`{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":"NET out"}}`, node, chromeTidNet))
+			emit(fmt.Sprintf(`{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":"messages"}}`, node, chromeTidMsg))
+		}
+		for i := range r.spans {
+			s := &r.spans[i]
+			switch s.Unit {
+			case UnitEU:
+				emit(fmt.Sprintf(`{"ph":"X","pid":%d,"tid":%d,"name":%s,"cat":"eu","ts":%s,"dur":%s,"args":{"fiber":%d}}`,
+					s.Node, chromeTidEU, jstr(s.Name), micros(s.Start), micros(s.End-s.Start), s.Fiber))
+			case UnitSU:
+				emit(fmt.Sprintf(`{"ph":"X","pid":%d,"tid":%d,"name":%s,"cat":"su","ts":%s,"dur":%s,"args":{"msg":%d,"queue":%d}}`,
+					s.Node, chromeTidSU, jstr(s.Name), micros(s.Start), micros(s.End-s.Start), s.MsgID, s.Queue))
+			case UnitNet:
+				emit(fmt.Sprintf(`{"ph":"X","pid":%d,"tid":%d,"name":%s,"cat":"net","ts":%s,"dur":%s,"args":{"msg":%d,"dst":%d,"words":%d}}`,
+					s.Node, chromeTidNet, jstr(s.Name), micros(s.Start), micros(s.End-s.Start), s.MsgID, s.Dst, s.Words))
+			}
+		}
+		for i := range r.msgs {
+			m := &r.msgs[i]
+			end := m.Done
+			if end < 0 {
+				// In-flight at simulation end (e.g. a final ack still on the
+				// wire when main completed): close at the horizon so the
+				// event nests correctly.
+				end = r.horizon
+			}
+			emit(fmt.Sprintf(`{"ph":"b","pid":%d,"tid":%d,"cat":"msg","id":%d,"name":%s,"ts":%s,"args":{"site":%s,"src":%d,"dst":%d,"words":%d,"fiber":%d,"complete":%t}}`,
+				m.Src, chromeTidMsg, m.ID, jstr(m.Class.String()), micros(m.Issue),
+				jstr(m.Site), m.Src, m.Dst, m.Words, m.Fiber, m.Done >= 0))
+			emit(fmt.Sprintf(`{"ph":"e","pid":%d,"tid":%d,"cat":"msg","id":%d,"name":%s,"ts":%s}`,
+				m.Src, chromeTidMsg, m.ID, jstr(m.Class.String()), micros(end)))
+		}
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+// micros renders simulated ns as fixed-point microseconds ("12.345").
+func micros(ns int64) string {
+	neg := ""
+	if ns < 0 {
+		neg, ns = "-", -ns
+	}
+	return fmt.Sprintf("%s%d.%03d", neg, ns/1000, ns%1000)
+}
+
+// jstr JSON-escapes a string.
+func jstr(s string) string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return `"?"`
+	}
+	return string(b)
+}

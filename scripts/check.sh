@@ -13,3 +13,7 @@ fi
 go vet ./...
 go build ./...
 go test ./...
+# The simulator and its trace sink must also be clean under the race
+# detector (the recorder is documented single-threaded; this catches any
+# accidental sharing).
+go test -race ./internal/earthsim/... ./internal/trace/...
