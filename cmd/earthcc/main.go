@@ -23,6 +23,8 @@
 //	                   profile artifact to out (no dump)
 //	-profile-use in    optimize with measured frequencies from in (implies -O)
 //	-nodes N           machine size for -profile-gen (default 1)
+//	-j N               compile with N analysis workers (0 = all CPUs); the
+//	                   output is identical for every worker count
 package main
 
 import (
@@ -51,6 +53,7 @@ func main() {
 	profGen := flag.String("profile-gen", "", "collect a profile via an instrumented run and write it here")
 	profUse := flag.String("profile-use", "", "optimize using a previously collected profile (implies -O)")
 	nodes := flag.Int("nodes", 1, "machine size for -profile-gen")
+	workers := flag.Int("j", 0, "analysis worker count (0 = all CPUs); output is identical for any value")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: earthcc [flags] file.ec")
@@ -64,7 +67,7 @@ func main() {
 	}
 
 	if *profGen != "" {
-		p := core.NewPipeline(core.Options{NoInline: *noInline})
+		p := core.NewPipeline(core.Options{NoInline: *noInline, Workers: *workers})
 		u, err := p.Compile(name, string(src))
 		if err != nil {
 			fatal(err)
@@ -82,7 +85,7 @@ func main() {
 	}
 
 	opts := core.Options{Optimize: *optimize, NoInline: *noInline, ReorderFields: *reorder,
-		Stats: *stats}
+		Stats: *stats, Workers: *workers}
 	opts.Sel.BlockThreshold = *threshold
 	if *profUse != "" {
 		p, err := profile.ReadFile(*profUse)

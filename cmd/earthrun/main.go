@@ -21,6 +21,9 @@
 //	                  recording even without -trace
 //	-cost spec        override simulator cost parameters, e.g.
 //	                  "NetLatency=2500,SUService=800"
+//	-j N              compile with N analysis workers (0 = all CPUs); the
+//	                  compiled code and the simulated result are identical
+//	                  for every worker count
 //
 // With -compare, tracing applies to the optimized run.
 package main
@@ -47,6 +50,7 @@ func main() {
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file of the run here")
 	traceSum := flag.Bool("trace-summary", false, "print a text summary of recorded events")
 	costSpec := flag.String("cost", "", "cost-model overrides, e.g. \"NetLatency=2500,SUService=800\"")
+	workers := flag.Int("j", 0, "analysis worker count (0 = all CPUs); output is identical for any value")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: earthrun [flags] file.ec")
@@ -80,12 +84,13 @@ func main() {
 	}
 
 	if *compare {
-		simple, err := run(name, src, runOpts{nodes: *nodes, seq: *seq, machine: machine})
+		simple, err := run(name, src, runOpts{nodes: *nodes, seq: *seq, machine: machine,
+			workers: *workers})
 		if err != nil {
 			fatal(err)
 		}
 		opt, err := run(name, src, runOpts{optimize: true, nodes: *nodes, seq: *seq,
-			prof: prof, machine: machine, rec: rec})
+			prof: prof, machine: machine, rec: rec, workers: *workers})
 		if err != nil {
 			fatal(err)
 		}
@@ -103,7 +108,7 @@ func main() {
 	r, err := run(name, src, runOpts{
 		optimize: *optimize, nodes: *nodes, seq: *seq,
 		prof: prof, instrument: *profOut != "",
-		machine: machine, rec: rec,
+		machine: machine, rec: rec, workers: *workers,
 	})
 	if err != nil {
 		fatal(err)
@@ -173,6 +178,7 @@ type runOpts struct {
 	instrument bool             // collect a profile during the run
 	machine    *earthsim.Config // cost-model override
 	rec        *trace.Recorder  // event sink (nil = no tracing)
+	workers    int              // analysis worker count (0 = all CPUs)
 }
 
 type runResult struct {
@@ -183,7 +189,8 @@ type runResult struct {
 }
 
 func run(name, src string, ro runOpts) (*runResult, error) {
-	p := core.NewPipeline(core.Options{Optimize: ro.optimize, Profile: ro.prof, Trace: ro.rec})
+	p := core.NewPipeline(core.Options{Optimize: ro.optimize, Profile: ro.prof,
+		Trace: ro.rec, Workers: ro.workers})
 	u, err := p.Compile(name, src)
 	if err != nil {
 		return nil, err

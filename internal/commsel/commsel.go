@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"repro/internal/locality"
+	"repro/internal/par"
 	"repro/internal/placement"
 	"repro/internal/rwsets"
 	"repro/internal/simple"
@@ -147,11 +148,29 @@ func (s shadow) storeLV() simple.Lvalue {
 // program; rw and loc likewise.
 func Transform(prog *simple.Program, pl *placement.Result, rw *rwsets.Result,
 	loc *locality.Result, opt Options) *Report {
+	return TransformP(prog, pl, rw, loc, opt, nil)
+}
+
+// TransformP is Transform with per-function selection fanned across pool (nil
+// pool runs inline). Functions are rewritten independently: each worker
+// operates on a forked read/write-set view (new statements registered during
+// rewriting land in a private overlay) and a private FuncReport; forks are
+// merged back and reports appended in function order afterwards, so the
+// rewritten program and the report are identical to a sequential run.
+func TransformP(prog *simple.Program, pl *placement.Result, rw *rwsets.Result,
+	loc *locality.Result, opt Options, pool *par.Pool) *Report {
 	opt = opt.withDefaults()
-	rep := &Report{}
-	for _, fn := range prog.Funcs {
+	n := len(prog.Funcs)
+	frs := make([]*FuncReport, n)
+	forks := make([]*rwsets.Result, n)
+	pool.ForEach(n, func(i int) {
+		fn := prog.Funcs[i]
+		fork := rw
+		if pool.Workers() > 1 {
+			fork = rw.Fork()
+		}
 		s := &sel{
-			prog: prog, pl: pl, rw: rw, loc: loc, opt: opt, fn: fn,
+			prog: prog, pl: pl, rw: fork, loc: loc, opt: opt, fn: fn,
 			fr:          &FuncReport{Name: fn.Name},
 			handledR:    make(map[placement.Key]map[int]bool),
 			readShadow:  make(map[int]shadow),
@@ -163,7 +182,16 @@ func Transform(prog *simple.Program, pl *placement.Result, rw *rwsets.Result,
 		s.applyReadRewrites()
 		esc := s.writesSeq(fn.Body)
 		s.materialize(mapVals(esc), fn.Body, len(fn.Body.Stmts))
-		rep.Funcs = append(rep.Funcs, s.fr)
+		frs[i] = s.fr
+		if fork != rw {
+			forks[i] = fork
+		}
+	})
+	rep := &Report{Funcs: frs}
+	for _, fork := range forks {
+		if fork != nil {
+			rw.Merge(fork)
+		}
 	}
 	return rep
 }

@@ -266,7 +266,7 @@ func (s *sel) commit(t *placement.Tuple, labels []int, sh shadow) {
 			s.fr.ReadsEliminated++
 		}
 	}
-	for w := range t.CrossedW {
+	for _, w := range t.CrossedW {
 		s.storeShadow[w] = sh
 	}
 }

@@ -67,7 +67,11 @@ func (s *sel) writesSeq(seq *simple.Seq) map[placement.Key]*wfloat {
 		case *simple.If:
 			tF := s.writesSeq(c.Then)
 			eF := s.writesSeq(c.Else)
-			for key, ft := range tF {
+			// Each unmerged float materializes in its own call, so walk the
+			// maps in sorted key order to keep the emitted statement order
+			// independent of map iteration.
+			for _, key := range sortedFloatKeys(tF) {
+				ft := tF[key]
 				fe, ok := eF[key]
 				if ok && shadowsCompatible(ft.sh, fe.sh) {
 					// Written on both alternatives: the write may move
@@ -81,8 +85,8 @@ func (s *sel) writesSeq(seq *simple.Seq) map[placement.Key]*wfloat {
 				}
 				s.materialize([]*wfloat{ft}, c.Then, len(c.Then.Stmts))
 			}
-			for _, fe := range eF {
-				s.materialize([]*wfloat{fe}, c.Else, len(c.Else.Stmts))
+			for _, key := range sortedFloatKeys(eF) {
+				s.materialize([]*wfloat{eF[key]}, c.Else, len(c.Else.Stmts))
 			}
 		case *simple.Switch:
 			s.switchWrites(c, active)
@@ -158,6 +162,22 @@ func (s *sel) switchWrites(c *simple.Switch, active map[placement.Key]*wfloat) {
 	}
 }
 
+// sortedFloatKeys returns m's keys ordered by (pointer name, offset), fixing
+// the order of per-float materialize calls regardless of map iteration.
+func sortedFloatKeys(m map[placement.Key]*wfloat) []placement.Key {
+	keys := make([]placement.Key, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].P.Name != keys[j].P.Name {
+			return keys[i].P.Name < keys[j].P.Name
+		}
+		return keys[i].Off < keys[j].Off
+	})
+	return keys
+}
+
 func mapVals(m map[placement.Key]*wfloat) []*wfloat {
 	out := make([]*wfloat, 0, len(m))
 	for _, f := range m {
@@ -206,13 +226,20 @@ func (s *sel) genFloat(b *simple.Basic) *wfloat {
 		// No read float crossed this store, but if a clean bcomm buffer
 		// already mirrors the pointed-to struct, update it instead of a
 		// fresh scalar: that is what lets the write-back be blocked (the
-		// paper's RemoteFill condition — every field locally valid).
+		// paper's RemoteFill condition — every field locally valid). When
+		// several buffers qualify, take the lowest-named one so the choice
+		// does not depend on map iteration order.
+		var best *simple.Var
 		for bc, fi := range s.fills {
 			if fi.p == stv.P && stv.Off >= fi.off && stv.Off < fi.off+fi.size && s.blkClean[bc] {
-				sh = shadow{v: bc, off: stv.Off, field: stv.Field, blk: true}
-				s.storeShadow[b.Label] = sh
-				break
+				if best == nil || bc.Name < best.Name {
+					best = bc
+				}
 			}
+		}
+		if best != nil {
+			sh = shadow{v: best, off: stv.Off, field: stv.Field, blk: true}
+			s.storeShadow[b.Label] = sh
 		}
 	}
 	return &wfloat{

@@ -10,6 +10,7 @@ package core
 
 import (
 	"sort"
+	"sync"
 
 	"repro/internal/commsel"
 	"repro/internal/earthc"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/rwsets"
 	"repro/internal/sema"
 	"repro/internal/simple"
+	"repro/internal/threaded"
 	"repro/internal/trace"
 )
 
@@ -50,6 +52,14 @@ type Options struct {
 	// profile whose source hash does not match the unit being compiled is
 	// ignored with a warning (static heuristics apply).
 	Profile *profile.Data
+	// Workers bounds the worker pool used to fan the per-function analysis
+	// and transformation phases (points-to constraint generation, read/write
+	// sets, locality, placement, communication selection) across goroutines.
+	// 0 (or negative) means GOMAXPROCS; 1 forces a fully sequential compile.
+	// The emitted SIMPLE form, report, and statistics counters are identical
+	// for every worker count — parallel results are merged in deterministic
+	// function order.
+	Workers int
 	// Stats collects per-phase compiler timings and communication
 	// optimization counters on the compiled unit (Unit.Stats).
 	Stats bool
@@ -83,6 +93,13 @@ type Unit struct {
 	// pipe is the pipeline that built this unit; the deprecated Unit.Run
 	// delegates through it so trace sinks keep working.
 	pipe *Pipeline
+
+	// tcache memoizes generated threaded code per codegen option set:
+	// generation is deterministic and the program is immutable once built,
+	// so repeated Runs of one unit reuse the same code. Guarded by tmu so a
+	// unit can be driven from several goroutines.
+	tmu    sync.Mutex
+	tcache map[threaded.Options]*threaded.Program
 }
 
 // Profiles implement placement.FreqProvider directly.

@@ -9,6 +9,7 @@ import (
 	"repro/internal/earthsim"
 	"repro/internal/locality"
 	"repro/internal/lower"
+	"repro/internal/par"
 	"repro/internal/placement"
 	"repro/internal/pointsto"
 	"repro/internal/profile"
@@ -134,15 +135,23 @@ func (p *Pipeline) build(file *earthc.File, opt Options, st *trace.CompileStats)
 	simple.AssignSites(sp)
 	st.AddPhase("lower", time.Since(t0))
 	u := &Unit{Name: file.Name, File: file, Sema: sm, Simple: sp, Stats: st, pipe: p}
+	// The per-function analysis chain fans out across a bounded worker pool;
+	// each phase merges its per-function results in function order, so the
+	// unit is identical for every worker count.
+	pool := par.New(opt.Workers)
+	addPhase := func(name string, t0 time.Time, busy0 time.Duration) {
+		st.AddPhaseCum(name, time.Since(t0), pool.Busy()-busy0)
+	}
 	t0 = time.Now()
-	u.PointsTo = pointsto.Analyze(sp)
-	st.AddPhase("pointsto", time.Since(t0))
-	t0 = time.Now()
-	u.RWSets = rwsets.Analyze(sp, u.PointsTo)
-	st.AddPhase("rwsets", time.Since(t0))
-	t0 = time.Now()
-	u.Locality = locality.Analyze(sp, u.PointsTo)
-	st.AddPhase("locality", time.Since(t0))
+	b0 := pool.Busy()
+	u.PointsTo = pointsto.AnalyzeP(sp, pool)
+	addPhase("pointsto", t0, b0)
+	t0, b0 = time.Now(), pool.Busy()
+	u.RWSets = rwsets.AnalyzeP(sp, u.PointsTo, pool)
+	addPhase("rwsets", t0, b0)
+	t0, b0 = time.Now(), pool.Busy()
+	u.Locality = locality.AnalyzeP(sp, u.PointsTo, pool)
+	addPhase("locality", t0, b0)
 	if st != nil {
 		// Candidate remote accesses, counted before selection rewrites the
 		// SIMPLE form.
@@ -167,12 +176,12 @@ func (p *Pipeline) build(file *earthc.File, opt Options, st *trace.CompileStats)
 			fp = opt.Profile
 			sel.ProfileGuided = true
 		}
-		t0 = time.Now()
-		u.Placement = placement.AnalyzeProfiled(sp, u.RWSets, u.Locality, fp)
-		st.AddPhase("placement", time.Since(t0))
-		t0 = time.Now()
-		u.Report = commsel.Transform(sp, u.Placement, u.RWSets, u.Locality, sel)
-		st.AddPhase("commsel", time.Since(t0))
+		t0, b0 = time.Now(), pool.Busy()
+		u.Placement = placement.AnalyzeProfiledP(sp, u.RWSets, u.Locality, fp, pool)
+		addPhase("placement", t0, b0)
+		t0, b0 = time.Now(), pool.Busy()
+		u.Report = commsel.TransformP(sp, u.Placement, u.RWSets, u.Locality, sel, pool)
+		addPhase("commsel", t0, b0)
 		if st != nil {
 			for _, set := range u.Placement.Reads {
 				st.PlacedReadTuples += set.Len()

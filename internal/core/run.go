@@ -7,9 +7,24 @@ import (
 )
 
 // Threaded generates threaded code for the unit (Phase III of the paper's
-// compiler).
+// compiler). Generation is deterministic and the resulting program is
+// immutable, so the code for each option set is generated once and cached;
+// repeated simulator Runs — and Runs from concurrent goroutines — share it.
 func (u *Unit) Threaded(opt threaded.Options) (*threaded.Program, error) {
-	return threaded.Generate(u.Simple, u.Locality, opt)
+	u.tmu.Lock()
+	defer u.tmu.Unlock()
+	if p, ok := u.tcache[opt]; ok {
+		return p, nil
+	}
+	p, err := threaded.Generate(u.Simple, u.Locality, opt)
+	if err != nil {
+		return nil, err
+	}
+	if u.tcache == nil {
+		u.tcache = make(map[threaded.Options]*threaded.Program, 2)
+	}
+	u.tcache[opt] = p
+	return p, nil
 }
 
 // RunConfig selects how a compiled unit is executed on the simulator.

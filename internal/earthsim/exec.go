@@ -12,14 +12,13 @@ import (
 // run it until it suspends or completes.
 func (m *Machine) runEU(n *node, t int64) {
 	if t < n.euFree {
-		m.schedule(n.euFree, evEURun, n.id, func(m *Machine, t int64) { m.runEU(n, t) })
+		m.schedule(n.euFree, evEURun, n.id, nil)
 		return
 	}
-	if len(n.ready) == 0 {
+	if n.readyLen() == 0 {
 		return
 	}
-	f := n.ready[0]
-	n.ready = n.ready[1:]
+	f := n.popReady()
 	t += m.cfg.CtxSwitch
 	if m.tr != nil {
 		start, name, fid := t, f.code.Name, f.id
@@ -29,8 +28,8 @@ func (m *Machine) runEU(n *node, t int64) {
 		m.execFiber(f, &t)
 	}
 	n.euFree = t
-	if len(n.ready) > 0 {
-		m.schedule(t, evEURun, n.id, func(m *Machine, t int64) { m.runEU(n, t) })
+	if n.readyLen() > 0 {
+		m.schedule(t, evEURun, n.id, nil)
 	}
 }
 
@@ -416,12 +415,13 @@ func (m *Machine) execFiber(f *fiber, t *int64) {
 			if blocked {
 				return
 			}
-			vals := make([]int64, in.D)
-			for i := range vals {
-				vals[i] = rd(in.A + i)
+			m.scratch = m.scratch[:0]
+			for i := 0; i < in.D; i++ {
+				v := rd(in.A + i)
 				if blocked {
 					return
 				}
+				m.scratch = append(m.scratch, v)
 			}
 			if p == 0 {
 				m.trapf("%s@%d: blkmov write through null pointer", f.code.Name, f.pc)
@@ -432,7 +432,7 @@ func (m *Machine) execFiber(f *fiber, t *int64) {
 			} else {
 				*t += cfg.EUIssue
 			}
-			m.issueBlkPut(f, *t, p+int64(in.C), vals, in.Site)
+			m.issueBlkPut(f, *t, p+int64(in.C), m.scratch, in.Site)
 
 		case threaded.OpFence:
 			if f.outstanding > 0 {
@@ -470,12 +470,13 @@ func (m *Machine) execFiber(f *fiber, t *int64) {
 			}
 
 		case threaded.OpCall:
-			args := make([]int64, len(in.Args))
-			for i, s := range in.Args {
-				args[i] = rd(s)
+			m.scratch = m.scratch[:0]
+			for _, s := range in.Args {
+				v := rd(s)
 				if blocked {
 					return
 				}
+				m.scratch = append(m.scratch, v)
 			}
 			*t += cfg.CallCost
 			callee := in.Fn
@@ -485,7 +486,7 @@ func (m *Machine) execFiber(f *fiber, t *int64) {
 					f.code.Name, n.id, callee.Name)
 				return
 			}
-			for i, a := range args {
+			for i, a := range m.scratch {
 				if i < len(callee.Params) {
 					n.mem[base+int64(callee.Params[i])] = a
 				}
@@ -730,12 +731,13 @@ func (m *Machine) execCallAt(f *fiber, t *int64, in *threaded.Instr) bool {
 	case 2: // @HOME
 		target = n.id
 	}
-	args := make([]int64, len(in.Args))
-	for i, s := range in.Args {
-		args[i] = rd(s)
+	m.scratch = m.scratch[:0]
+	for _, s := range in.Args {
+		v := rd(s)
 		if blocked {
 			return false
 		}
+		m.scratch = append(m.scratch, v)
 	}
 	if target == n.id {
 		// Local placement: run as a plain call.
@@ -746,7 +748,7 @@ func (m *Machine) execCallAt(f *fiber, t *int64, in *threaded.Instr) bool {
 			m.trapf("%s: node %d out of memory calling %s", f.code.Name, n.id, callee.Name)
 			return false
 		}
-		for i, a := range args {
+		for i, a := range m.scratch {
 			if i < len(callee.Params) {
 				n.mem[base+int64(callee.Params[i])] = a
 			}
@@ -765,12 +767,12 @@ func (m *Machine) execCallAt(f *fiber, t *int64, in *threaded.Instr) bool {
 	retSlot := int64(-1)
 	if in.A >= 0 {
 		retSlot = f.base + int64(in.A)
-		f.pending[retSlot]++
+		f.addPending(retSlot)
 		n.pending[retSlot]++
 	} else {
 		f.outstanding++
 	}
-	m.issueInvoke(f, *t, target, in.Fn, args, retSlot, in.Site)
+	m.issueInvoke(f, *t, target, in.Fn, m.scratch, retSlot, in.Site)
 	return true
 }
 
@@ -829,7 +831,7 @@ func (m *Machine) execShared(f *fiber, t *int64, in *threaded.Instr) bool {
 	switch in.Op {
 	case threaded.OpSharedRead:
 		slot := f.base + int64(in.A)
-		f.pending[slot]++
+		f.addPending(slot)
 		n.pending[slot]++
 		m.issueShared(f, *t, addr, 0, 0, slot, false, in.Site)
 	case threaded.OpSharedWrite:
@@ -912,13 +914,6 @@ func binOp(op earthc.BinOp, x, y int64, flt bool) (int64, error) {
 		return b2i(x != y), nil
 	}
 	return 0, fmt.Errorf("bad int op %v", op)
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 func b2i(b bool) int64 {

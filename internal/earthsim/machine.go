@@ -14,7 +14,6 @@
 package earthsim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 	"strings"
@@ -139,31 +138,72 @@ const (
 	evNetArrive
 )
 
+// event is a scheduled simulator action, stored by value in the queue. An
+// event with a message advances that message's lifecycle (msgAdvance); one
+// without runs the node's EU.
 type event struct {
 	time int64
 	seq  int64
 	kind eventKind
 	node int
-	fn   func(m *Machine, t int64)
+	g    *msg
 }
 
-type eventHeap []*event
+// eventQ is an inlined 4-ary min-heap of events ordered by (time, seq).
+// The seq tiebreak makes the order a total one — equal-time events pop in
+// schedule order — so heap arity and sift details cannot change simulation
+// outcomes. Compared to container/heap this avoids the per-event box
+// allocation and interface dispatch on the hot path.
+type eventQ []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
+func (q eventQ) less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
 	}
-	return h[i].seq < h[j].seq
+	return q[i].seq < q[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+
+func (q *eventQ) push(e event) {
+	a := append(*q, e)
+	i := len(a) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !a.less(i, p) {
+			break
+		}
+		a[i], a[p] = a[p], a[i]
+		i = p
+	}
+	*q = a
+}
+
+func (q *eventQ) pop() event {
+	a := *q
+	top := a[0]
+	n := len(a) - 1
+	a[0] = a[n]
+	a[n] = event{} // release the msg pointer
+	a = a[:n]
+	i := 0
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		best := c
+		for j := c + 1; j < min(c+4, n); j++ {
+			if a.less(j, best) {
+				best = j
+			}
+		}
+		if !a.less(best, i) {
+			break
+		}
+		a[i], a[best] = a[best], a[i]
+		i = best
+	}
+	*q = a
+	return top
 }
 
 // ------------------------------------------------------------------- nodes ---
@@ -176,8 +216,11 @@ type node struct {
 	free     map[int][]int64 // frame free lists by size
 	euFree   int64
 	suFree   int64
-	ready    []*fiber
-	netLast  []int64 // per-destination last scheduled arrival (FIFO)
+	// ready is the EU's fiber queue, consumed from readyAt so the backing
+	// array is reused instead of reallocated on every enqueue/dequeue pair.
+	ready   []*fiber
+	readyAt int
+	netLast []int64 // per-destination last scheduled arrival (FIFO)
 	// pending counts outstanding split-phase fills per memory word
 	// (presence bits); node-level so fibers sharing a frame observe each
 	// other's outstanding fills. waiters lists fibers blocked per word.
@@ -193,16 +236,22 @@ func (n *node) ensure(off int64, size int) bool {
 		return false
 	}
 	for int64(len(n.mem)) < need {
-		n.mem = append(n.mem, make([]int64, max64(1024, need-int64(len(n.mem))))...)
+		n.mem = append(n.mem, make([]int64, max(1024, need-int64(len(n.mem))))...)
 	}
 	return true
 }
 
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
+func (n *node) readyLen() int { return len(n.ready) - n.readyAt }
+
+func (n *node) popReady() *fiber {
+	f := n.ready[n.readyAt]
+	n.ready[n.readyAt] = nil
+	n.readyAt++
+	if n.readyAt == len(n.ready) {
+		n.ready = n.ready[:0]
+		n.readyAt = 0
 	}
-	return b
+	return f
 }
 
 // allocWords bump-allocates; returns -1 when the node's memory budget is
@@ -264,8 +313,10 @@ type fiber struct {
 	size  int
 	stack []frameRec
 
-	pending   map[int64]int // outstanding fills per absolute offset (base+slot)
-	waitSlot  int64         // absolute offset blocked on (-1 none)
+	// pending counts outstanding fills per absolute offset (base+slot);
+	// allocated lazily since most fibers never issue a split-phase read.
+	pending   map[int64]int
+	waitSlot  int64 // absolute offset blocked on (-1 none)
 	waitFence bool
 	waitJoin  bool
 
@@ -275,6 +326,14 @@ type fiber struct {
 	route  replyRoute
 	done   bool
 	ninstr int64
+}
+
+// addPending registers an outstanding fill for an absolute frame offset.
+func (f *fiber) addPending(abs int64) {
+	if f.pending == nil {
+		f.pending = make(map[int64]int, 4)
+	}
+	f.pending[abs]++
 }
 
 // ----------------------------------------------------------------- machine ---
@@ -290,7 +349,7 @@ type Machine struct {
 	cfg           Config
 	prog          *threaded.Program
 	nodes         []*node
-	events        eventHeap
+	events        eventQ
 	seq           int64
 	nextFiber     int64
 	counts        Counts
@@ -304,6 +363,8 @@ type Machine struct {
 	nEvents       int64
 	liveFibers    int64
 	maxFiberInstr int64
+	msgFree       *msg            // freelist of message records (see getMsg/putMsg)
+	scratch       []int64         // EU scratch for call arguments / block payloads
 	prof          *profile.Data   // non-nil when prog.Profiled
 	tr            *trace.Recorder // nil: tracing disabled (the common case)
 }
@@ -313,7 +374,8 @@ func New(prog *threaded.Program, cfg Config) *Machine {
 	if cfg.Nodes <= 0 {
 		cfg.Nodes = 1
 	}
-	m := &Machine{cfg: cfg, prog: prog, maxFiberInstr: cfg.MaxFiberInstr}
+	m := &Machine{cfg: cfg, prog: prog, maxFiberInstr: cfg.MaxFiberInstr,
+		events: make(eventQ, 0, 256), scratch: make([]int64, 0, 64)}
 	if m.maxFiberInstr == 0 {
 		m.maxFiberInstr = 2_000_000_000
 	}
@@ -327,6 +389,7 @@ func New(prog *threaded.Program, cfg Config) *Machine {
 		}
 		n := &node{id: i, maxWords: maxWords,
 			free: make(map[int][]int64), netLast: make([]int64, cfg.Nodes),
+			ready:   make([]*fiber, 0, 16),
 			pending: make(map[int64]int), waiters: make(map[int64][]*fiber)}
 		m.nodes = append(m.nodes, n)
 	}
@@ -350,9 +413,18 @@ func (m *Machine) SetTrace(r *trace.Recorder) *Machine {
 	return m
 }
 
-func (m *Machine) schedule(t int64, kind eventKind, nodeID int, fn func(*Machine, int64)) {
+func (m *Machine) schedule(t int64, kind eventKind, nodeID int, g *msg) {
 	m.seq++
-	heap.Push(&m.events, &event{time: t, seq: m.seq, kind: kind, node: nodeID, fn: fn})
+	m.events.push(event{time: t, seq: m.seq, kind: kind, node: nodeID, g: g})
+}
+
+// dispatch executes one popped event.
+func (m *Machine) dispatch(ev event) {
+	if ev.g != nil {
+		m.msgAdvance(ev.g, ev.time)
+		return
+	}
+	m.runEU(m.nodes[ev.node], ev.time)
 }
 
 // trapf stops the simulation with an error.
@@ -382,9 +454,9 @@ func (m *Machine) Run() (*Result, error) {
 		if m.nEvents > maxEvents {
 			return nil, fmt.Errorf("earthsim: event budget exceeded (%d events, t=%dns) — livelock? %s", m.nEvents, now, m.fiberStates())
 		}
-		ev := heap.Pop(&m.events).(*event)
+		ev := m.events.pop()
 		now = ev.time
-		ev.fn(m, ev.time)
+		m.dispatch(ev)
 		if m.mainDone && m.liveFibers == 0 {
 			break
 		}
@@ -429,7 +501,7 @@ func (m *Machine) newFiber(nodeID int, code *threaded.FnCode, args []int64, rout
 	}
 	f := &fiber{
 		node: n, code: code, base: base, size: code.NSlots,
-		pending: make(map[int64]int), waitSlot: -1, route: route,
+		waitSlot: -1, route: route,
 	}
 	m.nextFiber++
 	f.id = m.nextFiber
@@ -446,7 +518,7 @@ func (m *Machine) newFiber(nodeID int, code *threaded.FnCode, args []int64, rout
 func (m *Machine) newSharedFiber(nodeID int, code *threaded.FnCode, base int64, route replyRoute) *fiber {
 	f := &fiber{
 		node: m.nodes[nodeID], code: code, base: base, size: code.NSlots,
-		pending: make(map[int64]int), waitSlot: -1, route: route,
+		waitSlot: -1, route: route,
 	}
 	m.nextFiber++
 	f.id = m.nextFiber
@@ -456,14 +528,14 @@ func (m *Machine) newSharedFiber(nodeID int, code *threaded.FnCode, base int64, 
 
 func (m *Machine) enqueueReady(n *node, f *fiber, t int64) {
 	n.ready = append(n.ready, f)
-	m.schedule(t, evEURun, n.id, func(m *Machine, t int64) { m.runEU(n, t) })
+	m.schedule(t, evEURun, n.id, nil)
 }
 
 // fiberStates summarizes runnable fibers for livelock diagnostics.
 func (m *Machine) fiberStates() string {
 	var b strings.Builder
 	for _, n := range m.nodes {
-		for _, f := range n.ready {
+		for _, f := range n.ready[n.readyAt:] {
 			fmt.Fprintf(&b, " [node%d ready %s@%d]", n.id, f.code.Name, f.pc)
 		}
 	}

@@ -1,17 +1,16 @@
 package earthsim
 
 import (
-	"container/heap"
 	"testing"
 
 	"repro/internal/threaded"
+	"repro/internal/trace"
 )
 
 // drain processes every pending event regardless of main's state.
 func drain(m *Machine) {
 	for len(m.events) > 0 {
-		ev := heap.Pop(&m.events).(*event)
-		ev.fn(m, ev.time)
+		m.dispatch(m.events.pop())
 	}
 }
 
@@ -44,11 +43,15 @@ func TestSUTaskSerialization(t *testing.T) {
 	prog.Main = prog.Funcs["main"]
 	m := New(prog, DefaultConfig(1))
 	n := m.nodes[0]
-	var done []int64
 	for i := 0; i < 3; i++ {
-		m.suTask(n, 0, 100, "test", 0, func(d int64) { done = append(done, d) })
+		g := m.getMsg()
+		g.class, g.stage = trace.ClassGet, 1
+		m.suSched(n, 0, 100, g)
 	}
-	drain(m)
+	var done []int64
+	for len(m.events) > 0 {
+		done = append(done, m.events.pop().time)
+	}
 	if len(done) != 3 || done[0] != 100 || done[1] != 200 || done[2] != 300 {
 		t.Errorf("SU tasks must serialize: got %v", done)
 	}
@@ -64,12 +67,17 @@ func TestNetFIFO(t *testing.T) {
 	prog.Main = prog.Funcs["main"]
 	m := New(prog, DefaultConfig(2))
 	src, dst := m.nodes[0], m.nodes[1]
-	var order []int
 	// A large (slow) message sent first, then a zero-payload one.
-	m.netSend(src, dst, 0, 100, "test", 0, func(int64) { order = append(order, 1) })
-	m.netSend(src, dst, 1, 0, "test", 0, func(int64) { order = append(order, 2) })
-	drain(m)
-	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+	g1, g2 := m.getMsg(), m.getMsg()
+	g1.class, g1.stage = trace.ClassGet, 2
+	g2.class, g2.stage = trace.ClassGet, 2
+	m.netSched(src, dst, 0, 100, g1)
+	m.netSched(src, dst, 1, 0, g2)
+	var order []*msg
+	for len(m.events) > 0 {
+		order = append(order, m.events.pop().g)
+	}
+	if len(order) != 2 || order[0] != g1 || order[1] != g2 {
 		t.Errorf("per-link FIFO violated: %v", order)
 	}
 }

@@ -7,29 +7,255 @@ import (
 	"repro/internal/trace"
 )
 
-// suTask schedules work on a node's SU: the SU is a serial resource, so the
-// task completes at max(suFree, t) + svc. lab and mid describe the task for
-// the trace sink (mid 0: no associated message); they never influence the
-// schedule.
-func (m *Machine) suTask(n *node, t, svc int64, lab string, mid int64, effect func(done int64)) {
-	start := max64(n.suFree, t)
-	done := start + svc
-	n.suFree = done
-	m.tr.SUSpan(n.id, lab, mid, t, start, done)
-	m.schedule(done, evSUEffect, n.id, func(m *Machine, _ int64) { effect(done) })
+// msg is one split-phase message moving through the machine. Instead of a
+// chain of heap-allocated closures (one per SU/network hop), a message is a
+// single pooled record advanced through numbered lifecycle stages by
+// msgAdvance:
+//
+//	issue:   request queued on the issuing node's SU          (stage 1 next)
+//	stage 1: SU done — request crosses the network            (stage 2 next)
+//	stage 2: arrived — queued on the serviced node's SU       (stage 3 next)
+//	stage 3: serviced — memory effect; reply crosses back     (stage 4 next)
+//	stage 4: reply arrived — queued on the issuing node's SU  (stage 5 next)
+//	stage 5: delivered — frame slot filled / write acked
+//
+// ClassRPC and ClassReply messages are one-way: they terminate at stage 3
+// (the callee fiber is spawned / the return value lands at the requester).
+//
+// The schedule() call sequence is hop-for-hop identical to the old closure
+// chains, so event sequence numbers — and with them the (time, seq) total
+// order and every simulated Result — are bit-identical to the unpooled
+// implementation.
+type msg struct {
+	class trace.Class
+	stage int              // stage the next scheduled event will run
+	f     *fiber           // fiber to fill/ack on completion (RPC: the requester)
+	src   *node            // issuing node
+	dst   *node            // serviced node
+	off   int64            // serviced node's memory offset
+	abs   int64            // issuing fiber's absolute fill slot (RPC/Reply: ret slot, -1 void)
+	val   int64            // scalar payload (Put value, Get/Alloc/Shared result, Reply value)
+	op    int              // shared op: 0 read, 1 write, 2 add
+	flt   bool             // shared add on float bits
+	size  int              // block payload words / remote allocation size
+	mid   int64            // trace message id (0 when tracing is off)
+	fn    *threaded.FnCode // RPC callee
+	args  []int64          // RPC arguments (capacity retained across reuse)
+	vals  []int64          // block payload (capacity retained across reuse)
+	free  *msg             // freelist link
 }
 
-// netSend models the point-to-point link: per-message latency plus per-word
-// transfer time, FIFO per (src, dst) pair. The traced span covers send to
-// arrival (wire time plus any FIFO queuing).
-func (m *Machine) netSend(src, dst *node, t int64, words int, lab string, mid int64, then func(arrive int64)) {
+// msgLabels names each hop per class for the trace sink, indexed by the
+// stage being scheduled (stage-1): SU request, forward wire, SU service,
+// backward wire, SU reply.
+var msgLabels = [trace.ClassShared + 1][5]string{
+	trace.ClassGet:    {"get.req", "get", "get.svc", "get.reply", "get.reply"},
+	trace.ClassPut:    {"put.req", "put", "put.svc", "put.ack", "put.ack"},
+	trace.ClassBlkGet: {"blkget.req", "blkget", "blkget.svc", "blkget.reply", "blkget.reply"},
+	trace.ClassBlkPut: {"blkput.req", "blkput", "blkput.svc", "blkput.ack", "blkput.ack"},
+	trace.ClassAlloc:  {"alloc.req", "alloc", "alloc.svc", "alloc.reply", "alloc.reply"},
+	trace.ClassRPC:    {"rpc.req", "rpc", "rpc.svc", "", ""},
+	trace.ClassReply:  {"reply.req", "reply", "reply.svc", "", ""},
+	trace.ClassShared: {"shared.req", "shared", "shared.svc", "shared.reply", "shared.reply"},
+}
+
+// getMsg takes a message record off the freelist (or allocates one),
+// retaining the args/vals buffer capacity of its previous life.
+func (m *Machine) getMsg() *msg {
+	g := m.msgFree
+	if g == nil {
+		return &msg{}
+	}
+	m.msgFree = g.free
+	g.free = nil
+	return g
+}
+
+// putMsg clears a completed message and returns it to the freelist. Only
+// terminal lifecycle steps may call this — the record must not be reachable
+// from any scheduled event.
+func (m *Machine) putMsg(g *msg) {
+	args, vals := g.args[:0], g.vals[:0]
+	*g = msg{args: args, vals: vals, free: m.msgFree}
+	m.msgFree = g
+}
+
+// suSched queues the message's next hop on a node's SU: the SU is a serial
+// resource, so the hop completes at max(suFree, t) + svc. The caller sets
+// g.stage to the hop being scheduled first. Trace spans never influence the
+// schedule.
+func (m *Machine) suSched(n *node, t, svc int64, g *msg) {
+	start := max(n.suFree, t)
+	done := start + svc
+	n.suFree = done
+	m.tr.SUSpan(n.id, msgLabels[g.class][g.stage-1], g.mid, t, start, done)
+	m.schedule(done, evSUEffect, n.id, g)
+}
+
+// netSched sends the message's next hop over the point-to-point link:
+// per-message latency plus per-word transfer time, FIFO per (src, dst)
+// pair. The traced span covers send to arrival (wire time plus queuing).
+func (m *Machine) netSched(src, dst *node, t int64, words int, g *msg) {
 	arrive := t + m.cfg.NetLatency + m.cfg.NetPerWord*int64(words)
 	if arrive <= src.netLast[dst.id] {
 		arrive = src.netLast[dst.id] + 1
 	}
 	src.netLast[dst.id] = arrive
-	m.tr.NetSpan(src.id, dst.id, lab, mid, words, t, arrive)
-	m.schedule(arrive, evNetArrive, dst.id, func(m *Machine, _ int64) { then(arrive) })
+	m.tr.NetSpan(src.id, dst.id, msgLabels[g.class][g.stage-1], g.mid, words, t, arrive)
+	m.schedule(arrive, evNetArrive, dst.id, g)
+}
+
+// netWords is the wire payload of the request (fwd) or reply (back) leg.
+func (g *msg) netWords(back bool) int {
+	switch g.class {
+	case trace.ClassGet, trace.ClassAlloc:
+		if back {
+			return 1
+		}
+		return 0
+	case trace.ClassPut:
+		if back {
+			return 0
+		}
+		return 1
+	case trace.ClassBlkGet:
+		if back {
+			return g.size
+		}
+		return 0
+	case trace.ClassBlkPut:
+		if back {
+			return 0
+		}
+		return g.size
+	case trace.ClassShared:
+		return 1
+	case trace.ClassRPC:
+		return len(g.args)
+	case trace.ClassReply:
+		return 1
+	}
+	return 0
+}
+
+// svcRemote is the serviced node's SU cost (stage 3).
+func (m *Machine) svcRemote(g *msg) int64 {
+	switch g.class {
+	case trace.ClassPut:
+		return m.cfg.SUWriteSvc
+	case trace.ClassBlkGet, trace.ClassBlkPut:
+		return m.cfg.SUBlockSvc
+	case trace.ClassShared:
+		return m.cfg.SUShared
+	}
+	return m.cfg.SUService
+}
+
+// svcReply is the issuing node's SU cost for the reply/ack (stage 5).
+func (m *Machine) svcReply(g *msg) int64 {
+	switch g.class {
+	case trace.ClassPut, trace.ClassBlkPut, trace.ClassShared:
+		return m.cfg.SUAck
+	case trace.ClassBlkGet:
+		return m.cfg.SUBlock + m.cfg.SUBlockWord*int64(g.size-1)
+	}
+	return m.cfg.SUService
+}
+
+// msgAdvance runs the lifecycle step the popped event scheduled.
+func (m *Machine) msgAdvance(g *msg, t int64) {
+	switch g.stage {
+	case 1: // request left the issuing SU; forward over the wire
+		g.stage = 2
+		m.netSched(g.src, g.dst, t, g.netWords(false), g)
+	case 2: // request arrived; queue on the serviced node's SU
+		g.stage = 3
+		m.suSched(g.dst, t, m.svcRemote(g), g)
+	case 3: // serviced: apply the memory effect, send the reply
+		m.msgService(g, t)
+	case 4: // reply arrived; queue on the issuing node's SU
+		g.stage = 5
+		m.suSched(g.src, t, m.svcReply(g), g)
+	case 5: // delivered
+		m.msgComplete(g, t)
+	}
+}
+
+// msgService applies the serviced node's memory effect (stage 3) and, for
+// round-trip classes, sends the reply; RPC and Reply terminate here.
+func (m *Machine) msgService(g *msg, t int64) {
+	dstID := g.dst.id
+	switch g.class {
+	case trace.ClassGet:
+		g.val = m.memWord(dstID, g.off)
+	case trace.ClassPut:
+		m.memStore(dstID, g.off, g.val)
+	case trace.ClassBlkGet:
+		g.vals = m.readBlock(g.dst, g.off, g.size, g.vals[:0])
+	case trace.ClassBlkPut:
+		m.writeBlock(g.dst, g.off, g.vals)
+	case trace.ClassAlloc:
+		base := g.dst.allocWords(g.size)
+		if base < 0 {
+			m.trapf("node %d out of memory for a remote allocation", dstID)
+			return
+		}
+		g.val = threaded.PackAddr(dstID, base)
+	case trace.ClassShared:
+		switch g.op {
+		case 0:
+			g.val = m.memWord(dstID, g.off)
+		case 1:
+			m.memStore(dstID, g.off, g.val)
+		case 2:
+			old := m.memWord(dstID, g.off)
+			if g.flt {
+				sum := math.Float64frombits(uint64(old)) + math.Float64frombits(uint64(g.val))
+				m.memStore(dstID, g.off, int64(math.Float64bits(sum)))
+			} else {
+				m.memStore(dstID, g.off, old+g.val)
+			}
+		}
+	case trace.ClassRPC:
+		child := m.newFiber(dstID, g.fn, g.args, replyRoute{
+			kind: 2, rpcNode: g.src.id, rpcFiber: g.f, rpcSlot: int(g.abs),
+		})
+		m.enqueueReady(g.dst, child, t)
+		m.tr.MsgDone(g.mid, t)
+		m.putMsg(g)
+		return
+	case trace.ClassReply:
+		if g.abs >= 0 {
+			m.fill(g.f, g.abs, g.val, t)
+		} else {
+			m.ack(g.f, t)
+		}
+		m.tr.MsgDone(g.mid, t)
+		m.putMsg(g)
+		return
+	}
+	g.stage = 4
+	m.netSched(g.dst, g.src, t, g.netWords(true), g)
+}
+
+// msgComplete delivers the reply into the issuing fiber (stage 5).
+func (m *Machine) msgComplete(g *msg, t int64) {
+	switch g.class {
+	case trace.ClassGet, trace.ClassAlloc:
+		m.fill(g.f, g.abs, g.val, t)
+	case trace.ClassBlkGet:
+		m.fillBlock(g.f, g.abs, g.vals, t)
+	case trace.ClassPut, trace.ClassBlkPut:
+		m.ack(g.f, t)
+	case trace.ClassShared:
+		if g.op == 0 {
+			m.fill(g.f, g.abs, g.val, t)
+		} else {
+			m.ack(g.f, t)
+		}
+	}
+	m.tr.MsgDone(g.mid, t)
+	m.putMsg(g)
 }
 
 // memWord accesses a word of any node's memory (SU-side).
@@ -49,6 +275,26 @@ func (m *Machine) memStore(nid int, off int64, v int64) {
 		return
 	}
 	n.mem[off] = v
+}
+
+// readBlock copies size words out of a node's memory into a reused buffer.
+func (m *Machine) readBlock(n *node, off int64, size int, into []int64) []int64 {
+	if !n.ensure(off, size) {
+		m.trapf("node %d block read beyond its memory budget", n.id)
+		for i := 0; i < size; i++ {
+			into = append(into, 0)
+		}
+		return into
+	}
+	return append(into, n.mem[off:off+int64(size)]...)
+}
+
+func (m *Machine) writeBlock(n *node, off int64, vals []int64) {
+	if !n.ensure(off, len(vals)) {
+		m.trapf("node %d block write beyond its memory budget", n.id)
+		return
+	}
+	copy(n.mem[off:off+int64(len(vals))], vals)
 }
 
 // block parks a fiber on a pending memory word; it resumes when the word's
@@ -142,24 +388,15 @@ func (m *Machine) issueGet(f *fiber, t int64, addr, abs int64, site string) {
 		f.node.mem[abs] = m.memWord(dstID, threaded.AddrOff(addr))
 		return
 	}
-	f.pending[abs]++
+	f.addPending(abs)
 	src.pending[abs]++
 	m.counts.RemoteReads++
-	mid := m.tr.MsgIssue(trace.ClassGet, site, src.id, dstID, f.id, 1, t)
-	dst := m.nodes[dstID]
-	m.suTask(src, t, m.cfg.SUService, "get.req", mid, func(t1 int64) {
-		m.netSend(src, dst, t1, 0, "get", mid, func(t2 int64) {
-			m.suTask(dst, t2, m.cfg.SUService, "get.svc", mid, func(t3 int64) {
-				v := m.memWord(dstID, threaded.AddrOff(addr))
-				m.netSend(dst, src, t3, 1, "get.reply", mid, func(t4 int64) {
-					m.suTask(src, t4, m.cfg.SUService, "get.reply", mid, func(t5 int64) {
-						m.fill(f, abs, v, t5)
-						m.tr.MsgDone(mid, t5)
-					})
-				})
-			})
-		})
-	})
+	g := m.getMsg()
+	g.class, g.f, g.src, g.dst = trace.ClassGet, f, src, m.nodes[dstID]
+	g.off, g.abs = threaded.AddrOff(addr), abs
+	g.mid = m.tr.MsgIssue(trace.ClassGet, site, src.id, dstID, f.id, 1, t)
+	g.stage = 1
+	m.suSched(src, t, m.cfg.SUService, g)
 }
 
 // issuePut starts a split-phase scalar write.
@@ -178,21 +415,12 @@ func (m *Machine) issuePut(f *fiber, t int64, addr, val int64, site string) {
 	}
 	f.outstanding++
 	m.counts.RemoteWrites++
-	mid := m.tr.MsgIssue(trace.ClassPut, site, src.id, dstID, f.id, 1, t)
-	dst := m.nodes[dstID]
-	m.suTask(src, t, m.cfg.SUService, "put.req", mid, func(t1 int64) {
-		m.netSend(src, dst, t1, 1, "put", mid, func(t2 int64) {
-			m.suTask(dst, t2, m.cfg.SUWriteSvc, "put.svc", mid, func(t3 int64) {
-				m.memStore(dstID, threaded.AddrOff(addr), val)
-				m.netSend(dst, src, t3, 0, "put.ack", mid, func(t4 int64) {
-					m.suTask(src, t4, m.cfg.SUAck, "put.ack", mid, func(t5 int64) {
-						m.ack(f, t5)
-						m.tr.MsgDone(mid, t5)
-					})
-				})
-			})
-		})
-	})
+	g := m.getMsg()
+	g.class, g.f, g.src, g.dst = trace.ClassPut, f, src, m.nodes[dstID]
+	g.off, g.val = threaded.AddrOff(addr), val
+	g.mid = m.tr.MsgIssue(trace.ClassPut, site, src.id, dstID, f.id, 1, t)
+	g.stage = 1
+	m.suSched(src, t, m.cfg.SUService, g)
 }
 
 // issueBlkGet starts a split-phase block read of size words.
@@ -204,47 +432,28 @@ func (m *Machine) issueBlkGet(f *fiber, t int64, addr, abs int64, size int, site
 		return
 	}
 	m.counts.BlkWords += int64(size)
-	replySvc := m.cfg.SUBlock + m.cfg.SUBlockWord*int64(size-1)
-	readWords := func() []int64 {
-		vals := make([]int64, size)
-		off := threaded.AddrOff(addr)
-		if !m.nodes[dstID].ensure(off, size) {
-			m.trapf("node %d block read beyond its memory budget", dstID)
-			return vals
-		}
-		copy(vals, m.nodes[dstID].mem[off:off+int64(size)])
-		return vals
-	}
 	if dstID == src.id {
 		// Pseudo-remote block move: an EU-side memcpy.
 		m.counts.LocalBlk++
-		vals := readWords()
-		copy(src.mem[abs:abs+int64(size)], vals)
+		m.scratch = m.readBlock(m.nodes[dstID], threaded.AddrOff(addr), size, m.scratch[:0])
+		copy(src.mem[abs:abs+int64(size)], m.scratch)
 		return
 	}
 	for i := 0; i < size; i++ {
-		f.pending[abs+int64(i)]++
+		f.addPending(abs + int64(i))
 		src.pending[abs+int64(i)]++
 	}
 	m.counts.RemoteBlk++
-	mid := m.tr.MsgIssue(trace.ClassBlkGet, site, src.id, dstID, f.id, size, t)
-	dst := m.nodes[dstID]
-	m.suTask(src, t, m.cfg.SUBlock, "blkget.req", mid, func(t1 int64) {
-		m.netSend(src, dst, t1, 0, "blkget", mid, func(t2 int64) {
-			m.suTask(dst, t2, m.cfg.SUBlockSvc, "blkget.svc", mid, func(t3 int64) {
-				vals := readWords()
-				m.netSend(dst, src, t3, size, "blkget.reply", mid, func(t4 int64) {
-					m.suTask(src, t4, replySvc, "blkget.reply", mid, func(t5 int64) {
-						m.fillBlock(f, abs, vals, t5)
-						m.tr.MsgDone(mid, t5)
-					})
-				})
-			})
-		})
-	})
+	g := m.getMsg()
+	g.class, g.f, g.src, g.dst = trace.ClassBlkGet, f, src, m.nodes[dstID]
+	g.off, g.abs, g.size = threaded.AddrOff(addr), abs, size
+	g.mid = m.tr.MsgIssue(trace.ClassBlkGet, site, src.id, dstID, f.id, size, t)
+	g.stage = 1
+	m.suSched(src, t, m.cfg.SUBlock, g)
 }
 
-// issueBlkPut starts a split-phase block write.
+// issueBlkPut starts a split-phase block write. vals may be a scratch
+// buffer: its contents are consumed (copied) before issueBlkPut returns.
 func (m *Machine) issueBlkPut(f *fiber, t int64, addr int64, vals []int64, site string) {
 	src := f.node
 	dstID := threaded.AddrNode(addr)
@@ -254,87 +463,51 @@ func (m *Machine) issueBlkPut(f *fiber, t int64, addr int64, vals []int64, site 
 	}
 	size := len(vals)
 	m.counts.BlkWords += int64(size)
-	writeWords := func() {
-		off := threaded.AddrOff(addr)
-		if !m.nodes[dstID].ensure(off, size) {
-			m.trapf("node %d block write beyond its memory budget", dstID)
-			return
-		}
-		copy(m.nodes[dstID].mem[off:off+int64(size)], vals)
-	}
-	reqSvc := m.cfg.SUBlock + m.cfg.SUBlockWord*int64(size-1)
 	if dstID == src.id {
 		m.counts.LocalBlk++
-		writeWords()
+		m.writeBlock(m.nodes[dstID], threaded.AddrOff(addr), vals)
 		return
 	}
 	f.outstanding++
 	m.counts.RemoteBlk++
-	mid := m.tr.MsgIssue(trace.ClassBlkPut, site, src.id, dstID, f.id, size, t)
-	dst := m.nodes[dstID]
-	m.suTask(src, t, reqSvc, "blkput.req", mid, func(t1 int64) {
-		m.netSend(src, dst, t1, size, "blkput", mid, func(t2 int64) {
-			m.suTask(dst, t2, m.cfg.SUBlockSvc, "blkput.svc", mid, func(t3 int64) {
-				writeWords()
-				m.netSend(dst, src, t3, 0, "blkput.ack", mid, func(t4 int64) {
-					m.suTask(src, t4, m.cfg.SUAck, "blkput.ack", mid, func(t5 int64) {
-						m.ack(f, t5)
-						m.tr.MsgDone(mid, t5)
-					})
-				})
-			})
-		})
-	})
+	g := m.getMsg()
+	g.class, g.f, g.src, g.dst = trace.ClassBlkPut, f, src, m.nodes[dstID]
+	g.off, g.size = threaded.AddrOff(addr), size
+	g.vals = append(g.vals[:0], vals...)
+	g.mid = m.tr.MsgIssue(trace.ClassBlkPut, site, src.id, dstID, f.id, size, t)
+	g.stage = 1
+	m.suSched(src, t, m.cfg.SUBlock+m.cfg.SUBlockWord*int64(size-1), g)
 }
 
 // issueAlloc performs a remote allocation, delivering the address into a
 // pending slot.
 func (m *Machine) issueAlloc(f *fiber, t int64, nodeID, size int, abs int64, site string) {
 	src := f.node
-	dst := m.nodes[nodeID]
-	f.pending[abs]++
+	f.addPending(abs)
 	src.pending[abs]++
-	mid := m.tr.MsgIssue(trace.ClassAlloc, site, src.id, nodeID, f.id, 1, t)
-	m.suTask(src, t, m.cfg.SUService, "alloc.req", mid, func(t1 int64) {
-		m.netSend(src, dst, t1, 0, "alloc", mid, func(t2 int64) {
-			m.suTask(dst, t2, m.cfg.SUService, "alloc.svc", mid, func(t3 int64) {
-				base := dst.allocWords(size)
-				if base < 0 {
-					m.trapf("node %d out of memory for a remote allocation", nodeID)
-					return
-				}
-				addr := threaded.PackAddr(nodeID, base)
-				m.netSend(dst, src, t3, 1, "alloc.reply", mid, func(t4 int64) {
-					m.suTask(src, t4, m.cfg.SUService, "alloc.reply", mid, func(t5 int64) {
-						m.fill(f, abs, addr, t5)
-						m.tr.MsgDone(mid, t5)
-					})
-				})
-			})
-		})
-	})
+	g := m.getMsg()
+	g.class, g.f, g.src, g.dst = trace.ClassAlloc, f, src, m.nodes[nodeID]
+	g.abs, g.size = abs, size
+	g.mid = m.tr.MsgIssue(trace.ClassAlloc, site, src.id, nodeID, f.id, 1, t)
+	g.stage = 1
+	m.suSched(src, t, m.cfg.SUService, g)
 }
 
 // issueInvoke performs a remote function invocation (the placed-call
 // mechanism behind @OWNER_OF / @ON). The message completes when the callee
 // fiber has been placed on the remote node's ready queue; the reply to the
-// requester is a separate ClassReply message (see finishFiber).
+// requester is a separate ClassReply message (see finishFiber). args may be
+// a scratch buffer: its contents are copied before issueInvoke returns.
 func (m *Machine) issueInvoke(f *fiber, t int64, nodeID int, fn *threaded.FnCode,
 	args []int64, retAbs int64, site string) {
 	src := f.node
-	dst := m.nodes[nodeID]
-	mid := m.tr.MsgIssue(trace.ClassRPC, site, src.id, nodeID, f.id, len(args), t)
-	m.suTask(src, t, m.cfg.SUService, "rpc.req", mid, func(t1 int64) {
-		m.netSend(src, dst, t1, len(args), "rpc", mid, func(t2 int64) {
-			m.suTask(dst, t2, m.cfg.SUService, "rpc.svc", mid, func(t3 int64) {
-				child := m.newFiber(nodeID, fn, args, replyRoute{
-					kind: 2, rpcNode: src.id, rpcFiber: f, rpcSlot: int(retAbs),
-				})
-				m.enqueueReady(dst, child, t3)
-				m.tr.MsgDone(mid, t3)
-			})
-		})
-	})
+	g := m.getMsg()
+	g.class, g.f, g.src, g.dst = trace.ClassRPC, f, src, m.nodes[nodeID]
+	g.fn, g.abs = fn, retAbs
+	g.args = append(g.args[:0], args...)
+	g.mid = m.tr.MsgIssue(trace.ClassRPC, site, src.id, nodeID, f.id, len(args), t)
+	g.stage = 1
+	m.suSched(src, t, m.cfg.SUService, g)
 }
 
 // issueShared performs a remote atomic shared-variable operation.
@@ -347,40 +520,12 @@ func (m *Machine) issueShared(f *fiber, t int64, addr int64, op int, val int64,
 		m.trapf("shared op: bad address node %d", dstID)
 		return
 	}
-	mid := m.tr.MsgIssue(trace.ClassShared, site, src.id, dstID, f.id, 1, t)
-	dst := m.nodes[dstID]
-	m.suTask(src, t, m.cfg.SUService, "shared.req", mid, func(t1 int64) {
-		m.netSend(src, dst, t1, 1, "shared", mid, func(t2 int64) {
-			m.suTask(dst, t2, m.cfg.SUShared, "shared.svc", mid, func(t3 int64) {
-				off := threaded.AddrOff(addr)
-				var result int64
-				switch op {
-				case 0:
-					result = m.memWord(dstID, off)
-				case 1:
-					m.memStore(dstID, off, val)
-				case 2:
-					old := m.memWord(dstID, off)
-					if flt {
-						sum := math.Float64frombits(uint64(old)) + math.Float64frombits(uint64(val))
-						m.memStore(dstID, off, int64(math.Float64bits(sum)))
-					} else {
-						m.memStore(dstID, off, old+val)
-					}
-				}
-				m.netSend(dst, src, t3, 1, "shared.reply", mid, func(t4 int64) {
-					m.suTask(src, t4, m.cfg.SUAck, "shared.reply", mid, func(t5 int64) {
-						if op == 0 {
-							m.fill(f, replyAbs, result, t5)
-						} else {
-							m.ack(f, t5)
-						}
-						m.tr.MsgDone(mid, t5)
-					})
-				})
-			})
-		})
-	})
+	g := m.getMsg()
+	g.class, g.f, g.src, g.dst = trace.ClassShared, f, src, m.nodes[dstID]
+	g.off, g.abs, g.op, g.val, g.flt = threaded.AddrOff(addr), replyAbs, op, val, flt
+	g.mid = m.tr.MsgIssue(trace.ClassShared, site, src.id, dstID, f.id, 1, t)
+	g.stage = 1
+	m.suSched(src, t, m.cfg.SUService, g)
 }
 
 // finishFiber completes a fiber: frees its frame (unless shared) and
@@ -407,20 +552,11 @@ func (m *Machine) finishFiber(f *fiber, t int64, val int64) {
 		}
 	case 2: // remote invocation: reply to the requester
 		n.freeFrame(f.base, f.size)
-		req := f.route.rpcFiber
-		src := m.nodes[f.route.rpcNode]
-		mid := m.tr.MsgIssue(trace.ClassReply, f.code.Name, n.id, src.id, f.id, 1, t+m.cfg.EUIssue)
-		m.suTask(n, t+m.cfg.EUIssue, m.cfg.SUService, "reply.req", mid, func(t1 int64) {
-			m.netSend(n, src, t1, 1, "reply", mid, func(t2 int64) {
-				m.suTask(src, t2, m.cfg.SUService, "reply.svc", mid, func(t3 int64) {
-					if f.route.rpcSlot >= 0 {
-						m.fill(req, int64(f.route.rpcSlot), val, t3)
-					} else {
-						m.ack(req, t3)
-					}
-					m.tr.MsgDone(mid, t3)
-				})
-			})
-		})
+		g := m.getMsg()
+		g.class, g.f, g.src, g.dst = trace.ClassReply, f.route.rpcFiber, n, m.nodes[f.route.rpcNode]
+		g.abs, g.val = int64(f.route.rpcSlot), val
+		g.mid = m.tr.MsgIssue(trace.ClassReply, f.code.Name, n.id, g.dst.id, f.id, 1, t+m.cfg.EUIssue)
+		g.stage = 1
+		m.suSched(n, t+m.cfg.EUIssue, m.cfg.SUService, g)
 	}
 }

@@ -22,6 +22,7 @@
 package locality
 
 import (
+	"repro/internal/par"
 	"repro/internal/pointsto"
 	"repro/internal/simple"
 )
@@ -39,6 +40,15 @@ func (r *Result) RemoteLoad(p *simple.Var) bool { return !r.local[p] }
 
 // Analyze runs locality analysis.
 func Analyze(prog *simple.Program, pt *pointsto.Result) *Result {
+	return AnalyzeP(prog, pt, nil)
+}
+
+// AnalyzeP is Analyze with per-function scanning fanned across pool (nil
+// pool runs inline). Each fixpoint pass reads the candidate set concurrently
+// and collects per-function demotion lists; demotions apply sequentially
+// between passes (Jacobi iteration). The greatest fixpoint is unique, so
+// the result is identical to the sequential (Gauss-Seidel) run.
+func AnalyzeP(prog *simple.Program, pt *pointsto.Result, pool *par.Pool) *Result {
 	res := &Result{local: make(map[*simple.Var]bool)}
 
 	// Candidate set: every pointer variable starts optimistic-local except
@@ -46,14 +56,12 @@ func Analyze(prog *simple.Program, pt *pointsto.Result) *Result {
 	// local.
 	pinned := make(map[*simple.Var]bool)
 	candidate := make(map[*simple.Var]bool)
-	var allVars []*simple.Var
 	for _, f := range prog.Funcs {
 		vars := append(append([]*simple.Var{}, f.Params...), f.Locals...)
 		for _, v := range vars {
 			if !v.IsPtr() {
 				continue
 			}
-			allVars = append(allVars, v)
 			if v.IsLocalPtr() {
 				pinned[v] = true
 				candidate[v] = true
@@ -72,22 +80,35 @@ func Analyze(prog *simple.Program, pt *pointsto.Result) *Result {
 		if g.IsPtr() && g.IsLocalPtr() {
 			pinned[g] = true
 			candidate[g] = true
-			allVars = append(allVars, g)
 		}
 	}
 
-	// Iteratively remove candidates with a non-local source.
+	// Iteratively remove candidates with a non-local source. Within a pass
+	// every function is scanned against the same candidate snapshot (no
+	// writes happen until the pass completes), so functions can scan in
+	// parallel.
+	n := len(prog.Funcs)
+	demoted := make([][]*simple.Var, n)
 	for {
-		changed := false
-		for _, f := range prog.Funcs {
-			simple.WalkBasics(f.Body, func(b *simple.Basic) {
+		pool.ForEach(n, func(i int) {
+			var out []*simple.Var
+			simple.WalkBasics(prog.Funcs[i].Body, func(b *simple.Basic) {
 				if v, lcl := defSource(b, candidate); v != nil && !lcl {
 					if candidate[v] && !pinned[v] {
-						delete(candidate, v)
-						changed = true
+						out = append(out, v)
 					}
 				}
 			})
+			demoted[i] = out
+		})
+		changed := false
+		for _, ds := range demoted {
+			for _, v := range ds {
+				if candidate[v] {
+					delete(candidate, v)
+					changed = true
+				}
+			}
 		}
 		if !changed {
 			break

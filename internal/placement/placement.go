@@ -2,6 +2,7 @@ package placement
 
 import (
 	"repro/internal/locality"
+	"repro/internal/par"
 	"repro/internal/rwsets"
 	"repro/internal/simple"
 )
@@ -16,6 +17,9 @@ const LoopFreq = 10.0
 // adjustFrequency. Every query may decline (ok == false) — e.g. the site
 // was never reached while profiling — in which case the analysis falls
 // back to the static heuristic for exactly that site.
+//
+// Implementations must be safe for concurrent read-only use: the pipeline
+// queries one provider from several per-function analysis goroutines.
 type FreqProvider interface {
 	// LoopFactor is the measured expected iteration count per arrival at
 	// the loop (replaces LoopFreq).
@@ -53,28 +57,69 @@ func Analyze(prog *simple.Program, rw *rwsets.Result, loc *locality.Result) *Res
 // else (fp nil, site unassigned, or no data) the static heuristics apply
 // unchanged.
 func AnalyzeProfiled(prog *simple.Program, rw *rwsets.Result, loc *locality.Result, fp FreqProvider) *Result {
+	return AnalyzeProfiledP(prog, rw, loc, fp, nil)
+}
+
+// AnalyzeProfiledP is AnalyzeProfiled with per-function analyses fanned
+// across pool (nil pool runs inline). Functions are independent — each gets
+// its own analysis state — and per-function results are merged in function
+// order, so the result is identical regardless of pool width.
+func AnalyzeProfiledP(prog *simple.Program, rw *rwsets.Result, loc *locality.Result, fp FreqProvider, pool *par.Pool) *Result {
 	res := &Result{
 		Reads:      make(map[simple.Stmt]*Set),
 		Writes:     make(map[simple.Stmt]*Set),
 		EntryReads: make(map[*simple.Func]*Set),
 		ExitWrites: make(map[*simple.Func]*Set),
 	}
-	a := &analysis{rw: rw, loc: loc, res: res, fp: fp}
-	for _, f := range prog.Funcs {
-		a.fn = f
-		res.EntryReads[f] = a.readsSeq(f.Body)
-		res.ExitWrites[f] = a.writesSeq(f.Body)
+	n := len(prog.Funcs)
+	as := make([]*analysis, n)
+	pool.ForEach(n, func(i int) {
+		f := prog.Funcs[i]
+		a := &analysis{rw: rw, loc: loc, fp: fp, fn: f,
+			reads:  make(map[simple.Stmt]*Set),
+			writes: make(map[simple.Stmt]*Set),
+		}
+		a.entry = a.readsSeq(f.Body)
+		a.exit = a.writesSeq(f.Body)
+		as[i] = a
+	})
+	for i, a := range as {
+		f := prog.Funcs[i]
+		res.EntryReads[f] = a.entry
+		res.ExitWrites[f] = a.exit
+		for s, set := range a.reads {
+			res.Reads[s] = set
+		}
+		for s, set := range a.writes {
+			res.Writes[s] = set
+		}
 	}
 	return res
 }
 
 type analysis struct {
-	rw      *rwsets.Result
-	loc     *locality.Result
-	res     *Result
-	fp      FreqProvider // nil: static heuristics only
-	fn      *simple.Func // function under analysis (for site keys)
+	rw  *rwsets.Result
+	loc *locality.Result
+	fp  FreqProvider // nil: static heuristics only
+	fn  *simple.Func // function under analysis (for site keys)
+
+	// Per-function outputs, merged into the shared Result afterwards.
+	reads  map[simple.Stmt]*Set
+	writes map[simple.Stmt]*Set
+	entry  *Set
+	exit   *Set
+
 	retMemo map[simple.Stmt]bool
+	// daMemo caches, per statement, the labels of direct loads/stores in
+	// its subtree grouped by (pointer, offset): the propagation loops query
+	// directAccessLabels once per surviving tuple per statement, and the
+	// uncached walk dominated the whole analysis.
+	daMemo map[simple.Stmt]*daInfo
+}
+
+type daInfo struct {
+	w map[Key][]int // (p, off) -> labels of direct stores, in walk order
+	r map[Key][]int // (p, off) -> labels of direct loads, in walk order
 }
 
 // branchFactors returns the then/else scaling of an if: measured when the
@@ -184,39 +229,51 @@ func (a *analysis) readsSeqInto(seq *simple.Seq, below *Set) *Set {
 			// the tuple's local copy.
 			nt := t.clone()
 			for _, w := range a.directAccessLabels(s, t.P, t.Off, true) {
-				if nt.CrossedW == nil {
-					nt.CrossedW = make(map[int]bool)
-				}
-				nt.CrossedW[w] = true
+				nt.CrossedW.Add(w)
 			}
 			gen.Add(nt)
 		}
 		cur = gen
-		a.res.Reads[s] = cur.Clone()
+		a.reads[s] = cur.Clone()
 	}
 	return cur
 }
 
 // directAccessLabels returns the labels of basic statements in s's subtree
 // that directly access (p, off) through p itself: stores when write is true,
-// loads otherwise.
+// loads otherwise. The per-statement walk result is memoized.
 func (a *analysis) directAccessLabels(s simple.Stmt, p *simple.Var, off int, write bool) []int {
-	var out []int
-	simple.WalkBasics(s, func(b *simple.Basic) {
-		if b.Kind != simple.KAssign {
-			return
-		}
-		if write {
-			if stv, ok := b.Lhs.(simple.StoreLV); ok && stv.P == p && stv.Off == off {
-				out = append(out, b.Label)
+	info, ok := a.daMemo[s]
+	if !ok {
+		info = &daInfo{}
+		simple.WalkBasics(s, func(b *simple.Basic) {
+			if b.Kind != simple.KAssign {
+				return
 			}
-		} else {
-			if ld, ok := b.Rhs.(simple.LoadRV); ok && ld.P == p && ld.Off == off {
-				out = append(out, b.Label)
+			if stv, okw := b.Lhs.(simple.StoreLV); okw {
+				if info.w == nil {
+					info.w = make(map[Key][]int)
+				}
+				k := Key{P: stv.P, Off: stv.Off}
+				info.w[k] = append(info.w[k], b.Label)
 			}
+			if ld, okr := b.Rhs.(simple.LoadRV); okr {
+				if info.r == nil {
+					info.r = make(map[Key][]int)
+				}
+				k := Key{P: ld.P, Off: ld.Off}
+				info.r[k] = append(info.r[k], b.Label)
+			}
+		})
+		if a.daMemo == nil {
+			a.daMemo = make(map[simple.Stmt]*daInfo)
 		}
-	})
-	return out
+		a.daMemo[s] = info
+	}
+	if write {
+		return info.w[Key{P: p, Off: off}]
+	}
+	return info.r[Key{P: p, Off: off}]
 }
 
 // readsStmt implements collectCommSet(stmt, READ): the tuples generated by
@@ -320,10 +377,7 @@ func (a *analysis) hoistLoop(loop simple.Stmt, top *Set) *Set {
 		nt := t.clone()
 		nt.Freq *= a.loopFactor(loop)
 		for _, w := range a.directAccessLabels(loop, t.P, t.Off, true) {
-			if nt.CrossedW == nil {
-				nt.CrossedW = make(map[int]bool)
-			}
-			nt.CrossedW[w] = true
+			nt.CrossedW.Add(w)
 		}
 		out.Add(nt)
 	}
@@ -371,15 +425,12 @@ func (a *analysis) writesSeq(seq *simple.Seq) *Set {
 			}
 			nt := t.clone()
 			for _, rl := range a.directAccessLabels(s, t.P, t.Off, false) {
-				if nt.CrossedR == nil {
-					nt.CrossedR = make(map[int]bool)
-				}
-				nt.CrossedR[rl] = true
+				nt.CrossedR.Add(rl)
 			}
 			gen.Add(nt)
 		}
 		cur = gen
-		a.res.Writes[s] = cur.Clone()
+		a.writes[s] = cur.Clone()
 	}
 	return cur
 }
@@ -501,7 +552,7 @@ func (a *analysis) readsBasic(b *simple.Basic) *Set {
 		return out
 	}
 	out.Add(&Tuple{P: ld.P, Field: ld.Field, Off: ld.Off, Freq: 1,
-		D: map[int]bool{b.Label: true}})
+		D: LabelSet{b.Label}})
 	return out
 }
 
@@ -517,6 +568,6 @@ func (a *analysis) writesBasic(b *simple.Basic) *Set {
 		return out
 	}
 	out.Add(&Tuple{P: stv.P, Field: stv.Field, Off: stv.Off, Freq: 1,
-		D: map[int]bool{b.Label: true}})
+		D: LabelSet{b.Label}})
 	return out
 }

@@ -14,6 +14,52 @@ import (
 	"repro/internal/simple"
 )
 
+// LabelSet is a sorted, duplicate-free set of basic-statement labels. Tuples
+// carry several of these per propagation step, so they are slices rather
+// than maps: cloning is a memcpy and the typical set has one element.
+type LabelSet []int
+
+// Has reports membership.
+func (s LabelSet) Has(l int) bool {
+	for _, x := range s {
+		if x == l {
+			return true
+		}
+		if x > l {
+			return false
+		}
+	}
+	return false
+}
+
+// Add inserts l, keeping the set sorted.
+func (s *LabelSet) Add(l int) {
+	i := sort.SearchInts(*s, l)
+	if i < len(*s) && (*s)[i] == l {
+		return
+	}
+	*s = append(*s, 0)
+	copy((*s)[i+1:], (*s)[i:])
+	(*s)[i] = l
+}
+
+// AddAll inserts every label of o.
+func (s *LabelSet) AddAll(o LabelSet) {
+	for _, l := range o {
+		s.Add(l)
+	}
+}
+
+// Clone returns an independent copy.
+func (s LabelSet) Clone() LabelSet {
+	if s == nil {
+		return nil
+	}
+	out := make(LabelSet, len(s))
+	copy(out, s)
+	return out
+}
+
 // Tuple is a remote communication expression (p, f, n, Dlist): pointer
 // variable, field, estimated frequency, and the set of basic-statement
 // labels whose accesses the tuple covers.
@@ -22,16 +68,16 @@ type Tuple struct {
 	Field string // display name of the field ("" for *p)
 	Off   int    // word offset; (P, Off) is the tuple's identity
 	Freq  float64
-	D     map[int]bool // basic statement labels
+	D     LabelSet // basic statement labels
 	// CrossedW records, for read tuples, the labels of *direct* remote
 	// writes to the same location the tuple floated across (direct writes
 	// do not kill read tuples, per the paper, because the transformation
 	// redirects every access to one local copy — the selection phase uses
 	// this set to know exactly which stores must update that copy).
-	CrossedW map[int]bool
+	CrossedW LabelSet
 	// CrossedR is the symmetric set for write tuples: direct reads floated
 	// across while moving the write downwards.
-	CrossedR map[int]bool
+	CrossedR LabelSet
 }
 
 // Key identifies the location a tuple refers to.
@@ -45,29 +91,12 @@ func (t *Tuple) Key() Key { return Key{P: t.P, Off: t.Off} }
 
 // clone returns a deep copy (Dlists are mutable sets).
 func (t *Tuple) clone() *Tuple {
-	cp := func(m map[int]bool) map[int]bool {
-		if m == nil {
-			return nil
-		}
-		out := make(map[int]bool, len(m))
-		for k := range m {
-			out[k] = true
-		}
-		return out
-	}
 	return &Tuple{P: t.P, Field: t.Field, Off: t.Off, Freq: t.Freq,
-		D: cp(t.D), CrossedW: cp(t.CrossedW), CrossedR: cp(t.CrossedR)}
+		D: t.D.Clone(), CrossedW: t.CrossedW.Clone(), CrossedR: t.CrossedR.Clone()}
 }
 
 // Labels returns the sorted Dlist.
-func (t *Tuple) Labels() []int {
-	out := make([]int, 0, len(t.D))
-	for l := range t.D {
-		out = append(out, l)
-	}
-	sort.Ints(out)
-	return out
-}
+func (t *Tuple) Labels() []int { return t.D }
 
 // String renders the tuple in the paper's (p->f, n, {S...}) notation.
 func (t *Tuple) String() string {
@@ -93,13 +122,14 @@ func strconv(f float64) string {
 
 // Set is a set of tuples keyed by location. Merging tuples for the same
 // location sums frequencies and unions Dlists, as the paper specifies for
-// moving tuples out of conditionals.
+// moving tuples out of conditionals. The backing map is allocated lazily:
+// most statements generate no tuples at all.
 type Set struct {
 	m map[Key]*Tuple
 }
 
 // NewSet returns an empty tuple set.
-func NewSet() *Set { return &Set{m: make(map[Key]*Tuple)} }
+func NewSet() *Set { return &Set{} }
 
 // Len reports the number of tuples.
 func (s *Set) Len() int { return len(s.m) }
@@ -111,22 +141,13 @@ func (s *Set) Get(k Key) *Tuple { return s.m[k] }
 func (s *Set) Add(t *Tuple) {
 	if have, ok := s.m[t.Key()]; ok {
 		have.Freq += t.Freq
-		for l := range t.D {
-			have.D[l] = true
-		}
-		for l := range t.CrossedW {
-			if have.CrossedW == nil {
-				have.CrossedW = make(map[int]bool)
-			}
-			have.CrossedW[l] = true
-		}
-		for l := range t.CrossedR {
-			if have.CrossedR == nil {
-				have.CrossedR = make(map[int]bool)
-			}
-			have.CrossedR[l] = true
-		}
+		have.D.AddAll(t.D)
+		have.CrossedW.AddAll(t.CrossedW)
+		have.CrossedR.AddAll(t.CrossedR)
 		return
+	}
+	if s.m == nil {
+		s.m = make(map[Key]*Tuple, 4)
 	}
 	s.m[t.Key()] = t.clone()
 }
@@ -144,8 +165,11 @@ func (s *Set) Remove(k Key) { delete(s.m, k) }
 // Clone returns a deep copy.
 func (s *Set) Clone() *Set {
 	out := NewSet()
-	for _, t := range s.m {
-		out.m[t.Key()] = t.clone()
+	if len(s.m) > 0 {
+		out.m = make(map[Key]*Tuple, len(s.m))
+		for k, t := range s.m {
+			out.m[k] = t.clone()
+		}
 	}
 	return out
 }

@@ -8,9 +8,9 @@ import (
 )
 
 func tup(p *simple.Var, off int, freq float64, labels ...int) *Tuple {
-	d := make(map[int]bool)
+	var d LabelSet
 	for _, l := range labels {
-		d[l] = true
+		d.Add(l)
 	}
 	return &Tuple{P: p, Field: "f", Off: off, Freq: freq, D: d}
 }

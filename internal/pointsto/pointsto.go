@@ -10,15 +10,13 @@
 // lets interior pointers (&p->f) be modeled exactly.
 //
 // The analysis is Andersen-style (inclusion constraints) and
-// context-insensitive across calls, solved to a fixpoint by iteration. The
-// consumer-facing product is:
-//
-//   - Pts(v): the set of locations a pointer variable may target;
-//   - Alias(p, q): whether two pointer variables may reference overlapping
-//     storage (the anchor-handle question from connection analysis: an
-//     access via q can interfere with an access via p);
-//   - AddressTaken(v): whether a variable's frame slot can be reached
-//     through some pointer.
+// context-insensitive across calls. It runs in two steps: constraint
+// generation walks each function body exactly once (independent per
+// function, fanned across the pipeline's worker pool), then a flat solver
+// iterates the collected constraint list to a fixpoint. Constraints are
+// merged in function order, so the solved result is identical regardless
+// of worker count — and the solver never re-walks the AST, which is where
+// the old per-pass walker spent most of its time.
 package pointsto
 
 import (
@@ -26,6 +24,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/par"
 	"repro/internal/simple"
 )
 
@@ -157,8 +156,61 @@ func (r *Result) TargetRange(p *simple.Var, off, size int) LocSet {
 	return out
 }
 
+// ------------------------------------------------------------ constraints ---
+
+type cKind uint8
+
+const (
+	cCopy       cKind = iota // pts(dst) ⊇ pts(src)
+	cLoad                    // pts(dst) ⊇ mem(pts(p)+off)
+	cLoadFixed               // pts(dst) ⊇ mem(loc)
+	cLoadRange               // pts(dst) ⊇ mem(base+i), i = start, start+step, … < limit+start? (see apply)
+	cStore                   // mem(pts(p)+off) ⊇ pts(src)
+	cStoreFixed              // mem(loc) ⊇ pts(src)
+	cStoreRange              // mem(base+i) ⊇ pts(src) over the range
+	cFieldAddr               // pts(dst) ⊇ {(b, o+off) | (b,o) ∈ pts(p)}
+	cCallRet                 // pts(dst) ⊇ Returns[fn]
+	cRetFlow                 // Returns[fn] ⊇ pts(src)
+	cBlkCopy                 // word-by-word mem-mem flow between b's ranges
+)
+
+// constraint is one inclusion edge. Only the fields its kind uses are set.
+type constraint struct {
+	kind  cKind
+	dst   *simple.Var
+	src   *simple.Var
+	p     *simple.Var // dereferenced pointer (cLoad/cStore/cFieldAddr)
+	loc   Loc         // cLoadFixed/cStoreFixed
+	base  *simple.Var // cLoadRange/cStoreRange
+	off   int         // deref offset, or range start offset
+	step  int         // range stride
+	limit int         // range extent (base's size in words)
+	fn    *simple.Func
+	b     *simple.Basic // cBlkCopy
+}
+
+// seed is a ground fact: loc ∈ pts(v).
+type seed struct {
+	v   *simple.Var
+	loc Loc
+}
+
+// genOut is one function's generated constraint system.
+type genOut struct {
+	cons      []constraint
+	seeds     []seed
+	sites     []*AllocSite
+	addrTaken []*simple.Var
+}
+
 // Analyze runs the analysis over a SIMPLE program.
 func Analyze(prog *simple.Program) *Result {
+	return AnalyzeP(prog, nil)
+}
+
+// AnalyzeP is Analyze with constraint generation fanned across pool (nil
+// pool runs inline). The result is identical regardless of pool width.
+func AnalyzeP(prog *simple.Program, pool *par.Pool) *Result {
 	r := &Result{
 		Prog:      prog,
 		VarPts:    make(map[*simple.Var]LocSet),
@@ -166,21 +218,44 @@ func Analyze(prog *simple.Program) *Result {
 		addrTaken: make(map[*simple.Var]bool),
 		Returns:   make(map[*simple.Func]LocSet),
 	}
-	a := &analyzer{r: r, prog: prog,
-		funcs: make(map[string]*simple.Func), sites: make(map[*simple.Basic]*AllocSite)}
+	funcs := make(map[string]*simple.Func, len(prog.Funcs))
 	for _, f := range prog.Funcs {
-		a.funcs[f.Name] = f
+		funcs[f.Name] = f
 		r.Returns[f] = make(LocSet)
 	}
-	// Iterate to fixpoint: each pass re-walks every basic statement and
-	// applies inclusion constraints.
-	for pass := 0; ; pass++ {
-		a.changed = false
-		for _, f := range prog.Funcs {
-			a.fn = f
-			simple.WalkBasics(f.Body, a.basic)
+
+	// Generate constraints, one walk per function.
+	n := len(prog.Funcs)
+	outs := make([]genOut, n)
+	pool.ForEach(n, func(i int) {
+		g := generator{fn: prog.Funcs[i], funcs: funcs}
+		simple.WalkBasics(prog.Funcs[i].Body, g.basic)
+		outs[i] = g.out
+	})
+
+	// Merge in function order: allocation sites keep their sequential
+	// (function, walk) order, seeds and facts land before solving.
+	s := solver{r: r}
+	var cons []constraint
+	for i := range outs {
+		o := &outs[i]
+		r.Sites = append(r.Sites, o.sites...)
+		for _, v := range o.addrTaken {
+			r.addrTaken[v] = true
 		}
-		if !a.changed {
+		for _, sd := range o.seeds {
+			s.varSet(sd.v).Add(sd.loc)
+		}
+		cons = append(cons, o.cons...)
+	}
+
+	// Iterate the flat constraint list to a fixpoint.
+	for pass := 0; ; pass++ {
+		s.changed = false
+		for i := range cons {
+			s.apply(&cons[i])
+		}
+		if !s.changed {
 			break
 		}
 		if pass > 200 {
@@ -192,85 +267,37 @@ func Analyze(prog *simple.Program) *Result {
 	return r
 }
 
-type analyzer struct {
-	r       *Result
-	prog    *simple.Program
-	funcs   map[string]*simple.Func
-	sites   map[*simple.Basic]*AllocSite
-	fn      *simple.Func
-	changed bool
+// ------------------------------------------------------------- generation ---
+
+// generator collects the constraints of one function. It only reads the
+// program (and the shared funcs index), so generators for different
+// functions can run concurrently.
+type generator struct {
+	fn    *simple.Func
+	funcs map[string]*simple.Func
+	out   genOut
 }
 
-func (a *analyzer) varSet(v *simple.Var) LocSet {
-	s, ok := a.r.VarPts[v]
-	if !ok {
-		s = make(LocSet)
-		a.r.VarPts[v] = s
-	}
-	return s
-}
+func (g *generator) emit(c constraint) { g.out.cons = append(g.out.cons, c) }
 
-func (a *analyzer) memSet(l Loc) LocSet {
-	s, ok := a.r.MemPts[l]
-	if !ok {
-		s = make(LocSet)
-		a.r.MemPts[l] = s
-	}
-	return s
-}
-
-func (a *analyzer) addVar(v *simple.Var, l Loc) {
-	if a.varSet(v).Add(l) {
-		a.changed = true
-	}
-}
-
-func (a *analyzer) flowVarVar(dst, src *simple.Var) {
-	if a.varSet(dst).AddAll(a.varSet(src)) {
-		a.changed = true
-	}
-}
-
-func (a *analyzer) flowMemVar(dst *simple.Var, src Loc) {
-	if a.varSet(dst).AddAll(a.memSet(src)) {
-		a.changed = true
-	}
-}
-
-func (a *analyzer) flowVarMem(dst Loc, src *simple.Var) {
-	if a.memSet(dst).AddAll(a.varSet(src)) {
-		a.changed = true
-	}
-}
-
-func (a *analyzer) flowMemMem(dst, src Loc) {
-	if a.memSet(dst).AddAll(a.memSet(src)) {
-		a.changed = true
-	}
-}
-
-func (a *analyzer) atomFlow(dst *simple.Var, at simple.Atom) {
+func (g *generator) copyFlow(dst *simple.Var, at simple.Atom) {
 	if v := simple.AtomVar(at); v != nil && v.IsPtr() {
-		a.flowVarVar(dst, v)
+		g.emit(constraint{kind: cCopy, dst: dst, src: v})
 	}
 }
 
-func (a *analyzer) basic(b *simple.Basic) {
+func (g *generator) basic(b *simple.Basic) {
 	switch b.Kind {
 	case simple.KAssign:
-		a.assign(b)
+		g.assign(b)
 	case simple.KAlloc:
-		site, ok := a.sites[b]
-		if !ok {
-			site = &AllocSite{Fn: a.fn, B: b, Struct: b.StructName, Size: b.AllocSize}
-			a.sites[b] = site
-			a.r.Sites = append(a.r.Sites, site)
-		}
+		site := &AllocSite{Fn: g.fn, B: b, Struct: b.StructName, Size: b.AllocSize}
+		g.out.sites = append(g.out.sites, site)
 		if b.Dst != nil {
-			a.addVar(b.Dst, Loc{Base: site, Off: 0})
+			g.out.seeds = append(g.out.seeds, seed{v: b.Dst, loc: Loc{Base: site, Off: 0}})
 		}
 	case simple.KCall:
-		callee := a.funcs[b.Fun]
+		callee := g.funcs[b.Fun]
 		if callee == nil {
 			return
 		}
@@ -280,44 +307,39 @@ func (a *analyzer) basic(b *simple.Basic) {
 			}
 			pv := callee.Params[i]
 			if pv.IsPtr() {
-				a.atomFlow(pv, arg)
+				g.copyFlow(pv, arg)
 			}
 		}
 		if b.Dst != nil && b.Dst.IsPtr() {
-			if a.varSet(b.Dst).AddAll(a.r.Returns[callee]) {
-				a.changed = true
-			}
+			g.emit(constraint{kind: cCallRet, dst: b.Dst, fn: callee})
 		}
 	case simple.KBuiltin:
 		// Shared-variable intrinsics can move pointers: writeto(&sp, q)
 		// stores q into sp's slot, valueof(&sp) reads it back.
 		if len(b.ArgVars) == 1 {
 			sv := b.ArgVars[0]
-			a.r.addrTaken[sv] = true
+			g.out.addrTaken = append(g.out.addrTaken, sv)
 			if len(b.Args) == 1 {
 				if v := simple.AtomVar(b.Args[0]); v != nil && v.IsPtr() {
-					a.flowVarMem(Loc{Base: sv, Off: 0}, v)
+					g.emit(constraint{kind: cStoreFixed, loc: Loc{Base: sv, Off: 0}, src: v})
 				}
 			}
 			if b.Dst != nil && b.Dst.IsPtr() {
-				a.flowMemVar(b.Dst, Loc{Base: sv, Off: 0})
+				g.emit(constraint{kind: cLoadFixed, dst: b.Dst, loc: Loc{Base: sv, Off: 0}})
 			}
 		}
 	case simple.KReturn:
 		if b.Val != nil {
 			if v := simple.AtomVar(b.Val); v != nil && v.IsPtr() {
-				if a.r.Returns[a.fn].AddAll(a.varSet(v)) {
-					a.changed = true
-				}
+				g.emit(constraint{kind: cRetFlow, fn: g.fn, src: v})
 			}
 		}
 	case simple.KBlkCopy:
-		a.blkCopy(b)
+		g.emit(constraint{kind: cBlkCopy, b: b})
 	}
 }
 
-func (a *analyzer) assign(b *simple.Basic) {
-	// Destination.
+func (g *generator) assign(b *simple.Basic) {
 	switch lhs := b.Lhs.(type) {
 	case simple.VarLV:
 		if !lhs.V.IsPtr() {
@@ -325,28 +347,23 @@ func (a *analyzer) assign(b *simple.Basic) {
 		}
 		switch rhs := b.Rhs.(type) {
 		case simple.AtomRV:
-			a.atomFlow(lhs.V, rhs.A)
+			g.copyFlow(lhs.V, rhs.A)
 		case simple.LoadRV:
-			for pl := range a.varSet(rhs.P) {
-				a.flowMemVar(lhs.V, Loc{Base: pl.Base, Off: pl.Off + rhs.Off})
-			}
+			g.emit(constraint{kind: cLoad, dst: lhs.V, p: rhs.P, off: rhs.Off})
 		case simple.LocalLoadRV:
 			if rhs.Idx != nil {
 				// Any element of the array could be the source.
-				base := rhs.Base
-				for i := 0; i < base.Size; i++ {
-					a.flowMemVar(lhs.V, Loc{Base: base, Off: i})
-				}
+				g.emit(constraint{kind: cLoadRange, dst: lhs.V, base: rhs.Base,
+					off: 0, step: 1, limit: rhs.Base.Size})
 			} else {
-				a.flowMemVar(lhs.V, Loc{Base: rhs.Base, Off: rhs.Off})
+				g.emit(constraint{kind: cLoadFixed, dst: lhs.V,
+					loc: Loc{Base: rhs.Base, Off: rhs.Off}})
 			}
 		case simple.AddrRV:
-			a.r.addrTaken[rhs.X] = true
-			a.addVar(lhs.V, Loc{Base: rhs.X, Off: rhs.Off})
+			g.out.addrTaken = append(g.out.addrTaken, rhs.X)
+			g.out.seeds = append(g.out.seeds, seed{v: lhs.V, loc: Loc{Base: rhs.X, Off: rhs.Off}})
 		case simple.FieldAddrRV:
-			for pl := range a.varSet(rhs.P) {
-				a.addVar(lhs.V, Loc{Base: pl.Base, Off: pl.Off + rhs.Off})
-			}
+			g.emit(constraint{kind: cFieldAddr, dst: lhs.V, p: rhs.P, off: rhs.Off})
 		}
 	case simple.StoreLV:
 		// p->f = atom
@@ -358,9 +375,7 @@ func (a *analyzer) assign(b *simple.Basic) {
 		if v == nil || !v.IsPtr() {
 			return
 		}
-		for pl := range a.varSet(lhs.P) {
-			a.flowVarMem(Loc{Base: pl.Base, Off: pl.Off + lhs.Off}, v)
-		}
+		g.emit(constraint{kind: cStore, p: lhs.P, off: lhs.Off, src: v})
 	case simple.LocalStoreLV:
 		rhs, ok := b.Rhs.(simple.AtomRV)
 		if !ok {
@@ -372,21 +387,111 @@ func (a *analyzer) assign(b *simple.Basic) {
 		}
 		if lhs.Idx != nil {
 			// Conservatively: could be any element.
-			for i := 0; i < lhs.Base.Size; i += max(1, lhs.Scale) {
-				a.flowVarMem(Loc{Base: lhs.Base, Off: i + lhs.Off%max(1, lhs.Scale)}, v)
-			}
+			step := max(1, lhs.Scale)
+			g.emit(constraint{kind: cStoreRange, base: lhs.Base, src: v,
+				off: lhs.Off % step, step: step, limit: lhs.Base.Size})
 		} else {
-			a.flowVarMem(Loc{Base: lhs.Base, Off: lhs.Off}, v)
+			g.emit(constraint{kind: cStoreFixed, src: v,
+				loc: Loc{Base: lhs.Base, Off: lhs.Off}})
 		}
 	}
 }
 
-func (a *analyzer) blkCopy(b *simple.Basic) {
+// ----------------------------------------------------------------- solving ---
+
+type solver struct {
+	r       *Result
+	changed bool
+}
+
+func (s *solver) varSet(v *simple.Var) LocSet {
+	set, ok := s.r.VarPts[v]
+	if !ok {
+		set = make(LocSet)
+		s.r.VarPts[v] = set
+	}
+	return set
+}
+
+func (s *solver) memSet(l Loc) LocSet {
+	set, ok := s.r.MemPts[l]
+	if !ok {
+		set = make(LocSet)
+		s.r.MemPts[l] = set
+	}
+	return set
+}
+
+func (s *solver) flowMemVar(dst *simple.Var, src Loc) {
+	if s.varSet(dst).AddAll(s.memSet(src)) {
+		s.changed = true
+	}
+}
+
+func (s *solver) flowVarMem(dst Loc, src *simple.Var) {
+	if s.memSet(dst).AddAll(s.varSet(src)) {
+		s.changed = true
+	}
+}
+
+func (s *solver) flowMemMem(dst, src Loc) {
+	if s.memSet(dst).AddAll(s.memSet(src)) {
+		s.changed = true
+	}
+}
+
+func (s *solver) apply(c *constraint) {
+	switch c.kind {
+	case cCopy:
+		if s.varSet(c.dst).AddAll(s.varSet(c.src)) {
+			s.changed = true
+		}
+	case cLoad:
+		for pl := range s.varSet(c.p) {
+			s.flowMemVar(c.dst, Loc{Base: pl.Base, Off: pl.Off + c.off})
+		}
+	case cLoadFixed:
+		s.flowMemVar(c.dst, c.loc)
+	case cLoadRange:
+		for i := 0; i < c.limit; i += c.step {
+			s.flowMemVar(c.dst, Loc{Base: c.base, Off: i + c.off})
+		}
+	case cStore:
+		for pl := range s.varSet(c.p) {
+			s.flowVarMem(Loc{Base: pl.Base, Off: pl.Off + c.off}, c.src)
+		}
+	case cStoreFixed:
+		s.flowVarMem(c.loc, c.src)
+	case cStoreRange:
+		for i := 0; i < c.limit; i += c.step {
+			s.flowVarMem(Loc{Base: c.base, Off: i + c.off}, c.src)
+		}
+	case cFieldAddr:
+		dst := s.varSet(c.dst)
+		for pl := range s.varSet(c.p) {
+			if dst.Add(Loc{Base: pl.Base, Off: pl.Off + c.off}) {
+				s.changed = true
+			}
+		}
+	case cCallRet:
+		if s.varSet(c.dst).AddAll(s.r.Returns[c.fn]) {
+			s.changed = true
+		}
+	case cRetFlow:
+		if s.r.Returns[c.fn].AddAll(s.varSet(c.src)) {
+			s.changed = true
+		}
+	case cBlkCopy:
+		s.blkCopy(c.b)
+	}
+}
+
+func (s *solver) blkCopy(b *simple.Basic) {
 	// Word-by-word pointer flow between the source and destination ranges.
 	srcLocs := func(i int) []Loc {
 		if b.P != nil {
-			out := make([]Loc, 0, len(a.varSet(b.P)))
-			for pl := range a.varSet(b.P) {
+			out := make([]Loc, 0, len(s.varSet(b.P)))
+			for pl := range s.varSet(b.P) {
 				out = append(out, Loc{Base: pl.Base, Off: pl.Off + b.Off + i})
 			}
 			return out
@@ -395,8 +500,8 @@ func (a *analyzer) blkCopy(b *simple.Basic) {
 	}
 	dstLocs := func(i int) []Loc {
 		if b.P2 != nil {
-			out := make([]Loc, 0, len(a.varSet(b.P2)))
-			for pl := range a.varSet(b.P2) {
+			out := make([]Loc, 0, len(s.varSet(b.P2)))
+			for pl := range s.varSet(b.P2) {
 				out = append(out, Loc{Base: pl.Base, Off: pl.Off + b.Off2 + i})
 			}
 			return out
@@ -404,17 +509,10 @@ func (a *analyzer) blkCopy(b *simple.Basic) {
 		return []Loc{{Base: b.Dst, Off: b.Off2 + i}}
 	}
 	for i := 0; i < b.Size; i++ {
-		for _, s := range srcLocs(i) {
-			for _, d := range dstLocs(i) {
-				a.flowMemMem(d, s)
+		for _, src := range srcLocs(i) {
+			for _, dst := range dstLocs(i) {
+				s.flowMemMem(dst, src)
 			}
 		}
 	}
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -6,9 +6,19 @@
 // access made *directly* through a given pointer from accesses made through
 // aliases (the anchor-handle distinction of Ghiya & Hendren's connection
 // analysis).
+//
+// The analysis runs in three steps: (1) per-function "own" effects — the
+// body's effects with callee summaries excluded — computed once per
+// function; (2) a summary fixpoint that only merges projected summaries
+// along call edges (cheap, sequential); (3) a per-function populate pass
+// that decorates every statement with its effects using the converged
+// summaries. Steps 1 and 3 are independent per function and fan out across
+// the pipeline's worker pool; their results are merged in function order,
+// so the outcome is identical to a sequential run.
 package rwsets
 
 import (
+	"repro/internal/par"
 	"repro/internal/pointsto"
 	"repro/internal/sema"
 	"repro/internal/simple"
@@ -26,36 +36,36 @@ type Via struct {
 // Other is the provenance for accesses not made via a simple pointer+field.
 var Other = Via{}
 
+// viaSet is a small set of provenances; almost every location is reached
+// through one or two, so a slice with linear membership beats a map.
+type viaSet []Via
+
+func (s viaSet) has(v Via) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
 // AccessMap records, for each abstract location, the set of provenances
 // through which the statement may access it.
-type AccessMap map[pointsto.Loc]map[Via]bool
+type AccessMap map[pointsto.Loc]viaSet
 
 func (m AccessMap) add(l pointsto.Loc, v Via) bool {
-	s, ok := m[l]
-	if !ok {
-		s = make(map[Via]bool)
-		m[l] = s
-	}
-	if s[v] {
+	s := m[l]
+	if s.has(v) {
 		return false
 	}
-	s[v] = true
+	m[l] = append(s, v)
 	return true
 }
 
-func (m AccessMap) addAll(o AccessMap) bool {
-	changed := false
-	for l, vs := range o {
-		for v := range vs {
-			if m.add(l, v) {
-				changed = true
-			}
-		}
-	}
-	return changed
-}
-
 // Effects summarizes what a statement (or function) may do to memory.
+// All four maps are allocated lazily (nil means empty): most statements
+// touch only one or two of them, and an Effects is built for every
+// statement in the program.
 type Effects struct {
 	// VarReads/VarWrites are the scalar variables read/written directly by
 	// name (frame slots and globals).
@@ -69,34 +79,69 @@ type Effects struct {
 	HasCall bool
 }
 
-func newEffects() *Effects {
-	return &Effects{
-		VarReads:  make(map[*simple.Var]bool),
-		VarWrites: make(map[*simple.Var]bool),
-		Reads:     make(AccessMap),
-		Writes:    make(AccessMap),
+func newEffects() *Effects { return &Effects{} }
+
+func (e *Effects) varRead(v *simple.Var) bool {
+	if e.VarReads[v] {
+		return false
 	}
+	if e.VarReads == nil {
+		e.VarReads = make(map[*simple.Var]bool, 4)
+	}
+	e.VarReads[v] = true
+	return true
+}
+
+func (e *Effects) varWrite(v *simple.Var) bool {
+	if e.VarWrites[v] {
+		return false
+	}
+	if e.VarWrites == nil {
+		e.VarWrites = make(map[*simple.Var]bool, 4)
+	}
+	e.VarWrites[v] = true
+	return true
+}
+
+func (e *Effects) addRead(l pointsto.Loc, v Via) bool {
+	if e.Reads == nil {
+		e.Reads = make(AccessMap, 4)
+	}
+	return e.Reads.add(l, v)
+}
+
+func (e *Effects) addWrite(l pointsto.Loc, v Via) bool {
+	if e.Writes == nil {
+		e.Writes = make(AccessMap, 4)
+	}
+	return e.Writes.add(l, v)
 }
 
 func (e *Effects) mergeFrom(o *Effects) bool {
 	changed := false
 	for v := range o.VarReads {
-		if !e.VarReads[v] {
-			e.VarReads[v] = true
+		if e.varRead(v) {
 			changed = true
 		}
 	}
 	for v := range o.VarWrites {
-		if !e.VarWrites[v] {
-			e.VarWrites[v] = true
+		if e.varWrite(v) {
 			changed = true
 		}
 	}
-	if e.Reads.addAll(o.Reads) {
-		changed = true
+	for l, vs := range o.Reads {
+		for _, v := range vs {
+			if e.addRead(l, v) {
+				changed = true
+			}
+		}
 	}
-	if e.Writes.addAll(o.Writes) {
-		changed = true
+	for l, vs := range o.Writes {
+		for _, v := range vs {
+			if e.addWrite(l, v) {
+				changed = true
+			}
+		}
 	}
 	if o.HasCall && !e.HasCall {
 		e.HasCall = true
@@ -115,134 +160,226 @@ type Result struct {
 	// global; callee-local frame effects are excluded except where
 	// reachable through pointers).
 	Summary map[*simple.Func]*Effects
+
+	// funcs indexes prog.Funcs by name (FuncByName is a linear scan).
+	funcs map[string]*simple.Func
+	// frame holds each function's own frame variables (params + locals)
+	// for O(1) summary projection.
+	frame map[*simple.Func]map[*simple.Var]bool
+	// overlay, when non-nil, receives Register()ed statements instead of
+	// Stmt: it makes a Fork()ed view race-free under parallel per-function
+	// transformation. Queries consult it before Stmt.
+	overlay map[simple.Stmt]*Effects
 }
 
 // Analyze computes read/write sets given points-to results.
 func Analyze(prog *simple.Program, pt *pointsto.Result) *Result {
+	return AnalyzeP(prog, pt, nil)
+}
+
+// AnalyzeP is Analyze with per-function work fanned across pool (nil pool
+// runs inline). The result is identical regardless of pool width.
+func AnalyzeP(prog *simple.Program, pt *pointsto.Result, pool *par.Pool) *Result {
 	r := &Result{
 		PT:      pt,
 		prog:    prog,
 		Stmt:    make(map[simple.Stmt]*Effects),
 		Summary: make(map[*simple.Func]*Effects),
+		funcs:   make(map[string]*simple.Func, len(prog.Funcs)),
+		frame:   make(map[*simple.Func]map[*simple.Var]bool, len(prog.Funcs)),
 	}
 	for _, f := range prog.Funcs {
 		r.Summary[f] = newEffects()
+		r.funcs[f.Name] = f
+		fr := make(map[*simple.Var]bool, len(f.Params)+len(f.Locals))
+		for _, p := range f.Params {
+			fr[p] = true
+		}
+		for _, l := range f.Locals {
+			fr[l] = true
+		}
+		r.frame[f] = fr
 	}
-	// Fixpoint over function summaries (call graph cycles converge).
+
+	// Step 1: per-function own effects (callee summaries excluded),
+	// projected to caller-visible form, plus the function's callee list.
+	n := len(prog.Funcs)
+	pOwn := make([]*Effects, n)
+	callees := make([][]*simple.Func, n)
+	pool.ForEach(n, func(i int) {
+		f := prog.Funcs[i]
+		own := newEffects()
+		r.ownEffects(f.Body, own)
+		pOwn[i] = r.project(own, f)
+		callees[i] = r.calleesOf(f)
+	})
+
+	// Step 2: summary fixpoint along call edges (call graph cycles
+	// converge). Purely a merge of small summary sets; sequential.
 	for {
 		changed := false
-		for _, f := range prog.Funcs {
-			eff := r.computeStmt(f.Body, f, true)
-			summ := summarize(eff, f)
-			if r.Summary[f].mergeFrom(summ) {
+		for i, f := range prog.Funcs {
+			s := r.Summary[f]
+			if s.mergeFrom(pOwn[i]) {
 				changed = true
+			}
+			for _, c := range callees[i] {
+				if r.mergeProjected(s, r.Summary[c], f) {
+					changed = true
+				}
 			}
 		}
 		if !changed {
 			break
 		}
 	}
-	// Final pass to populate r.Stmt with converged summaries.
-	for _, f := range prog.Funcs {
-		r.computeStmt(f.Body, f, false)
+
+	// Step 3: populate r.Stmt with converged summaries, one map per
+	// function, merged in function order.
+	dests := make([]map[simple.Stmt]*Effects, n)
+	pool.ForEach(n, func(i int) {
+		dest := make(map[simple.Stmt]*Effects)
+		r.computeStmtInto(prog.Funcs[i].Body, dest)
+		dests[i] = dest
+	})
+	for _, dest := range dests {
+		for s, e := range dest {
+			r.Stmt[s] = e
+		}
 	}
 	return r
 }
 
-// summarize projects a function body's effects into a caller-visible
-// summary: frame variables of the callee are dropped (their lifetimes end),
-// but heap locations, globals, and any variable whose address escapes are
-// kept.
-func summarize(eff *Effects, f *simple.Func) *Effects {
+// project builds a function's caller-visible summary from its body effects:
+// frame variables of the callee are dropped (their lifetimes end), but heap
+// locations, globals, and any variable whose address escapes are kept.
+// Provenance does not survive the call boundary: the caller sees each
+// access as "via other" (an alias it cannot name).
+func (r *Result) project(eff *Effects, f *simple.Func) *Effects {
 	out := newEffects()
 	out.HasCall = true
-	isOwnFrame := func(b pointsto.Base) bool {
-		v, ok := b.(*simple.Var)
-		if !ok {
-			return false
-		}
-		if v.Kind == simple.VarGlobal {
-			return false
-		}
-		// A frame variable of f itself: accesses die with the frame.
-		// (A caller variable reached through a pointer parameter has a
-		// different *Var and is kept.)
-		for _, p := range f.Params {
-			if p == v {
-				return true
-			}
-		}
-		for _, l := range f.Locals {
-			if l == v {
-				return true
-			}
-		}
-		return false
-	}
+	fr := r.frame[f]
 	for v := range eff.VarReads {
 		if v.Kind == simple.VarGlobal {
-			out.VarReads[v] = true
+			out.varRead(v)
 		}
 	}
 	for v := range eff.VarWrites {
 		if v.Kind == simple.VarGlobal {
-			out.VarWrites[v] = true
+			out.varWrite(v)
 		}
 	}
-	for l, vs := range eff.Reads {
-		if isOwnFrame(l.Base) {
+	for l := range eff.Reads {
+		if v, ok := l.Base.(*simple.Var); ok && fr[v] {
 			continue
 		}
-		_ = vs
-		// Provenance does not survive the call boundary: the caller sees
-		// the access as "via other" (an alias it cannot name).
-		out.Reads.add(l, Other)
+		out.addRead(l, Other)
 	}
 	for l := range eff.Writes {
-		if isOwnFrame(l.Base) {
+		if v, ok := l.Base.(*simple.Var); ok && fr[v] {
 			continue
 		}
-		out.Writes.add(l, Other)
+		out.addWrite(l, Other)
 	}
 	return out
 }
 
-// computeStmt computes (and records, when record is false... always records)
-// effects for s. When summariesOnly is true it is being used inside the
-// fixpoint; the returned value matters but intermediate Stmt entries are
-// still updated (cheap and idempotent).
-func (r *Result) computeStmt(s simple.Stmt, f *simple.Func, summariesOnly bool) *Effects {
+// mergeProjected merges callee summary src into dst, dropping locations in
+// f's own frame (a callee summary can mention them when f passed &local
+// down the call chain — those accesses die with f's frame as far as f's
+// own callers are concerned). Reports whether dst changed.
+func (r *Result) mergeProjected(dst, src *Effects, f *simple.Func) bool {
+	changed := false
+	for v := range src.VarReads {
+		if v.Kind == simple.VarGlobal && dst.varRead(v) {
+			changed = true
+		}
+	}
+	for v := range src.VarWrites {
+		if v.Kind == simple.VarGlobal && dst.varWrite(v) {
+			changed = true
+		}
+	}
+	fr := r.frame[f]
+	for l := range src.Reads {
+		if v, ok := l.Base.(*simple.Var); ok && fr[v] {
+			continue
+		}
+		if dst.addRead(l, Other) {
+			changed = true
+		}
+	}
+	for l := range src.Writes {
+		if v, ok := l.Base.(*simple.Var); ok && fr[v] {
+			continue
+		}
+		if dst.addWrite(l, Other) {
+			changed = true
+		}
+	}
+	if src.HasCall && !dst.HasCall {
+		dst.HasCall = true
+		changed = true
+	}
+	return changed
+}
+
+// ownEffects accumulates the effects of s and everything under it into eff,
+// excluding callee summaries (the summary fixpoint adds those along call
+// edges instead). No per-statement records are made.
+func (r *Result) ownEffects(s simple.Stmt, eff *Effects) {
+	switch st := s.(type) {
+	case *simple.Basic:
+		r.basic(eff, st, false)
+	default:
+		for _, seq := range simple.Subseqs(st) {
+			for _, c := range seq.Stmts {
+				r.ownEffects(c, eff)
+			}
+		}
+		r.compoundReads(eff, s)
+	}
+}
+
+// computeStmtInto computes effects for s (with converged callee summaries)
+// and records them for s and every statement beneath it in dest.
+func (r *Result) computeStmtInto(s simple.Stmt, dest map[simple.Stmt]*Effects) *Effects {
 	eff := newEffects()
 	switch st := s.(type) {
 	case *simple.Basic:
-		r.basic(eff, st, f)
+		r.basic(eff, st, true)
 	default:
 		for _, seq := range simple.Subseqs(st) {
 			// Record effects for the subsequence itself too: parallel-arm
 			// interference checks query sibling sequences directly.
 			seqEff := newEffects()
 			for _, c := range seq.Stmts {
-				seqEff.mergeFrom(r.computeStmt(c, f, summariesOnly))
+				seqEff.mergeFrom(r.computeStmtInto(c, dest))
 			}
-			r.Stmt[seq] = seqEff
+			dest[seq] = seqEff
 			eff.mergeFrom(seqEff)
 		}
-		// Loop/forall conditions read their atoms.
-		switch st := s.(type) {
-		case *simple.If:
-			r.condReads(eff, st.Cond)
-		case *simple.While:
-			r.condReads(eff, st.Cond)
-		case *simple.Do:
-			r.condReads(eff, st.Cond)
-		case *simple.Forall:
-			r.condReads(eff, st.Cond)
-		case *simple.Switch:
-			r.atomRead(eff, st.Tag)
-		}
+		r.compoundReads(eff, s)
 	}
-	r.Stmt[s] = eff
+	dest[s] = eff
 	return eff
+}
+
+// compoundReads adds the atom reads a compound statement's condition (or
+// switch tag) performs.
+func (r *Result) compoundReads(eff *Effects, s simple.Stmt) {
+	switch st := s.(type) {
+	case *simple.If:
+		r.condReads(eff, st.Cond)
+	case *simple.While:
+		r.condReads(eff, st.Cond)
+	case *simple.Do:
+		r.condReads(eff, st.Cond)
+	case *simple.Forall:
+		r.condReads(eff, st.Cond)
+	case *simple.Switch:
+		r.atomRead(eff, st.Tag)
+	}
 }
 
 func (r *Result) condReads(eff *Effects, c simple.Cond) {
@@ -253,11 +390,11 @@ func (r *Result) condReads(eff *Effects, c simple.Cond) {
 
 func (r *Result) atomRead(eff *Effects, a simple.Atom) {
 	if v := simple.AtomVar(a); v != nil {
-		eff.VarReads[v] = true
+		eff.varRead(v)
 	}
 }
 
-func (r *Result) basic(eff *Effects, b *simple.Basic, f *simple.Func) {
+func (r *Result) basic(eff *Effects, b *simple.Basic, withSummaries bool) {
 	switch b.Kind {
 	case simple.KAssign:
 		r.rvalue(eff, b.Rhs)
@@ -270,28 +407,30 @@ func (r *Result) basic(eff *Effects, b *simple.Basic, f *simple.Func) {
 			r.atomRead(eff, b.Place.Arg)
 		}
 		if b.Dst != nil {
-			eff.VarWrites[b.Dst] = true
+			eff.varWrite(b.Dst)
 		}
 		eff.HasCall = true
-		if callee := r.prog.FuncByName(b.Fun); callee != nil {
-			eff.mergeFrom(r.Summary[callee])
+		if withSummaries {
+			if callee := r.funcs[b.Fun]; callee != nil {
+				eff.mergeFrom(r.Summary[callee])
+			}
 		}
 	case simple.KBuiltin:
 		for _, a := range b.Args {
 			r.atomRead(eff, a)
 		}
 		if b.Dst != nil {
-			eff.VarWrites[b.Dst] = true
+			eff.varWrite(b.Dst)
 		}
 		for _, sv := range b.ArgVars {
 			switch sema.Builtin(b.BFun) {
 			case sema.BWriteTo, sema.BAddTo:
-				eff.Writes.add(pointsto.Loc{Base: sv, Off: 0}, Other)
+				eff.addWrite(pointsto.Loc{Base: sv, Off: 0}, Other)
 				if sema.Builtin(b.BFun) == sema.BAddTo {
-					eff.Reads.add(pointsto.Loc{Base: sv, Off: 0}, Other)
+					eff.addRead(pointsto.Loc{Base: sv, Off: 0}, Other)
 				}
 			case sema.BValueOf:
-				eff.Reads.add(pointsto.Loc{Base: sv, Off: 0}, Other)
+				eff.addRead(pointsto.Loc{Base: sv, Off: 0}, Other)
 			}
 		}
 	case simple.KAlloc:
@@ -299,7 +438,7 @@ func (r *Result) basic(eff *Effects, b *simple.Basic, f *simple.Func) {
 			r.atomRead(eff, b.Node)
 		}
 		if b.Dst != nil {
-			eff.VarWrites[b.Dst] = true
+			eff.varWrite(b.Dst)
 		}
 	case simple.KReturn:
 		if b.Val != nil {
@@ -308,69 +447,69 @@ func (r *Result) basic(eff *Effects, b *simple.Basic, f *simple.Func) {
 	case simple.KBlkCopy:
 		// Source range.
 		if b.P != nil {
-			eff.VarReads[b.P] = true
+			eff.varRead(b.P)
 			// Block copies are never redirected to a shadow copy by the
 			// selection phase, so their accesses count as aliased ("other")
 			// accesses: tuples must not float across an overlapping one.
 			for i := 0; i < b.Size; i++ {
 				for pl := range r.PT.Pts(b.P) {
-					eff.Reads.add(pointsto.Loc{Base: pl.Base, Off: pl.Off + b.Off + i}, Other)
+					eff.addRead(pointsto.Loc{Base: pl.Base, Off: pl.Off + b.Off + i}, Other)
 				}
 			}
 		} else if b.Local != nil {
 			for i := 0; i < b.Size; i++ {
-				eff.Reads.add(pointsto.Loc{Base: b.Local, Off: b.Off + i}, Other)
+				eff.addRead(pointsto.Loc{Base: b.Local, Off: b.Off + i}, Other)
 			}
 		}
 		// Destination range.
 		if b.P2 != nil {
-			eff.VarReads[b.P2] = true
+			eff.varRead(b.P2)
 			for i := 0; i < b.Size; i++ {
 				for pl := range r.PT.Pts(b.P2) {
-					eff.Writes.add(pointsto.Loc{Base: pl.Base, Off: pl.Off + b.Off2 + i}, Other)
+					eff.addWrite(pointsto.Loc{Base: pl.Base, Off: pl.Off + b.Off2 + i}, Other)
 				}
 			}
 		} else if b.Dst != nil {
 			for i := 0; i < b.Size; i++ {
-				eff.Writes.add(pointsto.Loc{Base: b.Dst, Off: b.Off2 + i}, Other)
+				eff.addWrite(pointsto.Loc{Base: b.Dst, Off: b.Off2 + i}, Other)
 			}
 		}
 	case simple.KGetF:
 		// Post-selection split-phase and block operations count as aliased
 		// accesses: later analyses must not float tuples across them.
-		eff.VarReads[b.P] = true
+		eff.varRead(b.P)
 		if b.Dst != nil {
-			eff.VarWrites[b.Dst] = true
+			eff.varWrite(b.Dst)
 		}
 		for pl := range r.PT.Pts(b.P) {
-			eff.Reads.add(pointsto.Loc{Base: pl.Base, Off: pl.Off + b.Off}, Other)
+			eff.addRead(pointsto.Loc{Base: pl.Base, Off: pl.Off + b.Off}, Other)
 		}
 	case simple.KPutF:
-		eff.VarReads[b.P] = true
+		eff.varRead(b.P)
 		if b.Val != nil {
 			r.atomRead(eff, b.Val)
 		}
 		if b.Local != nil {
-			eff.Reads.add(pointsto.Loc{Base: b.Local, Off: b.Off2}, Other)
+			eff.addRead(pointsto.Loc{Base: b.Local, Off: b.Off2}, Other)
 		}
 		for pl := range r.PT.Pts(b.P) {
-			eff.Writes.add(pointsto.Loc{Base: pl.Base, Off: pl.Off + b.Off}, Other)
+			eff.addWrite(pointsto.Loc{Base: pl.Base, Off: pl.Off + b.Off}, Other)
 		}
 	case simple.KBlkRead:
-		eff.VarReads[b.P] = true
+		eff.varRead(b.P)
 		for i := 0; i < b.Size; i++ {
 			for pl := range r.PT.Pts(b.P) {
-				eff.Reads.add(pointsto.Loc{Base: pl.Base, Off: pl.Off + b.Off + i}, Other)
+				eff.addRead(pointsto.Loc{Base: pl.Base, Off: pl.Off + b.Off + i}, Other)
 			}
-			eff.Writes.add(pointsto.Loc{Base: b.Local, Off: i}, Other)
+			eff.addWrite(pointsto.Loc{Base: b.Local, Off: i}, Other)
 		}
 	case simple.KBlkWrite:
-		eff.VarReads[b.P] = true
+		eff.varRead(b.P)
 		for i := 0; i < b.Size; i++ {
 			for pl := range r.PT.Pts(b.P) {
-				eff.Writes.add(pointsto.Loc{Base: pl.Base, Off: pl.Off + b.Off + i}, Other)
+				eff.addWrite(pointsto.Loc{Base: pl.Base, Off: pl.Off + b.Off + i}, Other)
 			}
-			eff.Reads.add(pointsto.Loc{Base: b.Local, Off: i}, Other)
+			eff.addRead(pointsto.Loc{Base: b.Local, Off: i}, Other)
 		}
 	}
 }
@@ -385,54 +524,85 @@ func (r *Result) rvalue(eff *Effects, rv simple.Rvalue) {
 		r.atomRead(eff, x.X)
 		r.atomRead(eff, x.Y)
 	case simple.LoadRV:
-		eff.VarReads[x.P] = true
+		eff.varRead(x.P)
 		for pl := range r.PT.Pts(x.P) {
-			eff.Reads.add(pointsto.Loc{Base: pl.Base, Off: pl.Off + x.Off}, Via{P: x.P, Off: x.Off})
+			eff.addRead(pointsto.Loc{Base: pl.Base, Off: pl.Off + x.Off}, Via{P: x.P, Off: x.Off})
 		}
 	case simple.LocalLoadRV:
 		if x.Idx != nil {
 			r.atomRead(eff, x.Idx)
 			for i := 0; i < x.Base.Size; i++ {
-				eff.Reads.add(pointsto.Loc{Base: x.Base, Off: i}, Other)
+				eff.addRead(pointsto.Loc{Base: x.Base, Off: i}, Other)
 			}
 		} else {
-			eff.Reads.add(pointsto.Loc{Base: x.Base, Off: x.Off}, Other)
+			eff.addRead(pointsto.Loc{Base: x.Base, Off: x.Off}, Other)
 		}
 	case simple.AddrRV:
 		// No memory access; the variable's address is computed.
 	case simple.FieldAddrRV:
-		eff.VarReads[x.P] = true
+		eff.varRead(x.P)
 	}
 }
 
 func (r *Result) lvalue(eff *Effects, lv simple.Lvalue) {
 	switch x := lv.(type) {
 	case simple.VarLV:
-		eff.VarWrites[x.V] = true
+		eff.varWrite(x.V)
 	case simple.StoreLV:
-		eff.VarReads[x.P] = true
+		eff.varRead(x.P)
 		for pl := range r.PT.Pts(x.P) {
-			eff.Writes.add(pointsto.Loc{Base: pl.Base, Off: pl.Off + x.Off}, Via{P: x.P, Off: x.Off})
+			eff.addWrite(pointsto.Loc{Base: pl.Base, Off: pl.Off + x.Off}, Via{P: x.P, Off: x.Off})
 		}
 	case simple.LocalStoreLV:
 		if x.Idx != nil {
 			r.atomRead(eff, x.Idx)
 			for i := 0; i < x.Base.Size; i++ {
-				eff.Writes.add(pointsto.Loc{Base: x.Base, Off: i}, Other)
+				eff.addWrite(pointsto.Loc{Base: x.Base, Off: i}, Other)
 			}
 		} else {
-			eff.Writes.add(pointsto.Loc{Base: x.Base, Off: x.Off}, Other)
+			eff.addWrite(pointsto.Loc{Base: x.Base, Off: x.Off}, Other)
 		}
 	}
 }
 
+func (r *Result) calleesOf(f *simple.Func) []*simple.Func {
+	var out []*simple.Func
+	var seen map[*simple.Func]bool
+	simple.WalkBasics(f.Body, func(b *simple.Basic) {
+		if b.Kind != simple.KCall {
+			return
+		}
+		c := r.funcs[b.Fun]
+		if c == nil || seen[c] {
+			return
+		}
+		if seen == nil {
+			seen = make(map[*simple.Func]bool)
+		}
+		seen[c] = true
+		out = append(out, c)
+	})
+	return out
+}
+
 // --------------------------------------------------------------- queries ---
+
+// effectsOf looks a statement up in the fork overlay (if any), then the
+// shared Stmt map.
+func (r *Result) effectsOf(s simple.Stmt) *Effects {
+	if r.overlay != nil {
+		if e, ok := r.overlay[s]; ok {
+			return e
+		}
+	}
+	return r.Stmt[s]
+}
 
 // VarWritten reports whether statement s may modify the value of variable p
 // itself: a direct assignment, or — when p's address has been taken — an
 // indirect write reaching p's slot, or a call that may do the same.
 func (r *Result) VarWritten(p *simple.Var, s simple.Stmt) bool {
-	eff := r.Stmt[s]
+	eff := r.effectsOf(s)
 	if eff == nil {
 		return true // unknown statement: be conservative
 	}
@@ -455,7 +625,7 @@ func (r *Result) VarWritten(p *simple.Var, s simple.Stmt) bool {
 // paper's rules keep tuples alive across direct accesses because the
 // transformation redirects all of them to the same local copy.
 func (r *Result) AccessedViaAlias(p *simple.Var, off int, s simple.Stmt, write bool) bool {
-	eff := r.Stmt[s]
+	eff := r.effectsOf(s)
 	if eff == nil {
 		return true
 	}
@@ -470,7 +640,7 @@ func (r *Result) AccessedViaAlias(p *simple.Var, off int, s simple.Stmt, write b
 		if !hit {
 			continue
 		}
-		for v := range vias {
+		for _, v := range vias {
 			if v != self {
 				return true
 			}
@@ -479,19 +649,35 @@ func (r *Result) AccessedViaAlias(p *simple.Var, off int, s simple.Stmt, write b
 	return false
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 // Register computes and records the effects of a newly created basic
 // statement. The selection phase calls this for every communication
 // statement it inserts, so later queries (dereference safety, write floats)
-// see sound effects instead of falling back to "unknown".
+// see sound effects instead of falling back to "unknown". On a Fork()ed
+// view the record goes to the fork's private overlay.
 func (r *Result) Register(b *simple.Basic) {
 	eff := newEffects()
-	r.basic(eff, b, nil)
-	r.Stmt[b] = eff
+	r.basic(eff, b, true)
+	if r.overlay != nil {
+		r.overlay[b] = eff
+	} else {
+		r.Stmt[b] = eff
+	}
+}
+
+// Fork returns a view of r that records Register()ed statements in a
+// private overlay instead of the shared Stmt map, so several forks can be
+// used from different goroutines concurrently (the shared maps are only
+// read). Merge folds a fork's overlay back into r.
+func (r *Result) Fork() *Result {
+	nr := *r
+	nr.overlay = make(map[simple.Stmt]*Effects)
+	return &nr
+}
+
+// Merge folds the Register()ed statements of a Fork()ed view back into r's
+// shared Stmt map.
+func (r *Result) Merge(fork *Result) {
+	for s, e := range fork.overlay {
+		r.Stmt[s] = e
+	}
 }

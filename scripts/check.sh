@@ -1,5 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 gate: formatting, vet, build, tests. Run before every commit.
+# Performance is gated separately: scripts/bench.sh regenerates the
+# checked-in perf trajectory (BENCH_pr3.json) — run it after touching the
+# compiler pipeline or the simulator hot path.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,7 +16,8 @@ fi
 go vet ./...
 go build ./...
 go test ./...
-# The simulator and its trace sink must also be clean under the race
-# detector (the recorder is documented single-threaded; this catches any
-# accidental sharing).
-go test -race ./internal/earthsim/... ./internal/trace/...
+# The whole module must also be clean under the race detector: the compiler
+# fans per-function analysis across a worker pool, units are driven from
+# concurrent goroutines in tests, and the trace recorder is documented
+# single-threaded — this catches any accidental sharing.
+go test -race ./...
