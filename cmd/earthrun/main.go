@@ -21,17 +21,29 @@
 //	                  recording even without -trace
 //	-cost spec        override simulator cost parameters, e.g.
 //	                  "NetLatency=2500,SUService=800"
+//	-faults spec      inject deterministic transport faults and run the
+//	                  reliable-messaging protocol, e.g.
+//	                  "drop=0.01,dup=0.005,delay=3" (see -faults keys below)
+//	-fault-seed N     PRNG seed for fault injection (default 1); the same
+//	                  seed and spec reproduce the run exactly
+//	-fuel N           abort after N simulated EU instructions instead of
+//	                  hanging on a runaway program (0 = unlimited)
+//	-deadline d       abort after d of host wall-clock time, e.g. "30s"
 //	-j N              compile with N analysis workers (0 = all CPUs); the
 //	                  compiled code and the simulated result are identical
 //	                  for every worker count
 //
-// With -compare, tracing applies to the optimized run.
+// Fault spec keys: drop, dup, stall (probabilities in [0,1)); delay (max
+// extra hops, uniform); stallns, timeout (ns); retries; seed.
+//
+// With -compare, tracing and fault injection apply to the optimized run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/earthsim"
@@ -50,6 +62,10 @@ func main() {
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file of the run here")
 	traceSum := flag.Bool("trace-summary", false, "print a text summary of recorded events")
 	costSpec := flag.String("cost", "", "cost-model overrides, e.g. \"NetLatency=2500,SUService=800\"")
+	faultSpec := flag.String("faults", "", "fault-injection spec, e.g. \"drop=0.01,dup=0.005,delay=3\"")
+	faultSeed := flag.Uint64("fault-seed", 1, "PRNG seed for fault injection")
+	fuel := flag.Int64("fuel", 0, "abort after N simulated EU instructions (0 = unlimited)")
+	deadline := flag.Duration("deadline", 0, "abort after this much host wall-clock time (0 = none)")
 	workers := flag.Int("j", 0, "analysis worker count (0 = all CPUs); output is identical for any value")
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -69,6 +85,14 @@ func main() {
 		fatal(err)
 	}
 
+	faults, err := earthsim.ParseFaultSpec(*faultSpec)
+	if err != nil {
+		fatal(err)
+	}
+	if faults != nil && faults.Seed == 0 {
+		faults.Seed = *faultSeed
+	}
+
 	var prof *profile.Data
 	if *profUse != "" {
 		prof, err = profile.ReadFile(*profUse)
@@ -85,12 +109,13 @@ func main() {
 
 	if *compare {
 		simple, err := run(name, src, runOpts{nodes: *nodes, seq: *seq, machine: machine,
-			workers: *workers})
+			workers: *workers, fuel: *fuel, deadline: *deadline})
 		if err != nil {
 			fatal(err)
 		}
 		opt, err := run(name, src, runOpts{optimize: true, nodes: *nodes, seq: *seq,
-			prof: prof, machine: machine, rec: rec, workers: *workers})
+			prof: prof, machine: machine, rec: rec, workers: *workers,
+			fuel: *fuel, deadline: *deadline, faults: faults})
 		if err != nil {
 			fatal(err)
 		}
@@ -109,6 +134,7 @@ func main() {
 		optimize: *optimize, nodes: *nodes, seq: *seq,
 		prof: prof, instrument: *profOut != "",
 		machine: machine, rec: rec, workers: *workers,
+		fuel: *fuel, deadline: *deadline, faults: faults,
 	})
 	if err != nil {
 		fatal(err)
@@ -125,6 +151,9 @@ func main() {
 	if *stats {
 		fmt.Printf("time: %d ns (%.3f ms) on %d node(s)\n", r.time, float64(r.time)/1e6, *nodes)
 		fmt.Printf("comm: %s\n", r.counts)
+	}
+	if r.faults != nil {
+		fmt.Fprintf(os.Stderr, "earthrun: faults [%s]: %s\n", faults, r.faults)
 	}
 	emitTrace(rec, *traceOut, *traceSum)
 }
@@ -179,6 +208,9 @@ type runOpts struct {
 	machine    *earthsim.Config // cost-model override
 	rec        *trace.Recorder  // event sink (nil = no tracing)
 	workers    int              // analysis worker count (0 = all CPUs)
+	fuel       int64            // EU instruction budget (0 = unlimited)
+	deadline   time.Duration    // host wall-clock bound (0 = none)
+	faults     *earthsim.FaultConfig
 }
 
 type runResult struct {
@@ -186,6 +218,7 @@ type runResult struct {
 	time   int64
 	counts fmt.Stringer
 	prof   *profile.Data
+	faults *earthsim.FaultStats
 }
 
 func run(name, src string, ro runOpts) (*runResult, error) {
@@ -199,11 +232,13 @@ func run(name, src string, ro runOpts) (*runResult, error) {
 		fmt.Fprintln(os.Stderr, "earthrun: warning:", w)
 	}
 	res, err := p.Run(u, core.RunConfig{Nodes: ro.nodes, Sequential: ro.seq,
-		Profile: ro.instrument, Machine: ro.machine})
+		Profile: ro.instrument, Machine: ro.machine,
+		Fuel: ro.fuel, Deadline: ro.deadline, Faults: ro.faults})
 	if err != nil {
 		return nil, err
 	}
-	return &runResult{out: res.Output, time: res.Time, counts: res.Counts, prof: res.Profile}, nil
+	return &runResult{out: res.Output, time: res.Time, counts: res.Counts,
+		prof: res.Profile, faults: res.Faults}, nil
 }
 
 func fatal(err error) {

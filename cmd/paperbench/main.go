@@ -7,12 +7,17 @@
 //	-fig10     Figure 10: dynamic communication counts, simple vs optimized
 //	-table3    Table III: execution times, speedups, improvements
 //	-pgo       PGO ablation: static-heuristic vs profile-guided optimization
+//	-faultsweep  reliable-messaging validation: each benchmark under
+//	             increasing fault rates, checking completion and result
+//	             fidelity
 //	-all       everything (default when no flag given)
 //
-//	-nodes N       machine size for fig10 and the PGO table (default 4)
+//	-nodes N       machine size for fig10, the PGO table and the fault
+//	               sweep (default 4)
 //	-procs list    comma-separated processor counts for table3
 //	               (default 1,2,4,8,16)
 //	-scale s       problem scale: quick | default (default "default")
+//	-fault-seed N  PRNG seed for the fault sweep (default 1)
 //	-json          emit one machine-readable JSON object instead of text
 package main
 
@@ -30,10 +35,11 @@ import (
 
 // jsonReport is the -json output shape: one object per requested artifact.
 type jsonReport struct {
-	Table1 *harness.Table1Result `json:"table1,omitempty"`
-	Fig10  *harness.Fig10Result  `json:"fig10,omitempty"`
-	Table3 *harness.Table3Result `json:"table3,omitempty"`
-	PGO    *harness.PGOResult    `json:"pgo,omitempty"`
+	Table1     *harness.Table1Result     `json:"table1,omitempty"`
+	Fig10      *harness.Fig10Result      `json:"fig10,omitempty"`
+	Table3     *harness.Table3Result     `json:"table3,omitempty"`
+	PGO        *harness.PGOResult        `json:"pgo,omitempty"`
+	FaultSweep *harness.FaultSweepResult `json:"faultSweep,omitempty"`
 }
 
 func main() {
@@ -42,14 +48,16 @@ func main() {
 	f10 := flag.Bool("fig10", false, "Figure 10")
 	t3 := flag.Bool("table3", false, "Table III")
 	pgo := flag.Bool("pgo", false, "PGO ablation table")
+	faultSweep := flag.Bool("faultsweep", false, "fault-injection sweep over the benchmarks")
 	all := flag.Bool("all", false, "everything")
-	nodes := flag.Int("nodes", 4, "machine size for fig10 and the PGO table")
+	nodes := flag.Int("nodes", 4, "machine size for fig10, the PGO table and the fault sweep")
 	procsFlag := flag.String("procs", "1,2,4,8,16", "processor counts for table3")
 	scale := flag.String("scale", "default", "problem scale: quick|default")
+	faultSeed := flag.Uint64("fault-seed", 1, "PRNG seed for the fault sweep")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON")
 	flag.Parse()
 
-	if !*t1 && !*t2 && !*f10 && !*t3 && !*pgo {
+	if !*t1 && !*t2 && !*f10 && !*t3 && !*pgo && !*faultSweep {
 		*all = true
 	}
 	params := paramsFor(*scale)
@@ -105,6 +113,19 @@ func main() {
 		rep.PGO = res
 		if !*asJSON {
 			fmt.Println(res)
+		}
+	}
+	if *all || *faultSweep {
+		res, err := harness.MeasureFaultSweep(*nodes, nil, *faultSeed, params)
+		if err != nil {
+			fatal(err)
+		}
+		rep.FaultSweep = res
+		if !*asJSON {
+			fmt.Println(res)
+		}
+		if !res.Ok() {
+			fatal(fmt.Errorf("fault sweep: a run failed or diverged (see table)"))
 		}
 	}
 	if *asJSON {

@@ -80,12 +80,38 @@ func (p *Pipeline) newStats() *trace.CompileStats {
 	return &trace.CompileStats{}
 }
 
-func (p *Pipeline) compileAST(file *earthc.File, opt Options, st *trace.CompileStats) (*Unit, error) {
+// recoverPhase converts a panic escaping a compile phase into a positioned
+// error naming the file, the phase, and — when the panic crossed the worker
+// pool as a par.WorkerPanic — the function being processed. Internal bugs
+// on arbitrary user input thereby surface as diagnostics, not stack traces.
+func recoverPhase(file string, phase *string, fnName func(i int) string, u **Unit, err *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	where := ""
+	if wp, ok := r.(par.WorkerPanic); ok {
+		if name := fnName(wp.Index); name != "" {
+			where = fmt.Sprintf(" in function %s", name)
+		}
+		r = wp.Value
+	}
+	*u = nil
+	*err = fmt.Errorf("%s: internal error during %s%s: %v", file, *phase, where, r)
+}
+
+// noFn is the fnName callback for phases that do not fan over functions.
+func noFn(int) string { return "" }
+
+func (p *Pipeline) compileAST(file *earthc.File, opt Options, st *trace.CompileStats) (u *Unit, err error) {
+	phase := "inline"
+	defer recoverPhase(file.Name, &phase, noFn, &u, &err)
 	t0 := time.Now()
 	if !opt.NoInline {
 		earthc.InlineFunctions(file, opt.Inline)
 	}
 	st.AddPhase("inline", time.Since(t0))
+	phase = "restructure"
 	t0 = time.Now()
 	for _, fn := range file.Funcs {
 		if err := earthc.DesugarLoops(fn); err != nil {
@@ -100,6 +126,7 @@ func (p *Pipeline) compileAST(file *earthc.File, opt Options, st *trace.CompileS
 		// Probe compile (unoptimized, unobserved) to count remote field
 		// accesses on the original layouts, then permute and compile for
 		// real.
+		phase = "reorder"
 		t0 = time.Now()
 		probe, err := p.build(file, Options{}, nil)
 		if err != nil {
@@ -108,24 +135,29 @@ func (p *Pipeline) compileAST(file *earthc.File, opt Options, st *trace.CompileS
 		reorderStructFields(file, probe)
 		st.AddPhase("reorder", time.Since(t0))
 	}
-	u, err := p.build(file, opt, st)
-	if err != nil {
-		return nil, err
-	}
-	return u, nil
+	return p.build(file, opt, st)
 }
 
 // build runs semantic analysis through communication selection on an
 // already-restructured AST.
-func (p *Pipeline) build(file *earthc.File, opt Options, st *trace.CompileStats) (*Unit, error) {
+func (p *Pipeline) build(file *earthc.File, opt Options, st *trace.CompileStats) (u *Unit, err error) {
+	phase := "sema"
+	var sp *simple.Program
+	defer recoverPhase(file.Name, &phase, func(i int) string {
+		if sp != nil && i >= 0 && i < len(sp.Funcs) {
+			return sp.Funcs[i].Name
+		}
+		return ""
+	}, &u, &err)
 	t0 := time.Now()
 	sm, err := sema.Check(file)
 	if err != nil {
 		return nil, err
 	}
 	st.AddPhase("sema", time.Since(t0))
+	phase = "lower"
 	t0 = time.Now()
-	sp, err := lower.Program(sm)
+	sp, err = lower.Program(sm)
 	if err != nil {
 		return nil, err
 	}
@@ -134,7 +166,7 @@ func (p *Pipeline) build(file *earthc.File, opt Options, st *trace.CompileStats)
 	// profile-guided compile of the same source then agree on every key.
 	simple.AssignSites(sp)
 	st.AddPhase("lower", time.Since(t0))
-	u := &Unit{Name: file.Name, File: file, Sema: sm, Simple: sp, Stats: st, pipe: p}
+	u = &Unit{Name: file.Name, File: file, Sema: sm, Simple: sp, Stats: st, pipe: p}
 	// The per-function analysis chain fans out across a bounded worker pool;
 	// each phase merges its per-function results in function order, so the
 	// unit is identical for every worker count.
@@ -142,13 +174,19 @@ func (p *Pipeline) build(file *earthc.File, opt Options, st *trace.CompileStats)
 	addPhase := func(name string, t0 time.Time, busy0 time.Duration) {
 		st.AddPhaseCum(name, time.Since(t0), pool.Busy()-busy0)
 	}
+	phase = "pointsto"
 	t0 = time.Now()
 	b0 := pool.Busy()
-	u.PointsTo = pointsto.AnalyzeP(sp, pool)
+	u.PointsTo, err = pointsto.AnalyzeP(sp, pool)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", file.Name, err)
+	}
 	addPhase("pointsto", t0, b0)
+	phase = "rwsets"
 	t0, b0 = time.Now(), pool.Busy()
 	u.RWSets = rwsets.AnalyzeP(sp, u.PointsTo, pool)
 	addPhase("rwsets", t0, b0)
+	phase = "locality"
 	t0, b0 = time.Now(), pool.Busy()
 	u.Locality = locality.AnalyzeP(sp, u.PointsTo, pool)
 	addPhase("locality", t0, b0)
@@ -176,9 +214,11 @@ func (p *Pipeline) build(file *earthc.File, opt Options, st *trace.CompileStats)
 			fp = opt.Profile
 			sel.ProfileGuided = true
 		}
+		phase = "placement"
 		t0, b0 = time.Now(), pool.Busy()
 		u.Placement = placement.AnalyzeProfiledP(sp, u.RWSets, u.Locality, fp, pool)
 		addPhase("placement", t0, b0)
+		phase = "commsel"
 		t0, b0 = time.Now(), pool.Busy()
 		u.Report = commsel.TransformP(sp, u.Placement, u.RWSets, u.Locality, sel, pool)
 		addPhase("commsel", t0, b0)
@@ -217,7 +257,16 @@ func (p *Pipeline) Run(u *Unit, rc RunConfig) (*earthsim.Result, error) {
 		cfg = *rc.Machine
 		cfg.Nodes = rc.Nodes
 	}
+	if rc.Fuel > 0 {
+		cfg.Fuel = rc.Fuel
+	}
+	if rc.Faults != nil {
+		cfg.Faults = rc.Faults
+	}
 	m := earthsim.New(tp, cfg)
+	if rc.Deadline > 0 {
+		m.SetDeadline(rc.Deadline)
+	}
 	if p.opt.Trace != nil {
 		m.SetTrace(p.opt.Trace)
 	}

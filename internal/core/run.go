@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"repro/internal/earthsim"
 	"repro/internal/profile"
 	"repro/internal/threaded"
@@ -42,6 +44,17 @@ type RunConfig struct {
 	// Profile instruments the generated code so the run collects a
 	// profile.Data (returned in Result.Profile; see internal/profile).
 	Profile bool
+	// Fuel bounds total EU instructions (0 = unlimited); a run that exceeds
+	// it fails with an error wrapping earthsim.ErrFuelExhausted rather than
+	// hanging.
+	Fuel int64
+	// Deadline bounds host wall-clock time (0 = none); exceeding it fails
+	// with an error wrapping earthsim.ErrDeadline.
+	Deadline time.Duration
+	// Faults attaches a fault-injection model + reliable-messaging protocol
+	// to the simulated transport (see earthsim.FaultConfig and
+	// earthsim.ParseFaultSpec); nil runs the idealized reliable machine.
+	Faults *earthsim.FaultConfig
 }
 
 // Run executes the unit through the pipeline that compiled it (so trace

@@ -11,10 +11,27 @@ import (
 type Parser struct {
 	toks    []Token
 	pos     int
+	depth   int // current statement/expression nesting, bounded by maxParseDepth
 	errs    []error
 	structs map[string]bool // struct tags seen so far, for decl/expr disambiguation
 	file    *File
 }
+
+// maxParseDepth bounds statement and expression nesting. Adversarially deep
+// input (thousands of '(' or '{') must surface as a syntax error, not a
+// goroutine stack overflow — which recover() cannot catch.
+const maxParseDepth = 400
+
+// enter charges one level of recursion; callers pair it with `defer p.leave()`.
+func (p *Parser) enter() {
+	p.depth++
+	if p.depth > maxParseDepth {
+		p.errorf("nesting exceeds %d levels", maxParseDepth)
+		panic(bailout{})
+	}
+}
+
+func (p *Parser) leave() { p.depth-- }
 
 // bailout is panicked internally to abort parsing of one construct during
 // error recovery; it never escapes ParseFile.
@@ -323,6 +340,8 @@ func (p *Parser) parseStmtRecover() (s Stmt) {
 }
 
 func (p *Parser) parseStmt() Stmt {
+	p.enter()
+	defer p.leave()
 	switch p.cur().Kind {
 	case LBRACE:
 		return p.parseBlock()
@@ -508,6 +527,8 @@ func (p *Parser) parseSwitch() Stmt {
 func (p *Parser) parseExpr() Expr { return p.parseAssign() }
 
 func (p *Parser) parseAssign() Expr {
+	p.enter()
+	defer p.leave()
 	lhs := p.parseTernary()
 	switch p.cur().Kind {
 	case ASSIGN:
@@ -530,6 +551,8 @@ func (p *Parser) parseAssign() Expr {
 }
 
 func (p *Parser) parseTernary() Expr {
+	p.enter()
+	defer p.leave()
 	c := p.parseBinary(0)
 	if p.at(QUESTION) {
 		pos := p.next().Pos
@@ -598,7 +621,12 @@ func (p *Parser) parseBinary(minPrec int) Expr {
 	}
 }
 
+// parseUnary carries the depth guard: every unbounded expression recursion
+// (unary chains, parenthesized primaries, call arguments, index expressions)
+// passes through here before descending further.
 func (p *Parser) parseUnary() Expr {
+	p.enter()
+	defer p.leave()
 	switch p.cur().Kind {
 	case MINUS:
 		pos := p.next().Pos

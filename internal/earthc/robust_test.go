@@ -1,0 +1,65 @@
+package earthc
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMalformedCorpus feeds every file under testdata/malformed through the
+// parser. Each must produce a diagnostic — never a panic (the test binary
+// would crash) and never silent acceptance.
+func TestMalformedCorpus(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "malformed", "*.ec"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no malformed corpus files found")
+	}
+	for _, path := range files {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, perr := ParseFile(filepath.Base(path), string(src)); perr == nil {
+				t.Fatalf("parser accepted malformed input")
+			}
+		})
+	}
+}
+
+// TestDeepNesting drives each unbounded recursion path in the parser past
+// maxParseDepth. All must return a syntax error; none may overflow the stack.
+func TestDeepNesting(t *testing.T) {
+	cases := map[string]string{
+		"parens":  "int main() { return " + strings.Repeat("(", 20000) + "1" + strings.Repeat(")", 20000) + "; }",
+		"braces":  "int main() " + strings.Repeat("{", 20000) + strings.Repeat("}", 20000),
+		"unary":   "int main() { return " + strings.Repeat("!", 30000) + "1; }",
+		"assign":  "int main() { int x; x" + strings.Repeat(" = x", 30000) + " = 1; return x; }",
+		"ternary": "int main() { return " + strings.Repeat("1 ? 1 : ", 30000) + "0; }",
+		"ifelse":  "int main() { " + strings.Repeat("if (1) ", 20000) + "return 0; }",
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			_, err := ParseFile(name+".ec", src)
+			if err == nil {
+				t.Fatalf("deeply nested input parsed without error")
+			}
+			if !strings.Contains(err.Error(), "nesting exceeds") {
+				t.Fatalf("expected nesting diagnostic, got: %v", err)
+			}
+		})
+	}
+}
+
+// TestModerateNestingAccepted pins the guard's headroom: realistic nesting
+// depths stay well inside the limit.
+func TestModerateNestingAccepted(t *testing.T) {
+	src := "int main() { return " + strings.Repeat("(", 50) + "1" + strings.Repeat(")", 50) + "; }"
+	if _, err := ParseFile("ok.ec", src); err != nil {
+		t.Fatalf("50-level parens rejected: %v", err)
+	}
+}

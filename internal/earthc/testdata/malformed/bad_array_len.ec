@@ -1,0 +1,5 @@
+int main() {
+    int a[-3];
+    int b[];
+    return a[0;
+}

@@ -1,0 +1,4 @@
+int f(int x) { return x; }
+int main() {
+    return f(1) @ NOWHERE(2);
+}

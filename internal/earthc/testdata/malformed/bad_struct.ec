@@ -1,0 +1,5 @@
+struct node {
+    int val
+    struct node *next;;;
+};
+int main() { struct node n; return n.; }

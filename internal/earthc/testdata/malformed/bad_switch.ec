@@ -1,0 +1,5 @@
+int main() {
+    switch (1) {
+        banana: return 2;
+    }
+}

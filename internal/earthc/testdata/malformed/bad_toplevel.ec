@@ -1,0 +1,3 @@
+@@@ ??? ;;; }}}
+int 42() { return; }
+struct { } anonymous;

@@ -1,0 +1,3 @@
+int main() {
+    int x = 1;
+    if (x >

@@ -1,0 +1,3 @@
+int main() {
+    while (1) {
+        int y = (3 +

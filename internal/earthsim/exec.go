@@ -45,6 +45,12 @@ func (m *Machine) execFiber(f *fiber, t *int64) {
 		}
 		in := &f.code.Code[f.pc]
 		m.counts.Instructions++
+		if m.counts.Instructions >= m.nextLimitCheck {
+			m.limitCheck()
+			if m.trap != nil {
+				return
+			}
+		}
 		f.ninstr++
 		if f.ninstr > m.maxFiberInstr {
 			m.trapf("fiber runaway: %s@%d executed %d instructions (infinite loop?)",
@@ -437,6 +443,7 @@ func (m *Machine) execFiber(f *fiber, t *int64) {
 		case threaded.OpFence:
 			if f.outstanding > 0 {
 				f.waitFence = true
+				m.park(f)
 				return
 			}
 
@@ -533,6 +540,7 @@ func (m *Machine) execFiber(f *fiber, t *int64) {
 		case threaded.OpJoin:
 			if f.children > 0 {
 				f.waitJoin = true
+				m.park(f)
 				return
 			}
 
@@ -575,6 +583,7 @@ func (m *Machine) execFiber(f *fiber, t *int64) {
 			// Fiber end: fence outstanding communication, then report.
 			if f.outstanding > 0 {
 				f.waitFence = true
+				m.park(f)
 				return
 			}
 			m.finishFiber(f, *t, val)

@@ -15,8 +15,10 @@ package earthsim
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/profile"
 	"repro/internal/threaded"
@@ -61,6 +63,14 @@ type Config struct {
 	// allocation before it exhausts the host (0 = default 16M words,
 	// i.e. 128 MiB per node).
 	MaxNodeWords int64
+	// Fuel bounds total EU instructions across all fibers (0 = unlimited);
+	// exceeding it returns an error wrapping ErrFuelExhausted. Granularity
+	// is limitCheckInterval instructions.
+	Fuel int64
+
+	// Faults, when non-nil, switches the machine to the lossy transport +
+	// reliable-messaging protocol (see fault.go). Nil costs nothing.
+	Faults *FaultConfig
 }
 
 // DefaultConfig returns the calibrated EARTH-MANNA model.
@@ -126,6 +136,25 @@ type Result struct {
 	// Profile carries the per-site measurements of a profiled program
 	// (prog.Profiled; see internal/profile), nil otherwise.
 	Profile *profile.Data
+	// Faults counts injected faults and retries, nil when Config.Faults
+	// was nil.
+	Faults *FaultStats
+}
+
+// Visible renders the program-visible outcome: output, main's return value,
+// and the dynamic operation counts — excluding Time, Profile and Faults,
+// which legitimately vary with the transport. The reliable-messaging
+// invariant (locked in by tests) is that any run that completes under fault
+// injection has a Visible value byte-identical to the fault-free run.
+func (r *Result) Visible() string {
+	// Instructions is excluded: a blocked instruction re-executes when its
+	// operand's fill arrives, so the attempt count varies with timing (and
+	// hence with injected faults) even though the data-flow semantics — every
+	// issue counter, the output, the return value — do not. Time and Faults
+	// are likewise timing, not semantics.
+	c := r.Counts
+	c.Instructions = 0
+	return fmt.Sprintf("ret=%#x counts=[%s] output=%q", uint64(r.MainRet), c, r.Output)
 }
 
 // ------------------------------------------------------------------ events ---
@@ -136,17 +165,20 @@ const (
 	evEURun eventKind = iota
 	evSUEffect
 	evNetArrive
+	evRetry // reliable-messaging retransmit timer (fault mode only)
 )
 
 // event is a scheduled simulator action, stored by value in the queue. An
-// event with a message advances that message's lifecycle (msgAdvance); one
-// without runs the node's EU.
+// event with a message advances that message's lifecycle (msgAdvance); an
+// evRetry fires a transaction's retransmit timer; anything else runs the
+// node's EU.
 type event struct {
 	time int64
 	seq  int64
 	kind eventKind
 	node int
 	g    *msg
+	tx   *txn
 }
 
 // eventQ is an inlined 4-ary min-heap of events ordered by (time, seq).
@@ -326,6 +358,11 @@ type fiber struct {
 	route  replyRoute
 	done   bool
 	ninstr int64
+
+	// parkListed/parkNext thread the fiber onto the machine's intrusive
+	// blocked-fiber list the first time it blocks (see park).
+	parkListed bool
+	parkNext   *fiber
 }
 
 // addPending registers an outstanding fill for an absolute frame offset.
@@ -367,6 +404,26 @@ type Machine struct {
 	scratch       []int64         // EU scratch for call arguments / block payloads
 	prof          *profile.Data   // non-nil when prog.Profiled
 	tr            *trace.Recorder // nil: tracing disabled (the common case)
+
+	// Run limits (see limits.go).
+	fuel           int64 // total EU instruction budget
+	nextLimitCheck int64 // next Instructions value at which to run limitCheck
+	wallLimit      time.Duration
+	wallDeadline   time.Time
+	lastTime       int64  // last dispatched event time (for limit messages)
+	parkedHead     *fiber // intrusive list of fibers that have blocked
+
+	// Fault injection + reliable messaging (see fault.go); all nil/zero
+	// when cfg.Faults is nil.
+	flt        *FaultConfig
+	rngState   uint64
+	nextTxn    uint64
+	txns       map[uint64]*txn     // open transactions by sequence number
+	seen       map[uint64]svcCache // receiver-side serviced sequence numbers
+	linkNext   map[uint32]uint64   // sender-side next request lseq per directed link
+	linkExpect map[uint32]uint64   // receiver-side next lseq to service per directed link
+	linkHold   map[linkPos]*msg    // out-of-order requests parked until the gap fills
+	fstats     *FaultStats
 }
 
 // New loads a threaded program onto a fresh machine.
@@ -378,6 +435,22 @@ func New(prog *threaded.Program, cfg Config) *Machine {
 		events: make(eventQ, 0, 256), scratch: make([]int64, 0, 64)}
 	if m.maxFiberInstr == 0 {
 		m.maxFiberInstr = 2_000_000_000
+	}
+	m.fuel = cfg.Fuel
+	if m.fuel <= 0 {
+		m.fuel = math.MaxInt64
+	}
+	m.nextLimitCheck = limitCheckInterval
+	if cfg.Faults != nil {
+		m.flt = cfg.Faults
+		// Mix the seed so Seed 0 still yields a well-distributed stream.
+		m.rngState = cfg.Faults.Seed ^ 0x6C62272E07BB0142
+		m.txns = make(map[uint64]*txn)
+		m.seen = make(map[uint64]svcCache)
+		m.linkNext = make(map[uint32]uint64)
+		m.linkExpect = make(map[uint32]uint64)
+		m.linkHold = make(map[linkPos]*msg)
+		m.fstats = &FaultStats{}
 	}
 	if prog.Profiled {
 		m.prof = profile.New()
@@ -424,6 +497,10 @@ func (m *Machine) dispatch(ev event) {
 		m.msgAdvance(ev.g, ev.time)
 		return
 	}
+	if ev.kind == evRetry {
+		m.retryFire(ev.tx, ev.time)
+		return
+	}
 	m.runEU(m.nodes[ev.node], ev.time)
 }
 
@@ -441,21 +518,28 @@ func (m *Machine) Run() (*Result, error) {
 	if maxEvents == 0 {
 		maxEvents = 500_000_000
 	}
+	if m.wallLimit > 0 {
+		m.wallDeadline = time.Now().Add(m.wallLimit)
+	}
 	main := m.newFiber(0, m.prog.Main, nil, replyRoute{kind: 0})
 	m.mainFiber = main
 	m.enqueueReady(m.nodes[0], main, 0)
 
-	var now int64
 	for len(m.events) > 0 {
 		if m.trap != nil {
 			return nil, m.trap
 		}
 		m.nEvents++
 		if m.nEvents > maxEvents {
-			return nil, fmt.Errorf("earthsim: event budget exceeded (%d events, t=%dns) — livelock? %s", m.nEvents, now, m.fiberStates())
+			return nil, fmt.Errorf("earthsim: %w: event budget exceeded (%d events, t=%dns) — livelock? %s%s",
+				ErrFuelExhausted, m.nEvents, m.lastTime, m.fiberStates(), m.blockedReport())
+		}
+		if m.wallLimit > 0 && m.nEvents&4095 == 0 && time.Now().After(m.wallDeadline) {
+			return nil, fmt.Errorf("earthsim: %w: host wall clock exceeded %s (t=%dns, %d events)",
+				ErrDeadline, m.wallLimit, m.lastTime, m.nEvents)
 		}
 		ev := m.events.pop()
-		now = ev.time
+		m.lastTime = ev.time
 		m.dispatch(ev)
 		if m.mainDone && m.liveFibers == 0 {
 			break
@@ -465,12 +549,16 @@ func (m *Machine) Run() (*Result, error) {
 		return nil, m.trap
 	}
 	if !m.mainDone {
-		return nil, fmt.Errorf("earthsim: deadlock — event queue drained with main incomplete (%d live fibers)", m.liveFibers)
+		return nil, fmt.Errorf("earthsim: %w — event queue drained with main incomplete (%d live fibers)%s",
+			ErrDeadlock, m.liveFibers, m.blockedReport())
 	}
 	res := &Result{Time: m.mainTime, Counts: m.counts, Output: m.renderOutput(), MainRet: m.mainRet}
 	if m.prof != nil {
 		m.prof.Runs = 1
 		res.Profile = m.prof
+	}
+	if m.fstats != nil {
+		res.Faults = m.fstats
 	}
 	return res, nil
 }

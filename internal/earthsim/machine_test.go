@@ -1,6 +1,8 @@
 package earthsim
 
 import (
+	"errors"
+	"strings"
 	"testing"
 
 	"repro/internal/threaded"
@@ -129,8 +131,18 @@ func TestDeadlockDetection(t *testing.T) {
 	// frame lands at the current heap top.
 	base := m.nodes[0].heapTop
 	m.nodes[0].pending[base+1] = 1
-	if _, err := m.Run(); err == nil {
-		t.Error("expected a deadlock error for an unfillable pending slot")
+	_, err := m.Run()
+	if err == nil {
+		t.Fatal("expected a deadlock error for an unfillable pending slot")
+	}
+	if !errors.Is(err, ErrDeadlock) {
+		t.Errorf("deadlock error does not wrap ErrDeadlock: %v", err)
+	}
+	// The diagnostic must name the stuck fiber and the slot it waits on.
+	for _, want := range []string{"blocked fibers", "main@", "frame slot 1"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("deadlock report missing %q: %v", want, err)
+		}
 	}
 }
 

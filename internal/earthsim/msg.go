@@ -39,6 +39,8 @@ type msg struct {
 	flt   bool             // shared add on float bits
 	size  int              // block payload words / remote allocation size
 	mid   int64            // trace message id (0 when tracing is off)
+	seq   uint64           // reliable-messaging transaction number (fault mode)
+	lseq  uint64           // per-(src,dst)-link request order (fault mode)
 	fn    *threaded.FnCode // RPC callee
 	args  []int64          // RPC arguments (capacity retained across reuse)
 	vals  []int64          // block payload (capacity retained across reuse)
@@ -54,8 +56,8 @@ var msgLabels = [trace.ClassShared + 1][5]string{
 	trace.ClassBlkGet: {"blkget.req", "blkget", "blkget.svc", "blkget.reply", "blkget.reply"},
 	trace.ClassBlkPut: {"blkput.req", "blkput", "blkput.svc", "blkput.ack", "blkput.ack"},
 	trace.ClassAlloc:  {"alloc.req", "alloc", "alloc.svc", "alloc.reply", "alloc.reply"},
-	trace.ClassRPC:    {"rpc.req", "rpc", "rpc.svc", "", ""},
-	trace.ClassReply:  {"reply.req", "reply", "reply.svc", "", ""},
+	trace.ClassRPC:    {"rpc.req", "rpc", "rpc.svc", "rpc.ack", "rpc.ack"},
+	trace.ClassReply:  {"reply.req", "reply", "reply.svc", "reply.ack", "reply.ack"},
 	trace.ClassShared: {"shared.req", "shared", "shared.svc", "shared.reply", "shared.reply"},
 }
 
@@ -83,8 +85,13 @@ func (m *Machine) putMsg(g *msg) {
 // suSched queues the message's next hop on a node's SU: the SU is a serial
 // resource, so the hop completes at max(suFree, t) + svc. The caller sets
 // g.stage to the hop being scheduled first. Trace spans never influence the
-// schedule.
+// schedule. In fault mode the SU may first stall, pushing its free time.
 func (m *Machine) suSched(n *node, t, svc int64, g *msg) {
+	if m.flt != nil && m.flt.Stall > 0 && m.chance(m.flt.Stall) {
+		m.fstats.Stalls++
+		m.tr.Fault(trace.FaultStall, g.class, g.mid, n.id, 0, t)
+		n.suFree = max(n.suFree, t) + m.flt.stallNs()
+	}
 	start := max(n.suFree, t)
 	done := start + svc
 	n.suFree = done
@@ -95,14 +102,49 @@ func (m *Machine) suSched(n *node, t, svc int64, g *msg) {
 // netSched sends the message's next hop over the point-to-point link:
 // per-message latency plus per-word transfer time, FIFO per (src, dst)
 // pair. The traced span covers send to arrival (wire time plus queuing).
+//
+// In fault mode the hop runs the injection gauntlet in a fixed draw order
+// (drop, then delay, then duplicate — each consulted only when its
+// probability is nonzero, keeping the PRNG stream stable across specs that
+// disable a distribution). A dropped hop vanishes without advancing the
+// link's FIFO clock; a duplicated hop delivers a cloned copy one ns behind
+// the original on the same link.
 func (m *Machine) netSched(src, dst *node, t int64, words int, g *msg) {
-	arrive := t + m.cfg.NetLatency + m.cfg.NetPerWord*int64(words)
+	lat := m.cfg.NetLatency + m.cfg.NetPerWord*int64(words)
+	var dup *msg
+	if m.flt != nil {
+		f := m.flt
+		if f.Drop > 0 && m.chance(f.Drop) {
+			m.fstats.Drops++
+			m.tr.Fault(trace.FaultDrop, g.class, g.mid, src.id, 0, t)
+			m.putMsg(g)
+			return
+		}
+		if f.Delay > 0 {
+			if extra := m.rndN(f.Delay + 1); extra > 0 {
+				m.fstats.Delayed++
+				lat += extra * m.cfg.NetLatency
+			}
+		}
+		if f.Dup > 0 && m.chance(f.Dup) {
+			m.fstats.Dups++
+			m.tr.Fault(trace.FaultDup, g.class, g.mid, src.id, 0, t)
+			dup = m.cloneMsg(g)
+		}
+	}
+	arrive := t + lat
 	if arrive <= src.netLast[dst.id] {
 		arrive = src.netLast[dst.id] + 1
 	}
 	src.netLast[dst.id] = arrive
 	m.tr.NetSpan(src.id, dst.id, msgLabels[g.class][g.stage-1], g.mid, words, t, arrive)
 	m.schedule(arrive, evNetArrive, dst.id, g)
+	if dup != nil {
+		arrive++
+		src.netLast[dst.id] = arrive
+		m.tr.NetSpan(src.id, dst.id, msgLabels[dup.class][dup.stage-1], dup.mid, words, t, arrive)
+		m.schedule(arrive, evNetArrive, dst.id, dup)
+	}
 }
 
 // netWords is the wire payload of the request (fwd) or reply (back) leg.
@@ -131,8 +173,14 @@ func (g *msg) netWords(back bool) int {
 	case trace.ClassShared:
 		return 1
 	case trace.ClassRPC:
+		if back {
+			return 0 // ack leg (fault mode only)
+		}
 		return len(g.args)
 	case trace.ClassReply:
+		if back {
+			return 0 // ack leg (fault mode only)
+		}
 		return 1
 	}
 	return 0
@@ -158,6 +206,8 @@ func (m *Machine) svcReply(g *msg) int64 {
 		return m.cfg.SUAck
 	case trace.ClassBlkGet:
 		return m.cfg.SUBlock + m.cfg.SUBlockWord*int64(g.size-1)
+	case trace.ClassRPC, trace.ClassReply:
+		return m.cfg.SUAck // protocol ack leg (fault mode only)
 	}
 	return m.cfg.SUService
 }
@@ -182,9 +232,40 @@ func (m *Machine) msgAdvance(g *msg, t int64) {
 }
 
 // msgService applies the serviced node's memory effect (stage 3) and, for
-// round-trip classes, sends the reply; RPC and Reply terminate here.
+// round-trip classes, sends the reply. Without a fault model RPC and Reply
+// terminate here (one-way); with one they continue into an ack leg, and
+// duplicate request copies skip the effect, replaying the cached reply
+// instead (exactly-once semantics for non-idempotent effects like
+// allocation, shared-add and fiber spawn).
 func (m *Machine) msgService(g *msg, t int64) {
 	dstID := g.dst.id
+	if m.flt != nil {
+		if c, dup := m.seen[g.seq]; dup {
+			m.fstats.DupSuppressed++
+			m.tr.Fault(trace.FaultDupSuppress, g.class, g.mid, dstID, 0, t)
+			g.val = c.val
+			g.vals = append(g.vals[:0], c.vals...)
+			g.stage = 4
+			m.netSched(g.dst, g.src, t, g.netWords(true), g)
+			return
+		}
+		// In-order delivery: a request that arrives ahead of a gap in its
+		// link's sequence (an earlier request was dropped and is still being
+		// retried) parks in the reorder buffer; the gap-filler drains it.
+		key := linkKey(g.src, g.dst)
+		if g.lseq != m.linkExpect[key] {
+			pos := linkPos{key, g.lseq}
+			if _, held := m.linkHold[pos]; held {
+				// A duplicate copy of an already-parked request.
+				m.fstats.DupSuppressed++
+				m.tr.Fault(trace.FaultDupSuppress, g.class, g.mid, dstID, 0, t)
+				m.putMsg(g)
+			} else {
+				m.linkHold[pos] = g
+			}
+			return
+		}
+	}
 	switch g.class {
 	case trace.ClassGet:
 		g.val = m.memWord(dstID, g.off)
@@ -221,25 +302,58 @@ func (m *Machine) msgService(g *msg, t int64) {
 			kind: 2, rpcNode: g.src.id, rpcFiber: g.f, rpcSlot: int(g.abs),
 		})
 		m.enqueueReady(g.dst, child, t)
-		m.tr.MsgDone(g.mid, t)
-		m.putMsg(g)
-		return
+		if m.flt == nil {
+			m.tr.MsgDone(g.mid, t)
+			m.putMsg(g)
+			return
+		}
 	case trace.ClassReply:
 		if g.abs >= 0 {
 			m.fill(g.f, g.abs, g.val, t)
 		} else {
 			m.ack(g.f, t)
 		}
-		m.tr.MsgDone(g.mid, t)
-		m.putMsg(g)
-		return
+		if m.flt == nil {
+			m.tr.MsgDone(g.mid, t)
+			m.putMsg(g)
+			return
+		}
+	}
+	if m.flt != nil {
+		c := svcCache{val: g.val}
+		if len(g.vals) > 0 {
+			c.vals = append([]int64(nil), g.vals...)
+		}
+		m.seen[g.seq] = c
+		// This service filled the link's sequence gap; if its successor is
+		// already parked in the reorder buffer, queue it on the SU (full
+		// service cost). Each drained request drains the next in turn.
+		key := linkKey(g.src, g.dst)
+		m.linkExpect[key]++
+		pos := linkPos{key, m.linkExpect[key]}
+		if held, ok := m.linkHold[pos]; ok {
+			delete(m.linkHold, pos)
+			m.suSched(g.dst, t, m.svcRemote(held), held)
+		}
 	}
 	g.stage = 4
 	m.netSched(g.dst, g.src, t, g.netWords(true), g)
 }
 
-// msgComplete delivers the reply into the issuing fiber (stage 5).
+// msgComplete delivers the reply into the issuing fiber (stage 5). In fault
+// mode this is the sender-side end of the transaction: the first reply copy
+// completes it (delivering exactly once) and later copies are discarded.
 func (m *Machine) msgComplete(g *msg, t int64) {
+	if m.flt != nil {
+		tx := m.txns[g.seq]
+		if tx == nil || tx.done {
+			m.fstats.DupSuppressed++
+			m.tr.Fault(trace.FaultDupSuppress, g.class, g.mid, g.src.id, 0, t)
+			m.putMsg(g)
+			return
+		}
+		m.finishTxn(tx)
+	}
 	switch g.class {
 	case trace.ClassGet, trace.ClassAlloc:
 		m.fill(g.f, g.abs, g.val, t)
@@ -253,6 +367,8 @@ func (m *Machine) msgComplete(g *msg, t int64) {
 		} else {
 			m.ack(g.f, t)
 		}
+		// ClassRPC/ClassReply acks carry no payload: the semantic effect
+		// happened at stage 3, exactly once; completing the txn is all.
 	}
 	m.tr.MsgDone(g.mid, t)
 	m.putMsg(g)
@@ -301,6 +417,7 @@ func (m *Machine) writeBlock(n *node, off int64, vals []int64) {
 // fill arrives.
 func (m *Machine) block(f *fiber, abs int64) {
 	f.waitSlot = abs
+	m.park(f)
 	n := f.node
 	for _, w := range n.waiters[abs] {
 		if w == f {
@@ -395,8 +512,7 @@ func (m *Machine) issueGet(f *fiber, t int64, addr, abs int64, site string) {
 	g.class, g.f, g.src, g.dst = trace.ClassGet, f, src, m.nodes[dstID]
 	g.off, g.abs = threaded.AddrOff(addr), abs
 	g.mid = m.tr.MsgIssue(trace.ClassGet, site, src.id, dstID, f.id, 1, t)
-	g.stage = 1
-	m.suSched(src, t, m.cfg.SUService, g)
+	m.sendMsg(g, t, m.cfg.SUService)
 }
 
 // issuePut starts a split-phase scalar write.
@@ -419,8 +535,7 @@ func (m *Machine) issuePut(f *fiber, t int64, addr, val int64, site string) {
 	g.class, g.f, g.src, g.dst = trace.ClassPut, f, src, m.nodes[dstID]
 	g.off, g.val = threaded.AddrOff(addr), val
 	g.mid = m.tr.MsgIssue(trace.ClassPut, site, src.id, dstID, f.id, 1, t)
-	g.stage = 1
-	m.suSched(src, t, m.cfg.SUService, g)
+	m.sendMsg(g, t, m.cfg.SUService)
 }
 
 // issueBlkGet starts a split-phase block read of size words.
@@ -448,8 +563,7 @@ func (m *Machine) issueBlkGet(f *fiber, t int64, addr, abs int64, size int, site
 	g.class, g.f, g.src, g.dst = trace.ClassBlkGet, f, src, m.nodes[dstID]
 	g.off, g.abs, g.size = threaded.AddrOff(addr), abs, size
 	g.mid = m.tr.MsgIssue(trace.ClassBlkGet, site, src.id, dstID, f.id, size, t)
-	g.stage = 1
-	m.suSched(src, t, m.cfg.SUBlock, g)
+	m.sendMsg(g, t, m.cfg.SUBlock)
 }
 
 // issueBlkPut starts a split-phase block write. vals may be a scratch
@@ -475,8 +589,7 @@ func (m *Machine) issueBlkPut(f *fiber, t int64, addr int64, vals []int64, site 
 	g.off, g.size = threaded.AddrOff(addr), size
 	g.vals = append(g.vals[:0], vals...)
 	g.mid = m.tr.MsgIssue(trace.ClassBlkPut, site, src.id, dstID, f.id, size, t)
-	g.stage = 1
-	m.suSched(src, t, m.cfg.SUBlock+m.cfg.SUBlockWord*int64(size-1), g)
+	m.sendMsg(g, t, m.cfg.SUBlock+m.cfg.SUBlockWord*int64(size-1))
 }
 
 // issueAlloc performs a remote allocation, delivering the address into a
@@ -489,8 +602,7 @@ func (m *Machine) issueAlloc(f *fiber, t int64, nodeID, size int, abs int64, sit
 	g.class, g.f, g.src, g.dst = trace.ClassAlloc, f, src, m.nodes[nodeID]
 	g.abs, g.size = abs, size
 	g.mid = m.tr.MsgIssue(trace.ClassAlloc, site, src.id, nodeID, f.id, 1, t)
-	g.stage = 1
-	m.suSched(src, t, m.cfg.SUService, g)
+	m.sendMsg(g, t, m.cfg.SUService)
 }
 
 // issueInvoke performs a remote function invocation (the placed-call
@@ -506,8 +618,7 @@ func (m *Machine) issueInvoke(f *fiber, t int64, nodeID int, fn *threaded.FnCode
 	g.fn, g.abs = fn, retAbs
 	g.args = append(g.args[:0], args...)
 	g.mid = m.tr.MsgIssue(trace.ClassRPC, site, src.id, nodeID, f.id, len(args), t)
-	g.stage = 1
-	m.suSched(src, t, m.cfg.SUService, g)
+	m.sendMsg(g, t, m.cfg.SUService)
 }
 
 // issueShared performs a remote atomic shared-variable operation.
@@ -524,8 +635,7 @@ func (m *Machine) issueShared(f *fiber, t int64, addr int64, op int, val int64,
 	g.class, g.f, g.src, g.dst = trace.ClassShared, f, src, m.nodes[dstID]
 	g.off, g.abs, g.op, g.val, g.flt = threaded.AddrOff(addr), replyAbs, op, val, flt
 	g.mid = m.tr.MsgIssue(trace.ClassShared, site, src.id, dstID, f.id, 1, t)
-	g.stage = 1
-	m.suSched(src, t, m.cfg.SUService, g)
+	m.sendMsg(g, t, m.cfg.SUService)
 }
 
 // finishFiber completes a fiber: frees its frame (unless shared) and
@@ -556,7 +666,6 @@ func (m *Machine) finishFiber(f *fiber, t int64, val int64) {
 		g.class, g.f, g.src, g.dst = trace.ClassReply, f.route.rpcFiber, n, m.nodes[f.route.rpcNode]
 		g.abs, g.val = int64(f.route.rpcSlot), val
 		g.mid = m.tr.MsgIssue(trace.ClassReply, f.code.Name, n.id, g.dst.id, f.id, 1, t+m.cfg.EUIssue)
-		g.stage = 1
-		m.suSched(n, t+m.cfg.EUIssue, m.cfg.SUService, g)
+		m.sendMsg(g, t+m.cfg.EUIssue, m.cfg.SUService)
 	}
 }

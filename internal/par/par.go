@@ -52,27 +52,39 @@ func (p *Pool) Busy() time.Duration {
 	return time.Duration(p.busy.Load())
 }
 
+// WorkerPanic wraps a panic raised inside a ForEach body, carrying the item
+// index so callers can attribute the failure to the work item (e.g. the
+// function being analyzed). ForEach re-raises it in the caller.
+type WorkerPanic struct {
+	Index int
+	Value any
+}
+
 // ForEach runs fn(i) for every i in [0, n), using at most p.Workers()
 // goroutines, and returns once all calls have completed. Iteration order is
 // unspecified when parallel; see the package comment for the determinism
-// discipline callers must follow. A panic in fn is re-raised in the caller.
+// discipline callers must follow. A panic in fn is re-raised in the caller
+// as a WorkerPanic identifying the item.
 func (p *Pool) ForEach(n int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
 	if p == nil || p.workers <= 1 || n == 1 {
 		start := time.Now()
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
 		if p != nil {
-			p.busy.Add(int64(time.Since(start)))
+			defer func() { p.busy.Add(int64(time.Since(start))) }()
+		}
+		for i := 0; i < n; i++ {
+			func() {
+				defer wrapPanic(i)
+				fn(i)
+			}()
 		}
 		return
 	}
 	w := min(p.workers, n)
 	var next atomic.Int64
-	var panicked atomic.Pointer[panicValue]
+	var panicked atomic.Pointer[WorkerPanic]
 	var wg sync.WaitGroup
 	wg.Add(w)
 	for g := 0; g < w; g++ {
@@ -80,9 +92,6 @@ func (p *Pool) ForEach(n int, fn func(i int)) {
 			start := time.Now()
 			defer func() {
 				p.busy.Add(int64(time.Since(start)))
-				if e := recover(); e != nil {
-					panicked.CompareAndSwap(nil, &panicValue{e})
-				}
 				wg.Done()
 			}()
 			for {
@@ -90,16 +99,30 @@ func (p *Pool) ForEach(n int, fn func(i int)) {
 				if i >= n {
 					return
 				}
-				fn(i)
+				// Recover per item (not per worker) so the panic carries the
+				// item index and one bad item doesn't strand the worker's
+				// remaining share; the first panic wins and is re-raised.
+				func() {
+					defer func() {
+						if e := recover(); e != nil {
+							panicked.CompareAndSwap(nil, &WorkerPanic{Index: i, Value: e})
+						}
+					}()
+					fn(i)
+				}()
 			}
 		}()
 	}
 	wg.Wait()
 	if pv := panicked.Load(); pv != nil {
-		panic(pv.v)
+		panic(*pv)
 	}
 }
 
-// panicValue carries a worker panic back to the caller; the pointer wrapper
-// gives atomic.Pointer a single concrete type regardless of what was thrown.
-type panicValue struct{ v any }
+// wrapPanic converts a panic escaping fn(i) on the serial path into the
+// same WorkerPanic the parallel path raises.
+func wrapPanic(i int) {
+	if e := recover(); e != nil {
+		panic(WorkerPanic{Index: i, Value: e})
+	}
+}

@@ -204,13 +204,13 @@ type genOut struct {
 }
 
 // Analyze runs the analysis over a SIMPLE program.
-func Analyze(prog *simple.Program) *Result {
+func Analyze(prog *simple.Program) (*Result, error) {
 	return AnalyzeP(prog, nil)
 }
 
 // AnalyzeP is Analyze with constraint generation fanned across pool (nil
 // pool runs inline). The result is identical regardless of pool width.
-func AnalyzeP(prog *simple.Program, pool *par.Pool) *Result {
+func AnalyzeP(prog *simple.Program, pool *par.Pool) (*Result, error) {
 	r := &Result{
 		Prog:      prog,
 		VarPts:    make(map[*simple.Var]LocSet),
@@ -260,11 +260,12 @@ func AnalyzeP(prog *simple.Program, pool *par.Pool) *Result {
 		}
 		if pass > 200 {
 			// Termination is guaranteed (finite lattice, monotone), but
-			// guard against bugs.
-			panic("pointsto: fixpoint did not converge")
+			// guard against bugs — as a returned error, not a crash, since
+			// any source program can reach this path.
+			return nil, fmt.Errorf("pointsto: fixpoint did not converge after %d passes over %d constraints (internal invariant violated)", pass, len(cons))
 		}
 	}
-	return r
+	return r, nil
 }
 
 // ------------------------------------------------------------- generation ---

@@ -61,6 +61,12 @@ func (r *Recorder) WriteChrome(w io.Writer) error {
 					s.Node, chromeTidNet, jstr(s.Name), micros(s.Start), micros(s.End-s.Start), s.MsgID, s.Dst, s.Words))
 			}
 		}
+		for i := range r.faults {
+			fe := &r.faults[i]
+			emit(fmt.Sprintf(`{"ph":"i","pid":%d,"tid":%d,"name":%s,"cat":"fault","ts":%s,"s":"t","args":{"msg":%d,"class":%s,"attempt":%d}}`,
+				fe.Node, chromeTidSU, jstr(fe.Kind.String()), micros(fe.Time),
+				fe.MsgID, jstr(fe.Class.String()), fe.Attempt))
+		}
 		for i := range r.msgs {
 			m := &r.msgs[i]
 			end := m.Done

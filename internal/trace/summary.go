@@ -127,6 +127,23 @@ type LinkStats struct {
 	Busy     int64 // ns the link was occupied
 }
 
+// FaultSummary aggregates the recording's fault-injection and
+// reliable-messaging events (all zero for a fault-free run).
+type FaultSummary struct {
+	Kinds   [NumFaultKinds]int64 // event counts by FaultKind
+	Retries [NumClasses]int64    // retransmissions by message class
+	Drops   [NumClasses]int64    // wire drops by message class
+}
+
+// Total is the number of fault events of any kind.
+func (f *FaultSummary) Total() int64 {
+	var n int64
+	for _, c := range f.Kinds {
+		n += c
+	}
+	return n
+}
+
 // Summary is the reduced view of a recording.
 type Summary struct {
 	Nodes   int
@@ -135,6 +152,7 @@ type Summary struct {
 	Sites   []SiteStats // sorted by total ops, descending
 	PerNode []NodeStats
 	Links   []LinkStats // sorted (src, dst)
+	Faults  FaultSummary
 }
 
 // Summarize reduces the recording. Deterministic: equal recordings produce
@@ -232,6 +250,22 @@ func (r *Recorder) Summarize() *Summary {
 			ls.Busy += sp.End - sp.Start
 		}
 	}
+	for i := range r.faults {
+		fe := &r.faults[i]
+		if fe.Kind < 0 || fe.Kind >= NumFaultKinds {
+			continue
+		}
+		s.Faults.Kinds[fe.Kind]++
+		if fe.Class >= 0 && fe.Class < NumClasses {
+			switch fe.Kind {
+			case FaultRetry:
+				s.Faults.Retries[fe.Class]++
+			case FaultDrop:
+				s.Faults.Drops[fe.Class]++
+			}
+		}
+	}
+
 	s.PerNode = nodes
 	for _, ls := range links {
 		s.Links = append(s.Links, *ls)
@@ -323,6 +357,26 @@ func (s *Summary) String() string {
 				ns.Node, ns.EUBusy, pct(ns.EUBusy, s.Horizon), ns.EURuns,
 				ns.SUBusy, pct(ns.SUBusy, s.Horizon), ns.SUTasks,
 				ns.SUQueue.Mean(), ns.MaxQueue, ns.SUDelay.Mean())
+		}
+	}
+
+	if s.Faults.Total() > 0 {
+		fmt.Fprintf(&b, "\nfault injection:\n")
+		fmt.Fprintf(&b, "  %-14s", "kind")
+		for k := FaultKind(0); k < NumFaultKinds; k++ {
+			fmt.Fprintf(&b, " %12s", k)
+		}
+		fmt.Fprintf(&b, "\n  %-14s", "events")
+		for k := FaultKind(0); k < NumFaultKinds; k++ {
+			fmt.Fprintf(&b, " %12d", s.Faults.Kinds[k])
+		}
+		fmt.Fprintf(&b, "\n\n  per-class reliable-messaging activity:\n")
+		fmt.Fprintf(&b, "    %-8s %10s %10s\n", "class", "retries", "drops")
+		for c := Class(0); c < NumClasses; c++ {
+			if s.Faults.Retries[c] == 0 && s.Faults.Drops[c] == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "    %-8s %10d %10d\n", c, s.Faults.Retries[c], s.Faults.Drops[c])
 		}
 	}
 

@@ -101,9 +101,10 @@ type Span struct {
 // the simulator is single-threaded and calls it from its event loop only.
 // A nil *Recorder is a valid, disabled sink: every method is nil-safe.
 type Recorder struct {
-	nodes int
-	msgs  []Msg
-	spans []Span
+	nodes  int
+	msgs   []Msg
+	spans  []Span
+	faults []FaultEvent
 	// suPend tracks, per node, the completion times of SU tasks scheduled
 	// but not yet finished. The SU is serial and FIFO, so the slice is
 	// monotone and can be drained from the front (O(1) amortized).
@@ -124,6 +125,7 @@ func (r *Recorder) Reset() {
 	}
 	r.msgs = r.msgs[:0]
 	r.spans = r.spans[:0]
+	r.faults = r.faults[:0]
 	r.suPend = make(map[int][]int64)
 	r.horizon = 0
 }

@@ -19,5 +19,11 @@ go test ./...
 # The whole module must also be clean under the race detector: the compiler
 # fans per-function analysis across a worker pool, units are driven from
 # concurrent goroutines in tests, and the trace recorder is documented
-# single-threaded — this catches any accidental sharing.
+# single-threaded — this catches any accidental sharing. This leg also runs
+# the fault-injection / reliable-messaging tests (internal/earthsim,
+# internal/harness) under the race detector.
 go test -race ./...
+# Native-fuzz smoke leg: ten seconds of parser fuzzing, seeded from
+# testdata/ (including the malformed-input corpus). Catches panics the
+# hand-written corpus misses; a real finding lands in testdata/fuzz/.
+go test -fuzz=FuzzParse -fuzztime=10s -run '^$' ./internal/earthc
