@@ -1,0 +1,152 @@
+// Command benchdiff converts `go test -bench` output into the repo's
+// BENCH_*.json perf artifact and diffs a fresh run against a committed
+// baseline with per-metric tolerance thresholds. It replaces the awk
+// emitter that used to live in scripts/bench.sh.
+//
+// Usage:
+//
+//	go test -bench ... -benchmem | benchdiff -emit > BENCH_prN.json
+//	go test -bench ... -benchmem | benchdiff -baseline BENCH_prN.json
+//	benchdiff -baseline old.json -new new.json [-tol k=f,...] [-quick] [-v]
+//
+//	-emit             parse bench text on stdin, write the JSON artifact to
+//	                  stdout (no comparison)
+//	-baseline file    committed artifact to diff against
+//	-new file         fresh results: a BENCH JSON artifact, or raw `go
+//	                  test -bench` text (auto-detected); default stdin
+//	-tol k=f,...      override tolerance fractions per metric key, e.g.
+//	                  "ns_per_op=0.6,allocs_per_op=0.05"
+//	-quick            smoke mode for short -benchtime runs: every
+//	                  directional tolerance ×4 (exact metrics — simulated
+//	                  quantities like guest_instructions — stay exact)
+//	-v                print every compared metric, not just regressions
+//
+// Comparison covers the intersection of the two artifacts; baseline
+// benchmarks missing from the fresh run are listed as a warning (dropped
+// coverage), never silently ignored. Exit status: 0 clean, 1 regression
+// found, 2 usage or parse error.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+
+	"repro/internal/benchfmt"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	emit := fs.Bool("emit", false, "emit the JSON artifact for bench text on stdin")
+	baseline := fs.String("baseline", "", "committed BENCH_*.json to diff against")
+	newPath := fs.String("new", "", "fresh results (JSON artifact or bench text; default stdin)")
+	tol := fs.String("tol", "", "tolerance overrides, e.g. \"ns_per_op=0.6\"")
+	quick := fs.Bool("quick", false, "smoke mode: directional tolerances ×4, exact metrics stay exact")
+	verbose := fs.Bool("v", false, "print every compared metric")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *emit {
+		if *baseline != "" || *newPath != "" {
+			fmt.Fprintln(stderr, "benchdiff: -emit takes no -baseline/-new")
+			return 2
+		}
+		s, err := benchfmt.Parse(stdin)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchdiff:", err)
+			return 2
+		}
+		if len(s.Benchmarks) == 0 {
+			fmt.Fprintln(stderr, "benchdiff: no benchmark lines on stdin")
+			return 2
+		}
+		s.Go = runtime.Version()
+		if err := s.WriteJSON(stdout); err != nil {
+			fmt.Fprintln(stderr, "benchdiff:", err)
+			return 2
+		}
+		return 0
+	}
+
+	if *baseline == "" {
+		fmt.Fprintln(stderr, "benchdiff: -baseline (or -emit) is required")
+		fs.Usage()
+		return 2
+	}
+	base, err := benchfmt.ReadFile(*baseline)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+	cur, err := readFresh(*newPath, stdin)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+	if len(cur.Benchmarks) == 0 {
+		fmt.Fprintln(stderr, "benchdiff: fresh results contain no benchmarks")
+		return 2
+	}
+
+	th := benchfmt.DefaultThresholds()
+	if *quick {
+		th = th.Scale(4)
+	}
+	if th, err = th.Override(*tol); err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+
+	deltas := benchfmt.Compare(base, cur, th)
+	if len(deltas) == 0 {
+		fmt.Fprintln(stderr, "benchdiff: baseline and fresh results share no benchmarks")
+		return 2
+	}
+	bad := 0
+	for _, d := range deltas {
+		if d.Regressed {
+			bad++
+		}
+		if d.Regressed || *verbose {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	for _, name := range benchfmt.MissingFrom(base, cur) {
+		fmt.Fprintf(stderr, "benchdiff: warning: baseline benchmark %q missing from fresh results\n", name)
+	}
+	if bad > 0 {
+		fmt.Fprintf(stdout, "benchdiff: %d metric(s) regressed vs %s\n", bad, *baseline)
+		return 1
+	}
+	fmt.Fprintf(stdout, "benchdiff: %d metric(s) within tolerance of %s\n", len(deltas), *baseline)
+	return 0
+}
+
+// readFresh loads the fresh results from path (or stdin when path is "" or
+// "-"), accepting either a BENCH JSON artifact or raw bench text.
+func readFresh(path string, stdin io.Reader) (*benchfmt.Set, error) {
+	var raw []byte
+	var err error
+	if path == "" || path == "-" {
+		raw, err = io.ReadAll(stdin)
+	} else {
+		raw, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	trimmed := bytes.TrimLeft(raw, " \t\r\n")
+	if len(trimmed) > 0 && trimmed[0] == '{' {
+		return benchfmt.ParseJSON(bytes.NewReader(raw))
+	}
+	return benchfmt.Parse(bytes.NewReader(raw))
+}

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runDiff(t *testing.T, args []string, stdin string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	code = run(args, strings.NewReader(stdin), &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+const benchText = `BenchmarkSimulator-8   364   3374339 ns/op   257219 guest_instructions   9049000 B/op   258 allocs/op
+BenchmarkCompile-8     274   4545214 ns/op   2764087 B/op   28861 allocs/op
+`
+
+func writeBaseline(t *testing.T, benchOut string) string {
+	t.Helper()
+	code, artifact, stderr := runDiff(t, []string{"-emit"}, benchOut)
+	if code != 0 {
+		t.Fatalf("-emit failed (%d): %s", code, stderr)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_base.json")
+	if err := os.WriteFile(path, []byte(artifact), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCleanComparisonExitsZero(t *testing.T) {
+	base := writeBaseline(t, benchText)
+	code, out, stderr := runDiff(t, []string{"-baseline", base}, benchText)
+	if code != 0 {
+		t.Fatalf("self-comparison exited %d\nstdout: %s\nstderr: %s", code, out, stderr)
+	}
+	if !strings.Contains(out, "within tolerance") {
+		t.Errorf("stdout: %s", out)
+	}
+}
+
+func TestSyntheticRegressionExitsNonzero(t *testing.T) {
+	base := writeBaseline(t, benchText)
+	// ns/op doubled and the deterministic guest-instruction count drifted.
+	regressed := `BenchmarkSimulator-8   364   6748678 ns/op   257220 guest_instructions   9049000 B/op   258 allocs/op
+BenchmarkCompile-8     274   4545214 ns/op   2764087 B/op   28861 allocs/op
+`
+	code, out, _ := runDiff(t, []string{"-baseline", base}, regressed)
+	if code != 1 {
+		t.Fatalf("regression exited %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "ns_per_op") || !strings.Contains(out, "guest_instructions") {
+		t.Errorf("regressed metrics not reported:\n%s", out)
+	}
+}
+
+func TestQuickModeLoosensButKeepsExact(t *testing.T) {
+	base := writeBaseline(t, benchText)
+	// +60% ns/op: over the 40% default, under the ×4 quick limit. The
+	// guest-instruction drift must still fail even in quick mode.
+	noisy := `BenchmarkSimulator-8   364   5398942 ns/op   257219 guest_instructions   9049000 B/op   258 allocs/op
+`
+	code, out, _ := runDiff(t, []string{"-baseline", base, "-quick"}, noisy)
+	if code != 0 {
+		t.Fatalf("quick mode flagged host noise (%d):\n%s", code, out)
+	}
+	drifted := `BenchmarkSimulator-8   364   3374339 ns/op   257218 guest_instructions   9049000 B/op   258 allocs/op
+`
+	code, out, _ = runDiff(t, []string{"-baseline", base, "-quick"}, drifted)
+	if code != 1 {
+		t.Fatalf("quick mode ignored a deterministic-counter drift (%d):\n%s", code, out)
+	}
+}
+
+func TestToleranceOverride(t *testing.T) {
+	base := writeBaseline(t, benchText)
+	noisy := `BenchmarkSimulator-8   364   5398942 ns/op   257219 guest_instructions   9049000 B/op   258 allocs/op
+`
+	if code, out, _ := runDiff(t, []string{"-baseline", base}, noisy); code != 1 {
+		t.Fatalf("default tolerance accepted +60%% ns/op (%d):\n%s", code, out)
+	}
+	if code, out, _ := runDiff(t, []string{"-baseline", base, "-tol", "ns_per_op=0.7"}, noisy); code != 0 {
+		t.Fatalf("-tol override not honored (%d):\n%s", code, out)
+	}
+	if code, _, _ := runDiff(t, []string{"-baseline", base, "-tol", "garbage"}, noisy); code != 2 {
+		t.Error("bad -tol spec not a usage error")
+	}
+}
+
+func TestMissingBenchmarkWarns(t *testing.T) {
+	base := writeBaseline(t, benchText)
+	only := `BenchmarkSimulator-8   364   3374339 ns/op   257219 guest_instructions   9049000 B/op   258 allocs/op
+`
+	code, _, stderr := runDiff(t, []string{"-baseline", base}, only)
+	if code != 0 {
+		t.Fatalf("intersection comparison exited %d", code)
+	}
+	if !strings.Contains(stderr, "Compile") {
+		t.Errorf("dropped benchmark not warned about: %s", stderr)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, _ := runDiff(t, nil, ""); code != 2 {
+		t.Error("no args: want usage error")
+	}
+	if code, _, _ := runDiff(t, []string{"-emit"}, "no bench lines here"); code != 2 {
+		t.Error("-emit with no benchmarks: want error")
+	}
+	if code, _, _ := runDiff(t, []string{"-baseline", "/nonexistent.json"}, benchText); code != 2 {
+		t.Error("missing baseline: want error")
+	}
+}
+
+// TestCommittedBaselineSelfComparison: the committed PR 5 artifact must
+// compare clean against itself (the acceptance criterion's zero-exit leg).
+func TestCommittedBaselineSelfComparison(t *testing.T) {
+	path := "../../BENCH_pr5.json"
+	if _, err := os.Stat(path); err != nil {
+		t.Skipf("no committed baseline yet: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, out, stderr := runDiff(t, []string{"-baseline", path}, string(raw))
+	if code != 0 {
+		t.Fatalf("BENCH_pr5.json vs itself exited %d\nstdout: %s\nstderr: %s", code, out, stderr)
+	}
+}

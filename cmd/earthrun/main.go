@@ -32,11 +32,18 @@
 //	-j N              compile with N analysis workers (0 = all CPUs); the
 //	                  compiled code and the simulated result are identical
 //	                  for every worker count
+//	-http addr        serve live telemetry on addr (e.g. ":6060") while the
+//	                  run is in flight: /metrics (Prometheus), /metrics.json,
+//	                  /series.json (deterministic simulator time series),
+//	                  /healthz, /trace/summary and /trace.json (when tracing
+//	                  is on), and /debug/pprof/. The server lives until the
+//	                  process exits.
 //
 // Fault spec keys: drop, dup, stall (probabilities in [0,1)); delay (max
 // extra hops, uniform); stallns, timeout (ns); retries; seed.
 //
-// With -compare, tracing and fault injection apply to the optimized run.
+// With -compare, tracing, fault injection and -http apply to the optimized
+// run.
 package main
 
 import (
@@ -47,6 +54,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/earthsim"
+	"repro/internal/metrics"
 	"repro/internal/profile"
 	"repro/internal/trace"
 )
@@ -67,6 +75,7 @@ func main() {
 	fuel := flag.Int64("fuel", 0, "abort after N simulated EU instructions (0 = unlimited)")
 	deadline := flag.Duration("deadline", 0, "abort after this much host wall-clock time (0 = none)")
 	workers := flag.Int("j", 0, "analysis worker count (0 = all CPUs); output is identical for any value")
+	httpAddr := flag.String("http", "", "serve live telemetry on this address during the run")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: earthrun [flags] file.ec")
@@ -107,6 +116,16 @@ func main() {
 		rec = trace.NewRecorder(*nodes)
 	}
 
+	// -http attaches a metrics registry and a time-series sampler to the
+	// run and serves them (plus pprof and the live trace, if recording)
+	// for the life of the process.
+	var reg *metrics.Registry
+	var sampler *metrics.Sampler
+	if *httpAddr != "" {
+		reg = metrics.NewRegistry()
+		sampler = metrics.NewSampler(0, 0)
+	}
+
 	if *compare {
 		simple, err := run(name, src, runOpts{nodes: *nodes, seq: *seq, machine: machine,
 			workers: *workers, fuel: *fuel, deadline: *deadline})
@@ -115,7 +134,8 @@ func main() {
 		}
 		opt, err := run(name, src, runOpts{optimize: true, nodes: *nodes, seq: *seq,
 			prof: prof, machine: machine, rec: rec, workers: *workers,
-			fuel: *fuel, deadline: *deadline, faults: faults})
+			fuel: *fuel, deadline: *deadline, faults: faults,
+			reg: reg, sampler: sampler, httpAddr: *httpAddr})
 		if err != nil {
 			fatal(err)
 		}
@@ -135,6 +155,7 @@ func main() {
 		prof: prof, instrument: *profOut != "",
 		machine: machine, rec: rec, workers: *workers,
 		fuel: *fuel, deadline: *deadline, faults: faults,
+		reg: reg, sampler: sampler, httpAddr: *httpAddr,
 	})
 	if err != nil {
 		fatal(err)
@@ -211,6 +232,9 @@ type runOpts struct {
 	fuel       int64            // EU instruction budget (0 = unlimited)
 	deadline   time.Duration    // host wall-clock bound (0 = none)
 	faults     *earthsim.FaultConfig
+	reg        *metrics.Registry // live telemetry registry (nil = off)
+	sampler    *metrics.Sampler  // simulator time-series sampler (nil = off)
+	httpAddr   string            // debug server address ("" = no server)
 }
 
 type runResult struct {
@@ -223,7 +247,14 @@ type runResult struct {
 
 func run(name, src string, ro runOpts) (*runResult, error) {
 	p := core.NewPipeline(core.Options{Optimize: ro.optimize, Profile: ro.prof,
-		Trace: ro.rec, Workers: ro.workers})
+		Trace: ro.rec, Workers: ro.workers, Metrics: ro.reg})
+	if ro.httpAddr != "" {
+		d, err := p.ServeDebug(ro.httpAddr)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "earthrun: telemetry at http://%s/\n", d.Addr)
+	}
 	u, err := p.Compile(name, src)
 	if err != nil {
 		return nil, err
@@ -233,7 +264,8 @@ func run(name, src string, ro runOpts) (*runResult, error) {
 	}
 	res, err := p.Run(u, core.RunConfig{Nodes: ro.nodes, Sequential: ro.seq,
 		Profile: ro.instrument, Machine: ro.machine,
-		Fuel: ro.fuel, Deadline: ro.deadline, Faults: ro.faults})
+		Fuel: ro.fuel, Deadline: ro.deadline, Faults: ro.faults,
+		Sampler: ro.sampler})
 	if err != nil {
 		return nil, err
 	}

@@ -19,12 +19,16 @@
 //	-scale s       problem scale: quick | default (default "default")
 //	-fault-seed N  PRNG seed for the fault sweep (default 1)
 //	-json          emit one machine-readable JSON object instead of text
+//	-out file      write the report to file instead of stdout (used by
+//	               scripts/bench.sh to commit the fault sweep as
+//	               BENCH_fault_prN.json)
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -55,7 +59,18 @@ func main() {
 	scale := flag.String("scale", "default", "problem scale: quick|default")
 	faultSeed := flag.Uint64("fault-seed", 1, "PRNG seed for the fault sweep")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON")
+	outPath := flag.String("out", "", "write the report to this file instead of stdout")
 	flag.Parse()
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
 
 	if !*t1 && !*t2 && !*f10 && !*t3 && !*pgo && !*faultSweep {
 		*all = true
@@ -64,7 +79,7 @@ func main() {
 	var rep jsonReport
 
 	if (*all || *t2) && !*asJSON {
-		fmt.Println(harness.Table2())
+		fmt.Fprintln(out, harness.Table2())
 	}
 	if *all || *t1 {
 		res, err := harness.MeasureTable1()
@@ -73,7 +88,7 @@ func main() {
 		}
 		rep.Table1 = res
 		if !*asJSON {
-			fmt.Println(res)
+			fmt.Fprintln(out, res)
 		}
 	}
 	if *all || *f10 {
@@ -83,8 +98,8 @@ func main() {
 		}
 		rep.Fig10 = res
 		if !*asJSON {
-			fmt.Println(res)
-			fmt.Println(res.Bars())
+			fmt.Fprintln(out, res)
+			fmt.Fprintln(out, res.Bars())
 		}
 	}
 	if *all || *t3 {
@@ -102,7 +117,7 @@ func main() {
 		}
 		rep.Table3 = res
 		if !*asJSON {
-			fmt.Println(res)
+			fmt.Fprintln(out, res)
 		}
 	}
 	if *all || *pgo {
@@ -112,7 +127,7 @@ func main() {
 		}
 		rep.PGO = res
 		if !*asJSON {
-			fmt.Println(res)
+			fmt.Fprintln(out, res)
 		}
 	}
 	if *all || *faultSweep {
@@ -122,14 +137,14 @@ func main() {
 		}
 		rep.FaultSweep = res
 		if !*asJSON {
-			fmt.Println(res)
+			fmt.Fprintln(out, res)
 		}
 		if !res.Ok() {
 			fatal(fmt.Errorf("fault sweep: a run failed or diverged (see table)"))
 		}
 	}
 	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(&rep); err != nil {
 			fatal(err)

@@ -1,0 +1,272 @@
+// Package benchfmt parses `go test -bench` output, reads and writes the
+// repo's committed BENCH_*.json perf artifacts, and compares two artifacts
+// under per-metric tolerance thresholds. It replaces the awk emitter that
+// used to live in scripts/bench.sh (which did no string escaping and
+// silently mangled benchmark names containing special characters).
+//
+// The JSON layout is byte-compatible with the historical artifact: one
+// object per benchmark, metrics in the order the benchmark printed them,
+// standard units renamed ns/op → ns_per_op, B/op → bytes_per_op,
+// allocs/op → allocs_per_op, and custom metric units sanitized to
+// identifier characters.
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Value is one metric sample. Raw preserves the exact source token so that
+// re-encoding an artifact is byte-stable (9.5 stays "9.5", not "9.500000").
+type Value struct {
+	Num float64
+	Raw string
+}
+
+// Benchmark is one benchmark's results: the iteration count plus metrics
+// keyed by the sanitized unit name, in printed order.
+type Benchmark struct {
+	Name       string
+	Iterations int64
+	Keys       []string // metric order for stable output
+	Metrics    map[string]Value
+}
+
+// Set is a whole artifact: a toolchain version plus benchmarks in order.
+type Set struct {
+	Go         string
+	Benchmarks []*Benchmark
+}
+
+// Lookup returns the named benchmark, or nil.
+func (s *Set) Lookup(name string) *Benchmark {
+	for _, b := range s.Benchmarks {
+		if b.Name == name {
+			return b
+		}
+	}
+	return nil
+}
+
+var gomaxprocsSuffix = regexp.MustCompile(`-[0-9]+$`)
+
+// metricKey maps a benchmark unit to the artifact's JSON key.
+func metricKey(unit string) string {
+	switch unit {
+	case "ns/op":
+		return "ns_per_op"
+	case "B/op":
+		return "bytes_per_op"
+	case "allocs/op":
+		return "allocs_per_op"
+	}
+	var b strings.Builder
+	for _, r := range unit {
+		if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' || r == '_' {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// Parse reads `go test -bench` text output. Non-benchmark lines (the goos/
+// goarch banner, PASS, ok) are ignored. The "Benchmark" prefix and the
+// -GOMAXPROCS suffix are stripped from names.
+func Parse(r io.Reader) (*Set, error) {
+	s := &Set{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 2 {
+			continue
+		}
+		iters, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			// e.g. "Benchmark...: some note" — not a result line.
+			continue
+		}
+		name := strings.TrimPrefix(gomaxprocsSuffix.ReplaceAllString(f[0], ""), "Benchmark")
+		b := &Benchmark{Name: name, Iterations: iters, Metrics: map[string]Value{}}
+		for i := 2; i+1 < len(f); i += 2 {
+			num, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchfmt: line %d: bad metric value %q", lineno, f[i])
+			}
+			key := metricKey(f[i+1])
+			if _, dup := b.Metrics[key]; !dup {
+				b.Keys = append(b.Keys, key)
+			}
+			b.Metrics[key] = Value{Num: num, Raw: f[i]}
+		}
+		s.Benchmarks = append(s.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchfmt: %w", err)
+	}
+	return s, nil
+}
+
+// WriteJSON emits the artifact in the committed BENCH_*.json layout. Names
+// are JSON-escaped properly; metric values are emitted verbatim from Raw
+// (falling back to a minimal float encoding).
+func (s *Set) WriteJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	goName, _ := json.Marshal(s.Go)
+	fmt.Fprintf(bw, "{\n  \"go\": %s,\n  \"benchmarks\": [\n", goName)
+	for i, b := range s.Benchmarks {
+		name, _ := json.Marshal(b.Name)
+		fmt.Fprintf(bw, "    {\"name\": %s, \"iterations\": %d", name, b.Iterations)
+		for _, k := range b.Keys {
+			fmt.Fprintf(bw, ", %q: %s", k, b.Metrics[k].encode())
+		}
+		if i < len(s.Benchmarks)-1 {
+			bw.WriteString("},\n")
+		} else {
+			bw.WriteString("}\n")
+		}
+	}
+	bw.WriteString("  ]\n}\n")
+	return bw.Flush()
+}
+
+func (v Value) encode() string {
+	if v.Raw != "" {
+		return v.Raw
+	}
+	return strconv.FormatFloat(v.Num, 'g', -1, 64)
+}
+
+// ReadFile parses a committed BENCH_*.json artifact, preserving metric
+// order (a plain map round-trip would lose it).
+func ReadFile(path string) (*Set, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	s, err := ParseJSON(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// ParseJSON decodes an artifact with a token-stream walk so each
+// benchmark's metric order survives the round trip.
+func ParseJSON(r io.Reader) (*Set, error) {
+	dec := json.NewDecoder(r)
+	dec.UseNumber()
+	s := &Set{}
+	if err := expectDelim(dec, '{'); err != nil {
+		return nil, err
+	}
+	for dec.More() {
+		key, err := stringToken(dec)
+		if err != nil {
+			return nil, err
+		}
+		switch key {
+		case "go":
+			if err := dec.Decode(&s.Go); err != nil {
+				return nil, err
+			}
+		case "benchmarks":
+			if err := expectDelim(dec, '['); err != nil {
+				return nil, err
+			}
+			for dec.More() {
+				b, err := parseBenchmark(dec)
+				if err != nil {
+					return nil, err
+				}
+				s.Benchmarks = append(s.Benchmarks, b)
+			}
+			if err := expectDelim(dec, ']'); err != nil {
+				return nil, err
+			}
+		default:
+			var skip json.RawMessage
+			if err := dec.Decode(&skip); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return s, expectDelim(dec, '}')
+}
+
+func parseBenchmark(dec *json.Decoder) (*Benchmark, error) {
+	if err := expectDelim(dec, '{'); err != nil {
+		return nil, err
+	}
+	b := &Benchmark{Metrics: map[string]Value{}}
+	for dec.More() {
+		key, err := stringToken(dec)
+		if err != nil {
+			return nil, err
+		}
+		switch key {
+		case "name":
+			if err := dec.Decode(&b.Name); err != nil {
+				return nil, err
+			}
+		case "iterations":
+			var n json.Number
+			if err := dec.Decode(&n); err != nil {
+				return nil, err
+			}
+			b.Iterations, _ = n.Int64()
+		default:
+			var n json.Number
+			if err := dec.Decode(&n); err != nil {
+				return nil, fmt.Errorf("metric %q of %q: %w", key, b.Name, err)
+			}
+			num, err := n.Float64()
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := b.Metrics[key]; !dup {
+				b.Keys = append(b.Keys, key)
+			}
+			b.Metrics[key] = Value{Num: num, Raw: n.String()}
+		}
+	}
+	return b, expectDelim(dec, '}')
+}
+
+func expectDelim(dec *json.Decoder, d json.Delim) error {
+	tok, err := dec.Token()
+	if err != nil {
+		return err
+	}
+	if got, ok := tok.(json.Delim); !ok || got != d {
+		return fmt.Errorf("benchfmt: expected %q, got %v", d, tok)
+	}
+	return nil
+}
+
+func stringToken(dec *json.Decoder) (string, error) {
+	tok, err := dec.Token()
+	if err != nil {
+		return "", err
+	}
+	s, ok := tok.(string)
+	if !ok {
+		return "", fmt.Errorf("benchfmt: expected object key, got %v", tok)
+	}
+	return s, nil
+}

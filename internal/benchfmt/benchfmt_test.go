@@ -1,0 +1,203 @@
+package benchfmt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: whatever
+BenchmarkCompile-8   	     274	   4545214 ns/op	 2764087 B/op	   28861 allocs/op
+BenchmarkSimulator-8 	     364	   3374339 ns/op	  257219 guest_instructions	 9049000 B/op	     258 allocs/op
+BenchmarkFig10/power-8	      73	  14090365 ns/op	      2672 opt_ops	     41.34 opt_pct_of_simple	      6464 simple_ops	 4450662 B/op	   36194 allocs/op
+PASS
+ok  	repro	10.123s
+`
+
+func TestParse(t *testing.T) {
+	s, err := Parse(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(s.Benchmarks))
+	}
+	sim := s.Lookup("Simulator")
+	if sim == nil {
+		t.Fatal("Simulator not parsed")
+	}
+	if sim.Iterations != 364 {
+		t.Errorf("iterations = %d", sim.Iterations)
+	}
+	if got := sim.Metrics["guest_instructions"].Num; got != 257219 {
+		t.Errorf("guest_instructions = %v", got)
+	}
+	fig := s.Lookup("Fig10/power")
+	if fig == nil {
+		t.Fatal("sub-benchmark name not normalized (want Fig10/power)")
+	}
+	if got := fig.Metrics["opt_pct_of_simple"].Raw; got != "41.34" {
+		t.Errorf("raw float not preserved: %q", got)
+	}
+	wantOrder := []string{"ns_per_op", "opt_ops", "opt_pct_of_simple", "simple_ops", "bytes_per_op", "allocs_per_op"}
+	if len(fig.Keys) != len(wantOrder) {
+		t.Fatalf("keys = %v", fig.Keys)
+	}
+	for i, k := range wantOrder {
+		if fig.Keys[i] != k {
+			t.Errorf("key[%d] = %q, want %q", i, fig.Keys[i], k)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	s, err := Parse(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Go = "go1.24.0"
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	first := buf.String()
+	s2, err := ParseJSON(strings.NewReader(first))
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, first)
+	}
+	var buf2 bytes.Buffer
+	if err := s2.WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != first {
+		t.Errorf("round trip not byte-stable:\n%s\nvs\n%s", first, buf2.String())
+	}
+	if s2.Go != "go1.24.0" {
+		t.Errorf("Go = %q", s2.Go)
+	}
+}
+
+func TestNameEscaping(t *testing.T) {
+	// The old awk emitter mangled names with quotes/backslashes; ours must
+	// escape them and survive a round trip.
+	s := &Set{Go: "go1.24.0", Benchmarks: []*Benchmark{{
+		Name: `Odd"name\with/quotes`, Iterations: 1,
+		Keys:    []string{"ns_per_op"},
+		Metrics: map[string]Value{"ns_per_op": {Num: 42, Raw: "42"}},
+	}}}
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ParseJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("invalid JSON emitted: %v\n%s", err, buf.String())
+	}
+	if s2.Benchmarks[0].Name != s.Benchmarks[0].Name {
+		t.Errorf("name mangled: %q -> %q", s.Benchmarks[0].Name, s2.Benchmarks[0].Name)
+	}
+}
+
+func mkSet(metrics map[string]float64) *Set {
+	b := &Benchmark{Name: "B", Iterations: 10, Metrics: map[string]Value{}}
+	for _, k := range []string{"ns_per_op", "allocs_per_op", "guest_instructions", "improvement_pct"} {
+		if v, ok := metrics[k]; ok {
+			b.Keys = append(b.Keys, k)
+			b.Metrics[k] = Value{Num: v}
+		}
+	}
+	return &Set{Go: "go", Benchmarks: []*Benchmark{b}}
+}
+
+func regressions(ds []Delta) map[string]bool {
+	out := map[string]bool{}
+	for _, d := range ds {
+		if d.Regressed {
+			out[d.Metric] = true
+		}
+	}
+	return out
+}
+
+func TestCompare(t *testing.T) {
+	base := mkSet(map[string]float64{
+		"ns_per_op": 1000, "allocs_per_op": 100, "guest_instructions": 5555, "improvement_pct": 50,
+	})
+	th := DefaultThresholds()
+
+	// Within tolerance everywhere.
+	ok := mkSet(map[string]float64{
+		"ns_per_op": 1300, "allocs_per_op": 105, "guest_instructions": 5555, "improvement_pct": 49,
+	})
+	if r := regressions(Compare(base, ok, th)); len(r) != 0 {
+		t.Errorf("unexpected regressions: %v", r)
+	}
+
+	// Each metric broken in its own way.
+	bad := mkSet(map[string]float64{
+		"ns_per_op":          1500, // +50% > 40%
+		"allocs_per_op":      120,  // +20% > 10%
+		"guest_instructions": 5554, // exact metric changed (even downward)
+		"improvement_pct":    40,   // -20% on a higher-is-better metric
+	})
+	r := regressions(Compare(base, bad, th))
+	for _, m := range []string{"ns_per_op", "allocs_per_op", "guest_instructions", "improvement_pct"} {
+		if !r[m] {
+			t.Errorf("%s regression not flagged (got %v)", m, r)
+		}
+	}
+
+	// Improvements never regress on directional metrics.
+	better := mkSet(map[string]float64{
+		"ns_per_op": 100, "allocs_per_op": 10, "guest_instructions": 5555, "improvement_pct": 90,
+	})
+	if r := regressions(Compare(base, better, th)); len(r) != 0 {
+		t.Errorf("improvement flagged as regression: %v", r)
+	}
+}
+
+func TestCompareZeroStaysZero(t *testing.T) {
+	base := mkSet(map[string]float64{"guest_instructions": 0})
+	cur := mkSet(map[string]float64{"guest_instructions": 3})
+	if r := regressions(Compare(base, cur, DefaultThresholds())); !r["guest_instructions"] {
+		t.Error("zero baseline growing to nonzero not flagged")
+	}
+	// Scaling tolerances must not relax exact metrics.
+	if r := regressions(Compare(base, cur, DefaultThresholds().Scale(4))); !r["guest_instructions"] {
+		t.Error("Scale relaxed an exact metric")
+	}
+}
+
+func TestOverride(t *testing.T) {
+	th, err := DefaultThresholds().Override("ns_per_op=2.0,custom_metric=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := th.rule("ns_per_op").Limit; got != 2.0 {
+		t.Errorf("ns_per_op limit = %v", got)
+	}
+	if got := th.rule("custom_metric").Limit; got != 0.5 {
+		t.Errorf("custom_metric limit = %v", got)
+	}
+	// Unlisted metrics keep the default.
+	if got := th.rule("other").Limit; got != 0.25 {
+		t.Errorf("default limit = %v", got)
+	}
+	for _, bad := range []string{"noequals", "x=notanumber", "x=-1"} {
+		if _, err := DefaultThresholds().Override(bad); err == nil {
+			t.Errorf("Override(%q) accepted", bad)
+		}
+	}
+}
+
+func TestMissingFrom(t *testing.T) {
+	base := &Set{Benchmarks: []*Benchmark{{Name: "A"}, {Name: "B"}}}
+	cur := &Set{Benchmarks: []*Benchmark{{Name: "B"}}}
+	miss := MissingFrom(base, cur)
+	if len(miss) != 1 || miss[0] != "A" {
+		t.Errorf("MissingFrom = %v", miss)
+	}
+}

@@ -1,0 +1,185 @@
+package benchfmt
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Direction says which way a metric is allowed to move.
+type Direction int
+
+const (
+	// Lower means lower is better: a regression is an increase beyond the
+	// limit. The default for host-cost metrics.
+	Lower Direction = iota
+	// Higher means higher is better (e.g. improvement_pct).
+	Higher
+	// Exact means the metric is deterministic (simulated quantities): any
+	// change at all is a regression, in either direction — a decrease in
+	// guest work is "better" but means the benchmark no longer measures
+	// the same thing, which the diff must surface, not hide.
+	Exact
+)
+
+// Rule is one metric's tolerance: the maximum allowed relative change in
+// the bad direction (ignored for Exact).
+type Rule struct {
+	Limit float64
+	Dir   Direction
+}
+
+// Thresholds maps metric keys to rules; Default applies to unlisted keys.
+// "iterations" is never compared (it measures benchtime, not performance).
+type Thresholds struct {
+	Rules   map[string]Rule
+	Default Rule
+}
+
+// DefaultThresholds reflect the noise observed across this repo's
+// benchmarks on shared CI hardware: host time is noisy, allocation counts
+// are nearly stable, and simulated quantities are exactly reproducible.
+func DefaultThresholds() Thresholds {
+	return Thresholds{
+		Rules: map[string]Rule{
+			"ns_per_op":          {Limit: 0.40, Dir: Lower},
+			"bytes_per_op":       {Limit: 0.20, Dir: Lower},
+			"allocs_per_op":      {Limit: 0.10, Dir: Lower},
+			"guest_instructions": {Dir: Exact},
+			"simple_ops":         {Dir: Exact},
+			"opt_ops":            {Dir: Exact},
+			"opt_pct_of_simple":  {Limit: 0.01, Dir: Lower},
+			"improvement_pct":    {Limit: 0.05, Dir: Higher},
+		},
+		Default: Rule{Limit: 0.25, Dir: Lower},
+	}
+}
+
+// Scale multiplies every non-Exact limit by f (Exact stays exact — a
+// deterministic counter must not drift no matter how short the run).
+func (t Thresholds) Scale(f float64) Thresholds {
+	out := Thresholds{Rules: make(map[string]Rule, len(t.Rules)), Default: t.Default}
+	out.Default.Limit *= f
+	for k, r := range t.Rules {
+		if r.Dir != Exact {
+			r.Limit *= f
+		}
+		out.Rules[k] = r
+	}
+	return out
+}
+
+// Override parses "key=frac,key=frac" tolerance overrides into t.
+func (t Thresholds) Override(spec string) (Thresholds, error) {
+	if spec == "" {
+		return t, nil
+	}
+	out := Thresholds{Rules: make(map[string]Rule, len(t.Rules)), Default: t.Default}
+	for k, r := range t.Rules {
+		out.Rules[k] = r
+	}
+	for _, ent := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(ent), "=")
+		if !ok {
+			return t, fmt.Errorf("benchfmt: bad tolerance %q (want key=frac)", ent)
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil || f < 0 {
+			return t, fmt.Errorf("benchfmt: bad tolerance %q: fraction must be a non-negative number", ent)
+		}
+		r, ok := out.Rules[key]
+		if !ok {
+			r = out.Default
+		}
+		r.Limit = f
+		if r.Dir == Exact && f > 0 {
+			// An explicit nonzero tolerance relaxes an exact metric to a
+			// bounded lower-is-better check.
+			r.Dir = Lower
+		}
+		out.Rules[key] = r
+	}
+	return out, nil
+}
+
+func (t Thresholds) rule(key string) Rule {
+	if r, ok := t.Rules[key]; ok {
+		return r
+	}
+	return t.Default
+}
+
+// Delta is one compared metric. Frac is the relative change sign-adjusted
+// so positive means "worse"; Regressed says it exceeded the rule's limit.
+type Delta struct {
+	Bench, Metric string
+	Old, New      float64
+	Frac          float64
+	Rule          Rule
+	Regressed     bool
+}
+
+func (d Delta) String() string {
+	verdict := "ok"
+	if d.Regressed {
+		verdict = "REGRESSED"
+	}
+	return fmt.Sprintf("%-28s %-20s %14g -> %-14g %+7.2f%%  (limit %.0f%%)  %s",
+		d.Bench, d.Metric, d.Old, d.New, 100*d.rawFrac(), 100*d.Rule.Limit, verdict)
+}
+
+// rawFrac is the signed relative change (positive = increased), for display.
+func (d Delta) rawFrac() float64 {
+	if d.Old == 0 {
+		if d.New == 0 {
+			return 0
+		}
+		return 1
+	}
+	return (d.New - d.Old) / d.Old
+}
+
+// Compare diffs cur against base over their intersection: benchmarks (by
+// name) and metrics (by key) present in both. "iterations" is skipped.
+// Benchmarks only in one set are reported by MissingFrom, not here.
+func Compare(base, cur *Set, th Thresholds) []Delta {
+	var out []Delta
+	for _, ob := range base.Benchmarks {
+		nb := cur.Lookup(ob.Name)
+		if nb == nil {
+			continue
+		}
+		for _, key := range ob.Keys {
+			nv, ok := nb.Metrics[key]
+			if !ok {
+				continue
+			}
+			ov := ob.Metrics[key]
+			d := Delta{Bench: ob.Name, Metric: key, Old: ov.Num, New: nv.Num, Rule: th.rule(key)}
+			switch d.Rule.Dir {
+			case Exact:
+				d.Frac = d.rawFrac()
+				d.Regressed = nv.Num != ov.Num
+			case Higher:
+				d.Frac = -d.rawFrac()
+				d.Regressed = d.Frac > d.Rule.Limit
+			default: // Lower
+				d.Frac = d.rawFrac()
+				d.Regressed = d.Frac > d.Rule.Limit
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// MissingFrom lists base benchmarks absent from cur (dropped coverage).
+func MissingFrom(base, cur *Set) []string {
+	var out []string
+	for _, b := range base.Benchmarks {
+		if cur.Lookup(b.Name) == nil {
+			out = append(out, b.Name)
+		}
+	}
+	return out
+}

@@ -1,0 +1,28 @@
+package benchfmt
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+// TestCommittedArtifactRoundTrips: reading a committed BENCH_*.json and
+// re-encoding it reproduces the file byte-for-byte, so regenerating an
+// artifact never produces a spurious diff.
+func TestCommittedArtifactRoundTrips(t *testing.T) {
+	orig, err := os.ReadFile("../../BENCH_pr3.json")
+	if err != nil {
+		t.Skipf("no committed artifact: %v", err)
+	}
+	s, err := ParseJSON(bytes.NewReader(orig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), orig) {
+		t.Errorf("round trip differs from the committed artifact:\n%s", buf.String())
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/commsel"
 	"repro/internal/earthc"
 	"repro/internal/locality"
+	"repro/internal/metrics"
 	"repro/internal/placement"
 	"repro/internal/pointsto"
 	"repro/internal/profile"
@@ -68,6 +69,13 @@ type Options struct {
 	// observational: a traced run produces a bit-identical Result to an
 	// untraced one.
 	Trace *trace.Recorder
+	// Metrics, when non-nil, receives live telemetry from every compile and
+	// run the pipeline performs (see internal/metrics): compile counts and
+	// per-phase timing histograms, run counts, simulated-time and guest-work
+	// counters. Run-derived metrics record only simulated quantities, so for
+	// a fixed unit + RunConfig the registry contents are deterministic. Like
+	// Trace, a nil registry costs nothing.
+	Metrics *metrics.Registry
 }
 
 // Unit is a compiled translation unit with all intermediate artifacts.
@@ -90,10 +98,6 @@ type Unit struct {
 	// the pipeline's Stats option was on.
 	Stats *trace.CompileStats
 
-	// pipe is the pipeline that built this unit; the deprecated Unit.Run
-	// delegates through it so trace sinks keep working.
-	pipe *Pipeline
-
 	// tcache memoizes generated threaded code per codegen option set:
 	// generation is deterministic and the program is immutable once built,
 	// so repeated Runs of one unit reuse the same code. Guarded by tmu so a
@@ -104,22 +108,6 @@ type Unit struct {
 
 // Profiles implement placement.FreqProvider directly.
 var _ placement.FreqProvider = (*profile.Data)(nil)
-
-// Compile runs the full pipeline over EARTH-C source text.
-//
-// Deprecated: construct a Pipeline and call its Compile method.
-func Compile(name, src string, opt Options) (*Unit, error) {
-	return NewPipeline(opt).Compile(name, src)
-}
-
-// CompileFile runs the pipeline from a parsed (possibly programmatically
-// constructed) AST. The AST is modified in place by loop desugaring and
-// goto elimination.
-//
-// Deprecated: construct a Pipeline and call its CompileAST method.
-func CompileFile(file *earthc.File, opt Options) (*Unit, error) {
-	return NewPipeline(opt).CompileAST(file)
-}
 
 // reorderStructFields permutes each struct's fields so the most frequently
 // remotely-accessed ones are contiguous at the front (stable by original
@@ -205,7 +193,7 @@ func pointeeName(p *simple.Var) string {
 
 // MustCompile compiles or panics; for tests and embedded benchmarks.
 func MustCompile(name, src string, opt Options) *Unit {
-	u, err := Compile(name, src, opt)
+	u, err := NewPipeline(opt).Compile(name, src)
 	if err != nil {
 		panic(err)
 	}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// liveState is the pipeline-side slot the current run publishes through; the
+// debug HTTP server reads it via an atomic pointer, so observers never block
+// the simulator. Shared (by pointer) across the by-value Pipeline copies
+// ProfileCycle makes.
+type liveState struct {
+	cur atomic.Pointer[runRecord]
+}
+
+// runRecord describes the run a pipeline most recently started (possibly
+// still in flight).
+type runRecord struct {
+	unit     string
+	nodes    int
+	started  time.Time
+	sampler  *metrics.Sampler // nil when the run has no time-series sampler
+	finished atomic.Bool
+}
+
+// DebugHandler returns the pipeline's debug HTTP mux:
+//
+//	/               index (plain text, lists the endpoints)
+//	/healthz        JSON liveness + current-run status
+//	/metrics        Prometheus text: registry + latest simulator sample
+//	/metrics.json   registry as JSON
+//	/series.json    the current run's retained time series as JSON
+//	/trace/summary  live text summary of the pipeline's trace recorder
+//	/trace.json     Chrome trace_event download of the recorder
+//	/debug/pprof/   the standard Go profiling endpoints
+//
+// Every endpoint is safe while a Run is in flight: the registry and sampler
+// publish through atomics and small mutexes, and the trace recorder locks
+// per observation. Endpoints for unconfigured sinks respond 404 with a hint
+// naming the option to set.
+func (p *Pipeline) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "earth pipeline debug server\n\n"+
+			"/healthz        liveness + current run\n"+
+			"/metrics        Prometheus text exposition\n"+
+			"/metrics.json   registry as JSON\n"+
+			"/series.json    simulator time series (current run)\n"+
+			"/trace/summary  live trace summary\n"+
+			"/trace.json     Chrome trace download\n"+
+			"/debug/pprof/   Go profiling\n")
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		type health struct {
+			Status    string `json:"status"`
+			Running   bool   `json:"running"`
+			Unit      string `json:"unit,omitempty"`
+			Nodes     int    `json:"nodes,omitempty"`
+			ElapsedMs int64  `json:"elapsed_ms,omitempty"`
+		}
+		h := health{Status: "ok"}
+		if rec := p.liveRun(); rec != nil {
+			h.Unit, h.Nodes = rec.unit, rec.nodes
+			h.Running = !rec.finished.Load()
+			h.ElapsedMs = time.Since(rec.started).Milliseconds()
+		}
+		json.NewEncoder(w).Encode(h)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		var buf bytes.Buffer
+		p.opt.Metrics.WritePrometheus(&buf)
+		if rec := p.liveRun(); rec != nil {
+			rec.sampler.WritePrometheus(&buf)
+		}
+		w.Write(buf.Bytes())
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		p.opt.Metrics.WriteJSON(w)
+	})
+	mux.HandleFunc("/series.json", func(w http.ResponseWriter, r *http.Request) {
+		rec := p.liveRun()
+		if rec == nil || rec.sampler == nil {
+			http.Error(w, "no sampler: start the run with RunConfig.Sampler (earthrun -http does this automatically)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		rec.sampler.WriteSeriesJSON(w)
+	})
+	mux.HandleFunc("/trace/summary", func(w http.ResponseWriter, r *http.Request) {
+		if p.opt.Trace == nil {
+			http.Error(w, "no trace recorder: set Options.Trace (earthrun -trace-summary or -trace)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, p.opt.Trace.Summarize().String())
+	})
+	mux.HandleFunc("/trace.json", func(w http.ResponseWriter, r *http.Request) {
+		if p.opt.Trace == nil {
+			http.Error(w, "no trace recorder: set Options.Trace (earthrun -trace)", http.StatusNotFound)
+			return
+		}
+		// Encode into a buffer first: WriteChrome holds the recorder's lock,
+		// and a slow client must not stall a live simulation.
+		var buf bytes.Buffer
+		if err := p.opt.Trace.WriteChrome(&buf); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="trace.json"`)
+		w.Write(buf.Bytes())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// liveRun returns the most recently started run's record, or nil.
+func (p *Pipeline) liveRun() *runRecord {
+	if p.live == nil {
+		return nil
+	}
+	return p.live.cur.Load()
+}
+
+// DebugServer is a running debug HTTP server (see Pipeline.ServeDebug).
+type DebugServer struct {
+	// Addr is the bound listen address (useful when ServeDebug was given
+	// ":0" to pick a free port).
+	Addr string
+	srv  *http.Server
+}
+
+// Close shuts the server down immediately.
+func (d *DebugServer) Close() error { return d.srv.Close() }
+
+// ServeDebug binds addr (e.g. ":6060", "localhost:0") and serves
+// DebugHandler on it in a background goroutine. The returned server's Addr
+// carries the resolved address; Close it when done.
+func (p *Pipeline) ServeDebug(addr string) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("core: debug server: %w", err)
+	}
+	srv := &http.Server{Handler: p.DebugHandler()}
+	go srv.Serve(ln)
+	return &DebugServer{Addr: ln.Addr().String(), srv: srv}, nil
+}

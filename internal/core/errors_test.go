@@ -6,21 +6,21 @@ import (
 )
 
 func TestCompileParseError(t *testing.T) {
-	_, err := Compile("bad.ec", "int main( { return 0; }", Options{})
+	_, err := compile("bad.ec", "int main( { return 0; }", Options{})
 	if err == nil {
 		t.Fatal("expected a parse error")
 	}
 }
 
 func TestCompileSemaError(t *testing.T) {
-	_, err := Compile("bad.ec", "int main() { return nope; }", Options{})
+	_, err := compile("bad.ec", "int main() { return nope; }", Options{})
 	if err == nil || !strings.Contains(err.Error(), "undeclared") {
 		t.Fatalf("expected a sema error, got %v", err)
 	}
 }
 
 func TestCompileNonConstGlobalInit(t *testing.T) {
-	_, err := Compile("bad.ec", `
+	_, err := compile("bad.ec", `
 int f() { return 1; }
 int g = 0;
 int main() { return g; }
@@ -28,7 +28,7 @@ int main() { return g; }
 	if err != nil {
 		t.Fatalf("constant init must work: %v", err)
 	}
-	_, err = Compile("bad.ec", `
+	_, err = compile("bad.ec", `
 int f() { return 1; }
 int g = 1 + 2;
 int main() { return g; }
@@ -39,28 +39,28 @@ int main() { return g; }
 }
 
 func TestRunWithoutMain(t *testing.T) {
-	u, err := Compile("nomain.ec", "int f() { return 1; }", Options{})
+	u, err := compile("nomain.ec", "int f() { return 1; }", Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := u.Run(RunConfig{Nodes: 1}); err == nil ||
+	if _, err := runUnit(u, RunConfig{Nodes: 1}); err == nil ||
 		!strings.Contains(err.Error(), "main") {
 		t.Fatalf("expected a no-main error, got %v", err)
 	}
 }
 
 func TestSequentialMultiNodeRejected(t *testing.T) {
-	u, err := Compile("m.ec", "int main() { return 0; }", Options{})
+	u, err := compile("m.ec", "int main() { return 0; }", Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := u.Run(RunConfig{Nodes: 4, Sequential: true}); err == nil {
+	if _, err := runUnit(u, RunConfig{Nodes: 4, Sequential: true}); err == nil {
 		t.Fatal("sequential baseline on 4 nodes must be rejected")
 	}
 }
 
 func TestGotoUnsupportedPatterns(t *testing.T) {
-	_, err := Compile("bad.ec", `
+	_, err := compile("bad.ec", `
 int main() {
 	int i;
 	forall (i = 0; i < 4; i++) {
@@ -76,7 +76,7 @@ out:
 }
 
 func TestReturnInsideParSeqRejected(t *testing.T) {
-	u, err := Compile("bad.ec", `
+	u, err := compile("bad.ec", `
 int main() {
 	{^
 		return 1;
@@ -88,7 +88,7 @@ int main() {
 		// Rejected at compile time is fine too.
 		return
 	}
-	if _, err := u.Run(RunConfig{Nodes: 1}); err == nil {
+	if _, err := runUnit(u, RunConfig{Nodes: 1}); err == nil {
 		t.Fatal("return inside a parallel arm must be rejected somewhere")
 	}
 }

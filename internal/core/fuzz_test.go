@@ -229,11 +229,11 @@ func TestOptimizerSemanticsFuzz(t *testing.T) {
 				if label == "optimized/reordered" {
 					opts.ReorderFields = true
 				}
-				u, err := Compile("fuzz.ec", src, opts)
+				u, err := compile("fuzz.ec", src, opts)
 				if err != nil {
 					t.Fatalf("%s: compile: %v\n--- source:\n%s", label, err, src)
 				}
-				res, err := u.Run(RunConfig{Nodes: nodes, Sequential: sequential})
+				res, err := runUnit(u, RunConfig{Nodes: nodes, Sequential: sequential})
 				if err != nil {
 					t.Fatalf("%s: run: %v\n--- source:\n%s", label, err, src)
 				}

@@ -117,7 +117,7 @@ int main() {
 			fmt.Fprintf(&want, "%d\n", e.eval(vars))
 		}
 		for _, optimize := range []bool{false, true} {
-			res, err := CompileAndRun("oracle.ec", src, optimize, 1)
+			res, err := compileAndRun("oracle.ec", src, optimize, 1)
 			if err != nil {
 				t.Fatalf("seed %d optimize=%v: %v\n%s", seed, optimize, err, src)
 			}
@@ -150,7 +150,7 @@ func TestDoubleOracle(t *testing.T) {
 		fmt.Fprintf(&want, "%.6f\n", c.want)
 	}
 	src := fmt.Sprintf("int main() {\n%s\treturn 0;\n}\n", body.String())
-	res, err := CompileAndRun("dbl.ec", src, true, 1)
+	res, err := compileAndRun("dbl.ec", src, true, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

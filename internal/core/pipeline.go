@@ -22,18 +22,20 @@ import (
 
 // Pipeline is the unified compile-and-run entry point: construct one from
 // Options, then call Compile / CompileAST / Run / ProfileCycle. A Pipeline
-// is cheap (it only holds the options) and safe to reuse across units;
-// observability sinks (Options.Stats, Options.Trace) plug in at
-// construction so every compile and run it performs feeds them.
-//
-// The free functions Compile, CompileFile, CompileAndRun and
-// CompileWithProfile are deprecated wrappers over a throwaway Pipeline.
+// is cheap and safe to reuse across units; observability sinks
+// (Options.Stats, Options.Trace, Options.Metrics) plug in at construction
+// so every compile and run it performs feeds them, and ServeDebug exposes
+// them over HTTP while runs are in flight.
 type Pipeline struct {
 	opt Options
+	// live is the current-run state the debug HTTP server reads; a shared
+	// pointer (not an embedded value) so the by-value Pipeline copies made in
+	// ProfileCycle feed the same observers without tripping vet's copylocks.
+	live *liveState
 }
 
 // NewPipeline builds a pipeline from the given options.
-func NewPipeline(opt Options) *Pipeline { return &Pipeline{opt: opt} }
+func NewPipeline(opt Options) *Pipeline { return &Pipeline{opt: opt, live: &liveState{}} }
 
 // Options returns the pipeline's configuration.
 func (p *Pipeline) Options() Options { return p.opt }
@@ -61,23 +63,47 @@ func (p *Pipeline) Compile(name, src string) (*Unit, error) {
 	}
 	u.SourceHash = hash
 	u.Warnings = append(warnings, u.Warnings...)
-	return u, nil
+	return p.finishCompile(u), nil
 }
 
 // CompileAST runs the pipeline from a parsed (possibly programmatically
 // constructed) AST. The AST is modified in place by loop desugaring and
 // goto elimination.
 func (p *Pipeline) CompileAST(file *earthc.File) (*Unit, error) {
-	return p.compileAST(file, p.opt, p.newStats())
+	u, err := p.compileAST(file, p.opt, p.newStats())
+	if err != nil {
+		return nil, err
+	}
+	return p.finishCompile(u), nil
 }
 
-// newStats returns a stats collector when the pipeline asks for one; its
+// newStats returns a stats collector when any sink wants one (Unit.Stats
+// via Options.Stats, or the metrics registry's per-phase histograms); its
 // nil-receiver methods make the disabled case free.
 func (p *Pipeline) newStats() *trace.CompileStats {
-	if !p.opt.Stats {
+	if !p.opt.Stats && p.opt.Metrics == nil {
 		return nil
 	}
 	return &trace.CompileStats{}
+}
+
+// finishCompile flushes a successful compile into the metrics registry and
+// strips the stats collector when the caller didn't ask for it (it may have
+// been allocated for the registry's benefit only).
+func (p *Pipeline) finishCompile(u *Unit) *Unit {
+	if reg := p.opt.Metrics; reg != nil && u.Stats != nil {
+		reg.Counter("earth_compiles_total", "Units compiled by this pipeline.").Inc()
+		for _, ph := range u.Stats.Phases {
+			reg.Histogram(fmt.Sprintf("earth_compile_phase_ns{phase=%q}", ph.Name),
+				"Host wall-clock time per compiler phase.").Observe(ph.Ns)
+		}
+		reg.Histogram("earth_compile_ns", "Host wall-clock time per compile.").
+			Observe(u.Stats.TotalNs())
+	}
+	if !p.opt.Stats {
+		u.Stats = nil
+	}
+	return u
 }
 
 // recoverPhase converts a panic escaping a compile phase into a positioned
@@ -166,7 +192,7 @@ func (p *Pipeline) build(file *earthc.File, opt Options, st *trace.CompileStats)
 	// profile-guided compile of the same source then agree on every key.
 	simple.AssignSites(sp)
 	st.AddPhase("lower", time.Since(t0))
-	u = &Unit{Name: file.Name, File: file, Sema: sm, Simple: sp, Stats: st, pipe: p}
+	u = &Unit{Name: file.Name, File: file, Sema: sm, Simple: sp, Stats: st}
 	// The per-function analysis chain fans out across a bounded worker pool;
 	// each phase merges its per-function results in function order, so the
 	// unit is identical for every worker count.
@@ -270,9 +296,34 @@ func (p *Pipeline) Run(u *Unit, rc RunConfig) (*earthsim.Result, error) {
 	if p.opt.Trace != nil {
 		m.SetTrace(p.opt.Trace)
 	}
+	if rc.Sampler != nil {
+		m.SetMetrics(rc.Sampler)
+	}
+	if p.live != nil {
+		rec := &runRecord{unit: u.Name, nodes: cfg.Nodes, started: time.Now(), sampler: rc.Sampler}
+		p.live.cur.Store(rec)
+		defer rec.finished.Store(true)
+	}
+	reg := p.opt.Metrics
+	reg.Counter("earth_runs_started_total", "Simulator runs started.").Inc()
 	res, err := m.Run()
 	if err != nil {
+		reg.Counter("earth_run_errors_total", "Simulator runs that failed (trap, deadlock, or limit).").Inc()
 		return nil, err
+	}
+	// Run metrics are simulated quantities only — never host wall time — so
+	// a fixed unit + RunConfig fills a fresh registry with identical bytes.
+	reg.Counter("earth_runs_completed_total", "Simulator runs completed.").Inc()
+	reg.Counter("earth_guest_instructions_total", "Guest instructions retired across runs.").
+		Add(res.Counts.Instructions)
+	reg.Counter("earth_remote_ops_total", "Remote communication operations across runs.").
+		Add(res.Counts.TotalRemote())
+	reg.Histogram("earth_sim_time_ns", "Simulated time per completed run.").Observe(res.Time)
+	if res.Faults != nil {
+		reg.Counter("earth_fault_retries_total", "Reliable-messaging retransmissions across runs.").
+			Add(res.Faults.Retries)
+		reg.Counter("earth_fault_drops_total", "Wire drops injected across runs.").
+			Add(res.Faults.Drops)
 	}
 	if res.Profile != nil {
 		res.Profile.SourceHash = u.SourceHash
@@ -311,6 +362,5 @@ func (p *Pipeline) ProfileCycle(name, src string, rc RunConfig) (*Unit, *profile
 	if err != nil {
 		return nil, nil, err
 	}
-	u.pipe = p
 	return u, res.Profile, nil
 }

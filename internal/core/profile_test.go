@@ -54,14 +54,14 @@ func totalOps(c earthsim.Counts) int64 {
 // instrumented runs of the same build produce equal counters and
 // byte-identical profile artifacts.
 func TestProfileDeterminism(t *testing.T) {
-	u, err := Compile("det.ec", remoteListSrc, Options{})
+	u, err := compile("det.ec", remoteListSrc, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	var bufs [2]bytes.Buffer
 	var counts [2]earthsim.Counts
 	for i := 0; i < 2; i++ {
-		res, err := u.Run(RunConfig{Nodes: 2, Profile: true})
+		res, err := runUnit(u, RunConfig{Nodes: 2, Profile: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -84,15 +84,15 @@ func TestProfileDeterminism(t *testing.T) {
 // TestCompileWithProfile: the full feedback loop preserves semantics and
 // never issues more communication ops than the statically optimized build.
 func TestCompileWithProfile(t *testing.T) {
-	simple, err := CompileAndRun("pgo.ec", remoteListSrc, false, 2)
+	simple, err := compileAndRun("pgo.ec", remoteListSrc, false, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	static, err := CompileAndRun("pgo.ec", remoteListSrc, true, 2)
+	static, err := compileAndRun("pgo.ec", remoteListSrc, true, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	u, prof, err := CompileWithProfile("pgo.ec", remoteListSrc,
+	u, prof, err := compileWithProfile("pgo.ec", remoteListSrc,
 		Options{Optimize: true}, RunConfig{Nodes: 2})
 	if err != nil {
 		t.Fatal(err)
@@ -103,7 +103,7 @@ func TestCompileWithProfile(t *testing.T) {
 	if len(u.Warnings) != 0 {
 		t.Errorf("fresh profile produced warnings: %v", u.Warnings)
 	}
-	pgo, err := u.Run(RunConfig{Nodes: 2})
+	pgo, err := runUnit(u, RunConfig{Nodes: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,18 +123,18 @@ func TestStaleProfileFallsBack(t *testing.T) {
 	stale := profile.New()
 	stale.SourceHash = profile.HashSource("int main() { return 1; }")
 	stale.Runs = 1
-	u, err := Compile("stale.ec", remoteListSrc, Options{Optimize: true, Profile: stale})
+	u, err := compile("stale.ec", remoteListSrc, Options{Optimize: true, Profile: stale})
 	if err != nil {
 		t.Fatalf("stale profile failed the compile: %v", err)
 	}
 	if len(u.Warnings) == 0 || !strings.Contains(u.Warnings[0], "stale") {
 		t.Errorf("expected a staleness warning, got %v", u.Warnings)
 	}
-	static, err := CompileAndRun("stale.ec", remoteListSrc, true, 2)
+	static, err := compileAndRun("stale.ec", remoteListSrc, true, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := u.Run(RunConfig{Nodes: 2})
+	res, err := runUnit(u, RunConfig{Nodes: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

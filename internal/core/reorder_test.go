@@ -43,11 +43,11 @@ int main() {
 // TestReorderFieldsClustersHotFields: the extension moves the three hot
 // fields to offsets 0..2, turning a 13-word span into a 3-word block.
 func TestReorderFieldsClustersHotFields(t *testing.T) {
-	plain, err := Compile("r.ec", reorderSrc, Options{Optimize: true})
+	plain, err := compile("r.ec", reorderSrc, Options{Optimize: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	reordered, err := Compile("r.ec", reorderSrc, Options{Optimize: true, ReorderFields: true})
+	reordered, err := compile("r.ec", reorderSrc, Options{Optimize: true, ReorderFields: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,11 +71,11 @@ func TestReorderFieldsClustersHotFields(t *testing.T) {
 	}
 
 	// Semantics preserved, and the reordered version is no slower.
-	pres, err := plain.Run(RunConfig{Nodes: 2})
+	pres, err := runUnit(plain, RunConfig{Nodes: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rres, err := reordered.Run(RunConfig{Nodes: 2})
+	rres, err := runUnit(reordered, RunConfig{Nodes: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,11 +110,11 @@ int main() {
 	return p->a + p->b;
 }
 `
-	u, err := Compile("r.ec", src, Options{Optimize: true, ReorderFields: true})
+	u, err := compile("r.ec", src, Options{Optimize: true, ReorderFields: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := u.Run(RunConfig{Nodes: 1})
+	res, err := runUnit(u, RunConfig{Nodes: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

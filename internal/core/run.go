@@ -4,7 +4,7 @@ import (
 	"time"
 
 	"repro/internal/earthsim"
-	"repro/internal/profile"
+	"repro/internal/metrics"
 	"repro/internal/threaded"
 )
 
@@ -55,37 +55,12 @@ type RunConfig struct {
 	// to the simulated transport (see earthsim.FaultConfig and
 	// earthsim.ParseFaultSpec); nil runs the idealized reliable machine.
 	Faults *earthsim.FaultConfig
-}
-
-// Run executes the unit through the pipeline that compiled it (so trace
-// sinks configured there keep working); units constructed by hand fall back
-// to a default pipeline.
-//
-// Deprecated: call Pipeline.Run.
-func (u *Unit) Run(rc RunConfig) (*earthsim.Result, error) {
-	p := u.pipe
-	if p == nil {
-		p = &Pipeline{}
-	}
-	return p.Run(u, rc)
-}
-
-// CompileAndRun is a convenience for tests and examples: parse, optimize
-// (or not), and run.
-//
-// Deprecated: construct a Pipeline, then Compile and Run.
-func CompileAndRun(name, src string, optimize bool, nodes int) (*earthsim.Result, error) {
-	p := NewPipeline(Options{Optimize: optimize})
-	u, err := p.Compile(name, src)
-	if err != nil {
-		return nil, err
-	}
-	return p.Run(u, RunConfig{Nodes: nodes})
-}
-
-// CompileWithProfile runs the two-pass profile-guided flow.
-//
-// Deprecated: call Pipeline.ProfileCycle.
-func CompileWithProfile(name, src string, opt Options, rc RunConfig) (*Unit, *profile.Data, error) {
-	return NewPipeline(opt).ProfileCycle(name, src, rc)
+	// Sampler, when non-nil, records a deterministic time series of simulator
+	// state (per-node EU/SU utilization, SU queue depth, per-link occupancy,
+	// fault-layer retry counts) at the sampler's fixed simulated-time
+	// interval. Sampling is purely observational; identical unit + RunConfig
+	// (including the fault seed) yields a bit-identical series. The debug
+	// HTTP server (Pipeline.ServeDebug) publishes the sampler's latest
+	// snapshot while the run is in flight.
+	Sampler *metrics.Sampler
 }

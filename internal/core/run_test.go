@@ -18,7 +18,7 @@ int main() {
 	return sum;
 }
 `
-	res, err := CompileAndRun("hello.ec", src, false, 1)
+	res, err := compileAndRun("hello.ec", src, false, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +65,7 @@ int main() {
 }
 `
 	for _, optimize := range []bool{false, true} {
-		res, err := CompileAndRun("listsum.ec", src, optimize, 1)
+		res, err := compileAndRun("listsum.ec", src, optimize, 1)
 		if err != nil {
 			t.Fatalf("optimize=%v: %v", optimize, err)
 		}
@@ -111,7 +111,7 @@ int main() {
 		want += int64(i * 2)
 	}
 	for _, optimize := range []bool{false, true} {
-		res, err := CompileAndRun("par.ec", src, optimize, 4)
+		res, err := compileAndRun("par.ec", src, optimize, 4)
 		if err != nil {
 			t.Fatalf("optimize=%v: %v", optimize, err)
 		}
@@ -146,7 +146,7 @@ int main() {
 	return x + y;
 }
 `
-	res, err := CompileAndRun("placed.ec", src, false, 2)
+	res, err := compileAndRun("placed.ec", src, false, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,11 +194,11 @@ int main() {
 	return trunc(sum);
 }
 `
-	simple, err := CompileAndRun("opt.ec", src, false, 2)
+	simple, err := compileAndRun("opt.ec", src, false, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	opt, err := CompileAndRun("opt.ec", src, true, 2)
+	opt, err := compileAndRun("opt.ec", src, true, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

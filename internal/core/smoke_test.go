@@ -50,7 +50,7 @@ double example(Point *head, Point *t, double epsilon) {
 `
 
 func TestSmokeFigure7(t *testing.T) {
-	u, err := Compile("fig7.ec", figure7Src, Options{Optimize: true})
+	u, err := compile("fig7.ec", figure7Src, Options{Optimize: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +63,7 @@ func TestSmokeFigure7(t *testing.T) {
 }
 
 func TestSmokeUnoptimized(t *testing.T) {
-	u, err := Compile("fig7.ec", figure7Src, Options{})
+	u, err := compile("fig7.ec", figure7Src, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -26,7 +26,7 @@ func TestTestdataPrograms(t *testing.T) {
 			first := true
 			for _, nodes := range []int{1, 2} {
 				for _, optimize := range []bool{false, true} {
-					res, err := CompileAndRun(f, src, optimize, nodes)
+					res, err := compileAndRun(f, src, optimize, nodes)
 					if err != nil {
 						t.Fatalf("nodes=%d optimize=%v: %v", nodes, optimize, err)
 					}

@@ -20,10 +20,13 @@ func (m *Machine) runEU(n *node, t int64) {
 	}
 	f := n.popReady()
 	t += m.cfg.CtxSwitch
-	if m.tr != nil {
+	if m.tr != nil || m.ms != nil {
 		start, name, fid := t, f.code.Name, f.id
 		m.execFiber(f, &t)
 		m.tr.EUSpan(n.id, fid, name, start, t)
+		if m.ms != nil {
+			m.ms.euBusy[n.id] += t - start
+		}
 	} else {
 		m.execFiber(f, &t)
 	}

@@ -404,6 +404,7 @@ type Machine struct {
 	scratch       []int64         // EU scratch for call arguments / block payloads
 	prof          *profile.Data   // non-nil when prog.Profiled
 	tr            *trace.Recorder // nil: tracing disabled (the common case)
+	ms            *simMetrics     // nil: live telemetry disabled (see SetMetrics)
 
 	// Run limits (see limits.go).
 	fuel           int64 // total EU instruction budget
@@ -539,11 +540,20 @@ func (m *Machine) Run() (*Result, error) {
 				ErrDeadline, m.wallLimit, m.lastTime, m.nEvents)
 		}
 		ev := m.events.pop()
+		if m.ms != nil {
+			m.sampleTick(ev.time)
+		}
 		m.lastTime = ev.time
 		m.dispatch(ev)
 		if m.mainDone && m.liveFibers == 0 {
 			break
 		}
+	}
+	// Close the time series with one sample at the end of activity, so short
+	// runs (under one interval) still record something and the final state is
+	// always visible. Skipped when the last boundary sample already covers it.
+	if m.ms != nil && m.lastTime > m.ms.last {
+		m.takeSample(m.lastTime)
 	}
 	if m.trap != nil {
 		return nil, m.trap

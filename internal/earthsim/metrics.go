@@ -1,0 +1,141 @@
+package earthsim
+
+import (
+	"sort"
+
+	"repro/internal/metrics"
+)
+
+// simMetrics is the machine-side accumulator behind SetMetrics: cheap
+// cumulative counters bumped from the EU/SU/network hooks, flushed into a
+// metrics.SimSample at each sampling boundary. All state is owned by the
+// event loop; only the final Sampler.Record crosses goroutines.
+type simMetrics struct {
+	s        *metrics.Sampler
+	interval int64
+	next     int64 // next simulated-time sampling boundary
+	last     int64 // time of the most recent sample (-1 before the first)
+
+	euBusy []int64 // per-node cumulative EU busy ns
+	suBusy []int64 // per-node cumulative SU busy ns
+	// suDone[i] is a FIFO of node i's SU completion times. suSched pushes in
+	// acceptance order and n.suFree is monotone, so the queue is sorted:
+	// the sample drains completions ≤ t from suHead[i] and what remains is
+	// exactly the requests accepted but not finished at t — the SU queue
+	// depth.
+	suDone [][]int64
+	suHead []int
+	links  map[uint32]*linkAgg
+}
+
+// linkAgg accumulates one directed link's traffic (keyed by linkKey).
+type linkAgg struct {
+	src, dst          int
+	busy, msgs, words int64
+}
+
+// SetMetrics attaches a time-series sampler to the machine (call before
+// Run; nil detaches). Like SetTrace, sampling is purely observational — the
+// hooks never alter costs or scheduling — and the hooks are consulted only
+// in event-loop order, so for identical seed + spec the recorded series is
+// bit-identical run to run. A machine without a sampler pays one nil check
+// per instrumentation point and allocates nothing. Returns m for chaining.
+func (m *Machine) SetMetrics(s *metrics.Sampler) *Machine {
+	if s == nil {
+		m.ms = nil
+		return m
+	}
+	n := len(m.nodes)
+	m.ms = &simMetrics{
+		s:        s,
+		interval: s.Interval(),
+		next:     s.Interval(),
+		last:     -1,
+		euBusy:   make([]int64, n),
+		suBusy:   make([]int64, n),
+		suDone:   make([][]int64, n),
+		suHead:   make([]int, n),
+		links:    make(map[uint32]*linkAgg),
+	}
+	return m
+}
+
+// suObserve records one SU service interval on a node (hook in suSched).
+func (ms *simMetrics) suObserve(nodeID int, busy, done int64) {
+	ms.suBusy[nodeID] += busy
+	ms.suDone[nodeID] = append(ms.suDone[nodeID], done)
+}
+
+// linkObserve records one wire hop on a directed link (hook in netSched).
+func (ms *simMetrics) linkObserve(src, dst int, busy, words int64) {
+	key := uint32(src)<<16 | uint32(dst)
+	la := ms.links[key]
+	if la == nil {
+		la = &linkAgg{src: src, dst: dst}
+		ms.links[key] = la
+	}
+	la.busy += busy
+	la.msgs++
+	la.words += words
+}
+
+// sampleTick takes every sample due at or before t (hook in the Run loop,
+// before each event dispatches).
+func (m *Machine) sampleTick(t int64) {
+	for m.ms.next <= t {
+		m.takeSample(m.ms.next)
+		m.ms.next += m.ms.interval
+	}
+}
+
+// takeSample snapshots the machine into the sampler at simulated time t.
+func (m *Machine) takeSample(t int64) {
+	ms := m.ms
+	sm := metrics.SimSample{
+		Time:         t,
+		Instructions: m.counts.Instructions,
+		RemoteReads:  m.counts.RemoteReads,
+		RemoteWrites: m.counts.RemoteWrites,
+		BlkMoves:     m.counts.RemoteBlk,
+		LiveFibers:   m.liveFibers,
+	}
+	if m.fstats != nil {
+		sm.Retries = m.fstats.Retries
+		sm.Drops = m.fstats.Drops
+		sm.Dups = m.fstats.Dups
+		sm.Stalls = m.fstats.Stalls
+	}
+	sm.Nodes = make([]metrics.NodeSample, len(m.nodes))
+	for i, n := range m.nodes {
+		q, h := ms.suDone[i], ms.suHead[i]
+		for h < len(q) && q[h] <= t {
+			h++
+		}
+		if h == len(q) {
+			q, h = q[:0], 0
+			ms.suDone[i] = q
+		}
+		ms.suHead[i] = h
+		sm.Nodes[i] = metrics.NodeSample{
+			EUBusyNs: ms.euBusy[i],
+			SUBusyNs: ms.suBusy[i],
+			SUQueue:  int64(len(q) - h),
+			Ready:    int64(n.readyLen()),
+		}
+	}
+	if len(ms.links) > 0 {
+		keys := make([]uint32, 0, len(ms.links))
+		for k := range ms.links {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		sm.Links = make([]metrics.LinkSample, len(keys))
+		for i, k := range keys {
+			la := ms.links[k]
+			sm.Links[i] = metrics.LinkSample{Src: la.src, Dst: la.dst,
+				BusyNs: la.busy, Msgs: la.msgs, Words: la.words}
+		}
+	}
+	ms.last = t
+	ms.s.Record(sm)
+}

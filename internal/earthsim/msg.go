@@ -96,6 +96,9 @@ func (m *Machine) suSched(n *node, t, svc int64, g *msg) {
 	done := start + svc
 	n.suFree = done
 	m.tr.SUSpan(n.id, msgLabels[g.class][g.stage-1], g.mid, t, start, done)
+	if m.ms != nil {
+		m.ms.suObserve(n.id, done-start, done)
+	}
 	m.schedule(done, evSUEffect, n.id, g)
 }
 
@@ -138,11 +141,17 @@ func (m *Machine) netSched(src, dst *node, t int64, words int, g *msg) {
 	}
 	src.netLast[dst.id] = arrive
 	m.tr.NetSpan(src.id, dst.id, msgLabels[g.class][g.stage-1], g.mid, words, t, arrive)
+	if m.ms != nil {
+		m.ms.linkObserve(src.id, dst.id, arrive-t, int64(words))
+	}
 	m.schedule(arrive, evNetArrive, dst.id, g)
 	if dup != nil {
 		arrive++
 		src.netLast[dst.id] = arrive
 		m.tr.NetSpan(src.id, dst.id, msgLabels[dup.class][dup.stage-1], dup.mid, words, t, arrive)
+		if m.ms != nil {
+			m.ms.linkObserve(src.id, dst.id, arrive-t, int64(words))
+		}
 		m.schedule(arrive, evNetArrive, dst.id, dup)
 	}
 }

@@ -1,0 +1,83 @@
+package earthsim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseOverridesEmpty(t *testing.T) {
+	for _, spec := range []string{"", "   ", "\t"} {
+		cfg, err := ParseOverrides(spec)
+		if err != nil {
+			t.Errorf("ParseOverrides(%q) error: %v", spec, err)
+		}
+		if cfg != nil {
+			t.Errorf("ParseOverrides(%q) = %+v, want nil (no override)", spec, cfg)
+		}
+	}
+}
+
+func TestParseOverridesApplies(t *testing.T) {
+	cfg, err := ParseOverrides("NetLatency=2500, suservice =800")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NetLatency != 2500 {
+		t.Errorf("NetLatency = %d", cfg.NetLatency)
+	}
+	if cfg.SUService != 800 {
+		t.Errorf("case-insensitive name with spaces not applied: SUService = %d", cfg.SUService)
+	}
+	// Untouched fields keep the calibrated defaults.
+	def := DefaultConfig(1)
+	if cfg.EUIssue != def.EUIssue {
+		t.Errorf("EUIssue changed: %d vs default %d", cfg.EUIssue, def.EUIssue)
+	}
+}
+
+func TestParseOverridesErrors(t *testing.T) {
+	cases := []struct {
+		spec    string
+		wantSub string
+	}{
+		{"NetLatency", "want Name=value"},                     // no '='
+		{"NetLatency=abc", "bad cost override"},               // not a number
+		{"NetLatency=2.5", "bad cost override"},               // not an integer
+		{"NoSuchParam=5", "unknown cost parameter"},           // unknown name
+		{"NetLatency=-3", "non-negative"},                     // negative value
+		{"Nodes=8", "unknown cost parameter"},                 // Nodes is not settable
+		{"NetLatency=2500,bogus=1", "unknown cost parameter"}, // error after a valid entry
+	}
+	for _, tc := range cases {
+		cfg, err := ParseOverrides(tc.spec)
+		if err == nil {
+			t.Errorf("ParseOverrides(%q) accepted (cfg=%+v)", tc.spec, cfg)
+			continue
+		}
+		if cfg != nil {
+			t.Errorf("ParseOverrides(%q) returned a config alongside the error", tc.spec)
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("ParseOverrides(%q) error %q, want it to mention %q", tc.spec, err, tc.wantSub)
+		}
+	}
+}
+
+func TestConfigParamsListsInt64Fields(t *testing.T) {
+	params := ConfigParams()
+	if len(params) == 0 {
+		t.Fatal("no settable parameters")
+	}
+	seen := map[string]bool{}
+	for _, p := range params {
+		seen[p] = true
+	}
+	for _, want := range []string{"NetLatency", "SUService"} {
+		if !seen[want] {
+			t.Errorf("ConfigParams missing %s: %v", want, params)
+		}
+	}
+	if seen["Nodes"] {
+		t.Error("ConfigParams lists Nodes, which the run configuration owns")
+	}
+}

@@ -27,8 +27,15 @@ const (
 	chromeTidMsg = 3
 )
 
-// WriteChrome writes the recording as Chrome trace_event JSON.
+// WriteChrome writes the recording as Chrome trace_event JSON. The recorder
+// is locked for the duration, so a live simulation pauses recording while
+// the export runs — callers serving a run in flight should write into a
+// buffer, not a slow socket.
 func (r *Recorder) WriteChrome(w io.Writer) error {
+	if r != nil {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+	}
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n")
 	first := true

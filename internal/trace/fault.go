@@ -46,16 +46,20 @@ func (r *Recorder) Fault(k FaultKind, c Class, msgID int64, node, attempt int, t
 	if r == nil {
 		return
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.bump(t)
 	r.faults = append(r.faults, FaultEvent{
 		Kind: k, Class: c, MsgID: msgID, Node: node, Attempt: attempt, Time: t,
 	})
 }
 
-// FaultEvents returns the recorded fault events (recording order).
+// FaultEvents returns a copy of the recorded fault events (recording order).
 func (r *Recorder) FaultEvents() []FaultEvent {
 	if r == nil {
 		return nil
 	}
-	return r.faults
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]FaultEvent(nil), r.faults...)
 }

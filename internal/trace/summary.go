@@ -162,6 +162,8 @@ func (r *Recorder) Summarize() *Summary {
 	if r == nil {
 		return s
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	s.Nodes = r.nodes
 	s.Horizon = r.horizon
 

@@ -19,6 +19,8 @@
 // counts, SU queue statistics, and per-link network utilization.
 package trace
 
+import "sync"
+
 // Class enumerates the simulator's message classes (the kinds of traffic a
 // node's SU and the network carry).
 type Class int
@@ -97,10 +99,14 @@ type Span struct {
 	Words int
 }
 
-// Recorder accumulates one run's events. It is not safe for concurrent use;
-// the simulator is single-threaded and calls it from its event loop only.
-// A nil *Recorder is a valid, disabled sink: every method is nil-safe.
+// Recorder accumulates one run's events. The simulator is single-threaded
+// and records from its event loop only, but a Recorder is safe for
+// concurrent observation: a small internal mutex lets readers (Summarize,
+// WriteChrome, Msgs, …) run while a simulation is recording — this is how
+// the debug HTTP server serves a live trace summary mid-run. A nil
+// *Recorder is a valid, disabled sink: every method is nil-safe.
 type Recorder struct {
+	mu     sync.Mutex
 	nodes  int
 	msgs   []Msg
 	spans  []Span
@@ -123,6 +129,8 @@ func (r *Recorder) Reset() {
 	if r == nil {
 		return
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.msgs = r.msgs[:0]
 	r.spans = r.spans[:0]
 	r.faults = r.faults[:0]
@@ -135,6 +143,8 @@ func (r *Recorder) SetNodes(n int) {
 	if r == nil {
 		return
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if n > r.nodes {
 		r.nodes = n
 	}
@@ -145,23 +155,29 @@ func (r *Recorder) Nodes() int {
 	if r == nil {
 		return 0
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return r.nodes
 }
 
-// Msgs returns the recorded messages (issue order).
+// Msgs returns a copy of the recorded messages (issue order).
 func (r *Recorder) Msgs() []Msg {
 	if r == nil {
 		return nil
 	}
-	return r.msgs
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Msg(nil), r.msgs...)
 }
 
-// Spans returns the recorded busy intervals (recording order).
+// Spans returns a copy of the recorded busy intervals (recording order).
 func (r *Recorder) Spans() []Span {
 	if r == nil {
 		return nil
 	}
-	return r.spans
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Span(nil), r.spans...)
 }
 
 func (r *Recorder) bump(t int64) {
@@ -175,6 +191,8 @@ func (r *Recorder) MsgIssue(c Class, site string, src, dst int, fiber int64, wor
 	if r == nil {
 		return 0
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.bump(t)
 	r.msgs = append(r.msgs, Msg{
 		ID: int64(len(r.msgs) + 1), Class: c, Site: site,
@@ -186,7 +204,12 @@ func (r *Recorder) MsgIssue(c Class, site string, src, dst int, fiber int64, wor
 // MsgDone closes a message lifecycle. A zero id is ignored, so callers can
 // thread the id through unconditionally.
 func (r *Recorder) MsgDone(id, t int64) {
-	if r == nil || id <= 0 || id > int64(len(r.msgs)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if id <= 0 || id > int64(len(r.msgs)) {
 		return
 	}
 	r.bump(t)
@@ -198,6 +221,8 @@ func (r *Recorder) EUSpan(node int, fiber int64, name string, start, end int64) 
 	if r == nil {
 		return
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.bump(end)
 	r.spans = append(r.spans, Span{
 		Unit: UnitEU, Node: node, Name: name, Fiber: fiber, Start: start, End: end,
@@ -211,6 +236,8 @@ func (r *Recorder) SUSpan(node int, name string, msgID int64, enq, start, end in
 	if r == nil {
 		return
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.bump(end)
 	pend := r.suPend[node]
 	for len(pend) > 0 && pend[0] <= enq {
@@ -229,6 +256,8 @@ func (r *Recorder) NetSpan(src, dst int, name string, msgID int64, words int, st
 	if r == nil {
 		return
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.bump(end)
 	r.spans = append(r.spans, Span{
 		Unit: UnitNet, Node: src, Dst: dst, Name: name, MsgID: msgID,
@@ -241,6 +270,8 @@ func (r *Recorder) Horizon() int64 {
 	if r == nil {
 		return 0
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return r.horizon
 }
 

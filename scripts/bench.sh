@@ -1,16 +1,24 @@
 #!/usr/bin/env bash
 # Perf gate: run the compiler/simulator benchmarks and write the perf
-# trajectory to BENCH_pr3.json (committed at the repo root). Each entry
-# records host cost (ns/op, B/op, allocs/op) plus any custom metrics the
-# benchmark reports (guest_instructions, simple_ops, ...), so regressions
-# in either compile speed or simulator throughput show up in review diffs.
+# trajectory artifact (committed at the repo root). Each entry records host
+# cost (ns/op, B/op, allocs/op) plus any custom metrics the benchmark
+# reports (guest_instructions, simple_ops, ...), so regressions in either
+# compile speed or simulator throughput show up in review diffs.
 #
-# Usage: scripts/bench.sh [output.json]
+# Parsing and JSON encoding live in cmd/benchdiff (internal/benchfmt),
+# which escapes benchmark names properly — the awk emitter that used to
+# live here did not. The same tool diffs a fresh run against the committed
+# artifact: scripts/check.sh runs a quick smoke comparison, and
+#   go test -run '^$' -bench ... -benchmem . | go run ./cmd/benchdiff -baseline BENCH_pr5.json
+# is the full gate.
+#
+# Usage: scripts/bench.sh [output.json [faultsweep-output.json]]
 # BENCHTIME=2s scripts/bench.sh   # longer runs for quieter numbers
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_pr3.json}"
+out="${1:-BENCH_pr5.json}"
+fault_out="${2:-BENCH_fault_pr5.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
@@ -18,30 +26,11 @@ go test -run '^$' \
     -bench '^(BenchmarkCompile|BenchmarkSimulator|BenchmarkFig10)$' \
     -benchmem -benchtime "${BENCHTIME:-1s}" . | tee "$raw"
 
-awk -v goversion="$(go version | awk '{print $3}')" '
-function flush() {
-    if (name == "") return
-    if (!first) printf ",\n"
-    first = 0
-    printf "    {\"name\": \"%s\", \"iterations\": %s", name, iters
-    for (i = 1; i <= nm; i++) printf ", \"%s\": %s", mkey[i], mval[i]
-    printf "}"
-}
-BEGIN { first = 1; printf "{\n  \"go\": \"%s\",\n  \"benchmarks\": [\n", goversion }
-/^Benchmark/ {
-    flush()
-    name = $1; sub(/-[0-9]+$/, "", name); sub(/^Benchmark/, "", name)
-    iters = $2; nm = 0
-    for (i = 3; i + 1 <= NF; i += 2) {
-        unit = $(i + 1)
-        if (unit == "ns/op") key = "ns_per_op"
-        else if (unit == "B/op") key = "bytes_per_op"
-        else if (unit == "allocs/op") key = "allocs_per_op"
-        else { key = unit; gsub(/[^A-Za-z0-9_]/, "_", key) }
-        nm++; mkey[nm] = key; mval[nm] = $i
-    }
-}
-END { flush(); printf "\n  ]\n}\n" }
-' "$raw" > "$out"
-
+go run ./cmd/benchdiff -emit < "$raw" > "$out"
 echo "bench: wrote $out"
+
+# The reliable-messaging fault sweep is tracked across PRs like the perf
+# trajectory: every benchmark under increasing fault rates, checking
+# completion and result fidelity (deterministic for a fixed seed).
+go run ./cmd/paperbench -faultsweep -json -scale quick -out "$fault_out"
+echo "bench: wrote $fault_out"

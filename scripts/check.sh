@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 gate: formatting, vet, build, tests. Run before every commit.
 # Performance is gated separately: scripts/bench.sh regenerates the
-# checked-in perf trajectory (BENCH_pr3.json) — run it after touching the
+# checked-in perf trajectory (BENCH_pr5.json) — run it after touching the
 # compiler pipeline or the simulator hot path.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -18,11 +18,28 @@ go build ./...
 go test ./...
 # The whole module must also be clean under the race detector: the compiler
 # fans per-function analysis across a worker pool, units are driven from
-# concurrent goroutines in tests, and the trace recorder is documented
-# single-threaded — this catches any accidental sharing. This leg also runs
-# the fault-injection / reliable-messaging tests (internal/earthsim,
-# internal/harness) under the race detector.
+# concurrent goroutines in tests, and the trace recorder and metrics
+# registry are observed concurrently by the debug HTTP server — this
+# catches any accidental sharing. This leg also runs the fault-injection /
+# reliable-messaging tests (internal/earthsim, internal/harness) under the
+# race detector.
 go test -race ./...
+# Zero-cost pin: with telemetry disabled (no registry, no sampler) the
+# simulator must execute the identical guest schedule and allocate no more
+# per run than the BenchmarkSimulator baseline in BENCH_pr3.json; ditto for
+# the fault layer. (Also part of `go test ./...` above; rerun by name so a
+# perf-pin failure is unmistakable in CI logs.)
+go test -run 'ZeroCostWhenDisabled|RegistryRunOverheadBounded' -count=1 .
+# Perf-regression smoke leg: a short benchmark run diffed against the
+# committed trajectory with benchdiff's quick thresholds (directional
+# tolerances ×4; deterministic simulated quantities like guest_instructions
+# must still match exactly).
+if [ -f BENCH_pr5.json ]; then
+    go test -run '^$' \
+        -bench '^(BenchmarkCompile|BenchmarkSimulator|BenchmarkFig10)$' \
+        -benchmem -benchtime 50ms . \
+      | go run ./cmd/benchdiff -baseline BENCH_pr5.json -quick
+fi
 # Native-fuzz smoke leg: ten seconds of parser fuzzing, seeded from
 # testdata/ (including the malformed-input corpus). Catches panics the
 # hand-written corpus misses; a real finding lands in testdata/fuzz/.
