@@ -21,22 +21,7 @@ import (
 )
 
 // quickParams keeps each simulated run in the tens of milliseconds.
-func quickParams(bm *olden.Benchmark) olden.Params {
-	p := bm.DefaultParams
-	switch bm.Name {
-	case "power":
-		p.Size, p.Iters = 8, 2
-	case "perimeter":
-		p.Size = 5
-	case "tsp":
-		p.Size = 64
-	case "health":
-		p.Size, p.Iters = 3, 20
-	case "voronoi":
-		p.Size = 96
-	}
-	return p
-}
+func quickParams(bm *olden.Benchmark) olden.Params { return olden.QuickParams(bm) }
 
 // BenchmarkTable1 regenerates the Table I microbenchmarks once per
 // iteration and reports the measured per-operation costs.

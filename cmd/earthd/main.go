@@ -1,0 +1,99 @@
+// Command earthd is the sharded compile-and-simulate daemon: it accepts
+// EARTH-C compile-and-simulate jobs over HTTP/JSON, runs them across N
+// pipeline shards with single-flight batching of identical sources, and
+// serves aggregated telemetry.
+//
+// Usage:
+//
+//	earthd [flags]
+//
+//	-addr host:port   listen address (default :8080; use 127.0.0.1:0 for a
+//	                  random port — the bound address is logged)
+//	-shards N         pipeline shards (default GOMAXPROCS, capped at 8)
+//	-queue N          job queue depth; a full queue answers 429 with
+//	                  Retry-After (default 64)
+//	-j N              analysis workers per compile (default 1)
+//	-nodes N          default simulated machine size for jobs (default 4)
+//	-max-fuel N       per-job simulated instruction cap (default 500M;
+//	                  negative = unlimited)
+//	-job-deadline d   per-job host wall-clock bound (default 60s)
+//	-drain d          drain timeout on SIGINT/SIGTERM (default 30s)
+//
+// Submit a job:
+//
+//	curl -s localhost:8080/jobs -d '{"benchmark":"power","nodes":4,"quick":true}'
+//	curl -s localhost:8080/jobs -d '{"source":"int main() { return 42; }","nodes":1}'
+//
+// On SIGINT/SIGTERM the daemon stops intake (new submissions get 503),
+// finishes every accepted job, flushes in-flight responses, and exits 0;
+// jobs accepted before the signal are never lost.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	shards := flag.Int("shards", 0, "pipeline shards (0 = GOMAXPROCS capped at 8)")
+	queue := flag.Int("queue", 0, "job queue depth (0 = default 64)")
+	workers := flag.Int("j", 0, "analysis workers per compile (0 = default 1)")
+	nodes := flag.Int("nodes", 0, "default simulated machine size (0 = default 4)")
+	maxFuel := flag.Int64("max-fuel", 0, "per-job instruction cap (0 = default 500M, negative = unlimited)")
+	jobDeadline := flag.Duration("job-deadline", 0, "per-job host wall-clock bound (0 = default 60s)")
+	drain := flag.Duration("drain", 30*time.Second, "drain timeout on SIGINT/SIGTERM")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: earthd [flags]")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	d := server.New(server.Config{
+		Shards:       *shards,
+		QueueDepth:   *queue,
+		Workers:      *workers,
+		DefaultNodes: *nodes,
+		MaxFuel:      *maxFuel,
+		JobDeadline:  *jobDeadline,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "earthd:", err)
+		os.Exit(1)
+	}
+	srv := &http.Server{Handler: d.Handler()}
+	cfg := d.Config()
+	fmt.Fprintf(os.Stderr, "earthd: listening on %s (%d shards, queue %d)\n",
+		ln.Addr(), cfg.Shards, cfg.QueueDepth)
+
+	done := server.ShutdownOnSignal(*drain, func(ctx context.Context) error {
+		fmt.Fprintln(os.Stderr, "earthd: draining (intake stopped, finishing accepted jobs)")
+		// Drain first so every accepted job completes and its waiting
+		// handler gets the outcome, then let the HTTP server retire those
+		// in-flight responses.
+		if err := d.Drain(ctx); err != nil {
+			srv.Close()
+			return err
+		}
+		return srv.Shutdown(ctx)
+	})
+
+	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "earthd:", err)
+		os.Exit(1)
+	}
+	if err := <-done; err != nil {
+		fmt.Fprintln(os.Stderr, "earthd: drain failed:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "earthd: drained cleanly")
+}

@@ -1,0 +1,306 @@
+// Command earthload drives an earthd service with a mixed Olden workload at
+// configurable concurrency and reports sustained throughput and latency
+// percentiles — the proof that the sharded service holds up under
+// production-style traffic.
+//
+// Usage:
+//
+//	earthload [flags]
+//
+//	-addr URL     target an already-running earthd (e.g. http://localhost:8080)
+//	-selfhost     start an in-process earthd on a loopback port instead
+//	-shards N     selfhost shard count (default 4)
+//	-sweep list   selfhost shard-count sweep, e.g. "1,2,4,8": run the same
+//	              load at each count (implies -selfhost)
+//	-c N          concurrent clients (default 8)
+//	-n N          total jobs per run (default 40)
+//	-mix names    benchmark mix, round-robin (default all five Olden)
+//	-nodes N      simulated machine size per job (default 4)
+//	-full         use the benchmarks' full default sizes instead of the
+//	              quick parameters
+//	-bench        emit Go-benchmark-formatted result lines on stdout
+//	              (BenchmarkEarthload/shards=N ... jobs/sec) for
+//	              benchdiff -emit; human-readable stats go to stderr
+//
+// The exit status is 1 if any job failed.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/olden"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "", "target earthd base URL (empty with -selfhost)")
+	selfhost := flag.Bool("selfhost", false, "start an in-process earthd on a loopback port")
+	shards := flag.Int("shards", 4, "selfhost shard count")
+	sweep := flag.String("sweep", "", "selfhost shard sweep, e.g. \"1,2,4,8\" (implies -selfhost)")
+	conc := flag.Int("c", 8, "concurrent clients")
+	total := flag.Int("n", 40, "total jobs per run")
+	mix := flag.String("mix", "", "comma-separated benchmark mix (default: all five Olden)")
+	nodes := flag.Int("nodes", 4, "simulated machine size per job")
+	full := flag.Bool("full", false, "use full benchmark sizes instead of quick parameters")
+	bench := flag.Bool("bench", false, "emit Go-benchmark-formatted lines for benchdiff")
+	flag.Parse()
+
+	names := benchMix(*mix)
+	if names == nil {
+		fmt.Fprintf(os.Stderr, "earthload: unknown benchmark in -mix %q\n", *mix)
+		os.Exit(2)
+	}
+	if *sweep != "" {
+		*selfhost = true
+	}
+	if !*selfhost && *addr == "" {
+		fmt.Fprintln(os.Stderr, "earthload: need -addr URL or -selfhost")
+		os.Exit(2)
+	}
+
+	counts := []int{*shards}
+	if *sweep != "" {
+		counts = counts[:0]
+		for _, f := range strings.Split(*sweep, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "earthload: bad -sweep entry %q\n", f)
+				os.Exit(2)
+			}
+			counts = append(counts, n)
+		}
+	}
+
+	failed := false
+	for _, sc := range counts {
+		url := *addr
+		var stop func()
+		if *selfhost {
+			var err error
+			url, stop, err = selfhostServer(sc)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "earthload:", err)
+				os.Exit(1)
+			}
+		}
+		st := drive(url, names, *conc, *total, *nodes, !*full)
+		if stop != nil {
+			stop()
+		}
+		st.report(os.Stderr, sc)
+		if *bench {
+			// One line per shard count in `go test -bench` format so
+			// benchdiff -emit folds the sweep into the BENCH_*.json perf
+			// trajectory.
+			fmt.Printf("BenchmarkEarthload/shards=%d \t%8d\t%12.0f ns/op\t%12.2f jobs/sec\n",
+				sc, st.ok, st.meanNs(), st.jobsPerSec())
+		}
+		if st.failed > 0 {
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// benchMix resolves the -mix flag against the Olden registry (nil on an
+// unknown name).
+func benchMix(spec string) []string {
+	if spec == "" {
+		var names []string
+		for _, b := range olden.All() {
+			names = append(names, b.Name)
+		}
+		return names
+	}
+	var names []string
+	for _, f := range strings.Split(spec, ",") {
+		name := strings.TrimSpace(f)
+		if olden.ByName(name) == nil {
+			return nil
+		}
+		names = append(names, name)
+	}
+	return names
+}
+
+// selfhostServer starts an in-process earthd on a loopback port and returns
+// its base URL plus a stop function that drains it.
+func selfhostServer(shards int) (string, func(), error) {
+	d := server.New(server.Config{Shards: shards})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: d.Handler()}
+	go srv.Serve(ln)
+	stop := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		d.Drain(ctx)
+		srv.Shutdown(ctx)
+	}
+	return "http://" + ln.Addr().String(), stop, nil
+}
+
+// stats accumulates one load run's outcomes.
+type stats struct {
+	ok, failed, retried int
+	batched             int
+	latencies           []time.Duration // successful jobs only
+	wall                time.Duration
+	perShard            map[int]int
+}
+
+func (s *stats) jobsPerSec() float64 {
+	if s.wall <= 0 {
+		return 0
+	}
+	return float64(s.ok) / s.wall.Seconds()
+}
+
+func (s *stats) meanNs() float64 {
+	if s.ok == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range s.latencies {
+		sum += d
+	}
+	return float64(sum.Nanoseconds()) / float64(s.ok)
+}
+
+func (s *stats) pct(q float64) time.Duration {
+	if len(s.latencies) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(s.latencies)-1))
+	return s.latencies[i]
+}
+
+func (s *stats) report(w io.Writer, shards int) {
+	sort.Slice(s.latencies, func(i, j int) bool { return s.latencies[i] < s.latencies[j] })
+	fmt.Fprintf(w, "earthload: shards=%d jobs=%d failed=%d retried=%d wall=%.2fs\n",
+		shards, s.ok+s.failed, s.failed, s.retried, s.wall.Seconds())
+	fmt.Fprintf(w, "  throughput: %.2f jobs/sec sustained\n", s.jobsPerSec())
+	fmt.Fprintf(w, "  latency: p50=%s p95=%s p99=%s max=%s\n",
+		s.pct(0.50).Round(time.Millisecond), s.pct(0.95).Round(time.Millisecond),
+		s.pct(0.99).Round(time.Millisecond), s.pct(1.0).Round(time.Millisecond))
+	fmt.Fprintf(w, "  batching: %d of %d jobs shared a concurrent compile\n", s.batched, s.ok)
+	var ids []int
+	for id := range s.perShard {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var parts []string
+	for _, id := range ids {
+		parts = append(parts, fmt.Sprintf("%d:%d", id, s.perShard[id]))
+	}
+	fmt.Fprintf(w, "  shard distribution: %s\n", strings.Join(parts, " "))
+}
+
+// drive fires total jobs at the service from conc concurrent clients,
+// round-robining the benchmark mix, honoring 429/503 backpressure with the
+// server's Retry-After hint.
+func drive(base string, names []string, conc, total, nodes int, quick bool) *stats {
+	st := &stats{perShard: make(map[int]int)}
+	var mu sync.Mutex
+	var next atomic.Int64
+	client := &http.Client{Timeout: 5 * time.Minute}
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= total {
+					return
+				}
+				body, _ := json.Marshal(server.JobRequest{
+					Benchmark: names[i%len(names)],
+					Nodes:     nodes,
+					Quick:     quick,
+				})
+				jt0 := time.Now()
+				res, retries, err := post(client, base+"/jobs", body)
+				lat := time.Since(jt0)
+				mu.Lock()
+				st.retried += retries
+				if err != nil {
+					st.failed++
+					fmt.Fprintf(os.Stderr, "earthload: job %d (%s): %v\n", i, names[i%len(names)], err)
+				} else {
+					st.ok++
+					st.latencies = append(st.latencies, lat)
+					if res.Batched {
+						st.batched++
+					}
+					st.perShard[res.Shard]++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	st.wall = time.Since(t0)
+	return st
+}
+
+// post submits one job, retrying on 429/503 per the Retry-After hint (with
+// a short floor so loopback tests don't spin), and returns the decoded
+// result plus the retry count.
+func post(client *http.Client, url string, body []byte) (*server.JobResult, int, error) {
+	retries := 0
+	for {
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, retries, err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, retries, err
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			var r server.JobResult
+			if err := json.Unmarshal(data, &r); err != nil {
+				return nil, retries, err
+			}
+			return &r, retries, nil
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			if retries >= 100 {
+				return nil, retries, fmt.Errorf("status %d after %d retries", resp.StatusCode, retries)
+			}
+			retries++
+			delay := 50 * time.Millisecond
+			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+				// Honor the hint, but cap it: this is a load generator, and
+				// the hint is sized for polite clients.
+				if d := time.Duration(ra) * time.Second / 4; d > delay {
+					delay = d
+				}
+			}
+			time.Sleep(delay)
+		default:
+			return nil, retries, fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+		}
+	}
+}

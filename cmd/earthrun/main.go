@@ -33,11 +33,13 @@
 //	                  compiled code and the simulated result are identical
 //	                  for every worker count
 //	-http addr        serve live telemetry on addr (e.g. ":6060") while the
-//	                  run is in flight: /metrics (Prometheus), /metrics.json,
+//	                  run is in flight: /metrics (Prometheus, including
+//	                  process-level goroutine/GC/heap gauges), /metrics.json,
 //	                  /series.json (deterministic simulator time series),
 //	                  /healthz, /trace/summary and /trace.json (when tracing
 //	                  is on), and /debug/pprof/. The server lives until the
-//	                  process exits.
+//	                  process exits; SIGINT/SIGTERM drains it gracefully
+//	                  (in-flight scrapes finish) before the process stops.
 //
 // Fault spec keys: drop, dup, stall (probabilities in [0,1)); delay (max
 // extra hops, uniform); stallns, timeout (ns); retries; seed.
@@ -56,6 +58,7 @@ import (
 	"repro/internal/earthsim"
 	"repro/internal/metrics"
 	"repro/internal/profile"
+	"repro/internal/server"
 	"repro/internal/trace"
 )
 
@@ -254,6 +257,17 @@ func run(name, src string, ro runOpts) (*runResult, error) {
 			return nil, err
 		}
 		fmt.Fprintf(os.Stderr, "earthrun: telemetry at http://%s/\n", d.Addr)
+		// SIGINT/SIGTERM drains the debug server (in-flight scrapes finish)
+		// before the process exits, instead of the runtime's hard kill —
+		// the same drain helper earthd uses for its job queue.
+		go func() {
+			if err := <-server.ShutdownOnSignal(5*time.Second, d.Shutdown); err != nil {
+				fmt.Fprintln(os.Stderr, "earthrun: shutdown:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintln(os.Stderr, "earthrun: debug server drained; exiting on signal")
+			os.Exit(130)
+		}()
 	}
 	u, err := p.Compile(name, src)
 	if err != nil {

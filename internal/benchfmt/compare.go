@@ -50,6 +50,9 @@ func DefaultThresholds() Thresholds {
 			"opt_ops":            {Dir: Exact},
 			"opt_pct_of_simple":  {Limit: 0.01, Dir: Lower},
 			"improvement_pct":    {Limit: 0.05, Dir: Higher},
+			// Service throughput (cmd/earthload sweeps): end-to-end jobs/sec
+			// over loopback HTTP is the noisiest metric in the trajectory.
+			"jobs_sec": {Limit: 0.60, Dir: Higher},
 		},
 		Default: Rule{Limit: 0.25, Dir: Lower},
 	}

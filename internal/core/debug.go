@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -48,6 +49,10 @@ type runRecord struct {
 // naming the option to set.
 func (p *Pipeline) DebugHandler() http.Handler {
 	mux := http.NewServeMux()
+	// Process-level runtime metrics (goroutines, GC, heap) are collected at
+	// scrape time into their own registry so the pipeline registry's
+	// deterministic exposition is untouched.
+	proc := metrics.NewProcessCollector()
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
@@ -86,6 +91,8 @@ func (p *Pipeline) DebugHandler() http.Handler {
 		if rec := p.liveRun(); rec != nil {
 			rec.sampler.WritePrometheus(&buf)
 		}
+		proc.Collect()
+		proc.WritePrometheus(&buf)
 		w.Write(buf.Bytes())
 	})
 	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
@@ -151,6 +158,12 @@ type DebugServer struct {
 
 // Close shuts the server down immediately.
 func (d *DebugServer) Close() error { return d.srv.Close() }
+
+// Shutdown drains the server gracefully: the listener closes, in-flight
+// requests run to completion (bounded by ctx), and only then does Shutdown
+// return. This is the drain hook `earthrun -http` and earthd wire to
+// SIGINT/SIGTERM (see internal/server.ShutdownOnSignal).
+func (d *DebugServer) Shutdown(ctx context.Context) error { return d.srv.Shutdown(ctx) }
 
 // ServeDebug binds addr (e.g. ":6060", "localhost:0") and serves
 // DebugHandler on it in a background goroutine. The returned server's Addr

@@ -1,0 +1,42 @@
+package metrics
+
+// Merge returns a fresh registry holding the element-wise union of regs:
+// same-named counters and gauges sum, histograms pool their samples
+// (trace.Hist.Merge), and help text comes from the first registry that
+// defines a name. Nil registries are skipped, so callers can pass optional
+// sinks unconditionally.
+//
+// This is the aggregation step behind earthd's single scrape endpoint: each
+// pipeline shard records into its own registry (no cross-shard contention on
+// the hot path), and every /metrics request folds the shard registries plus
+// the service registry into one exposition. Merge takes point-in-time
+// snapshots of each source registry in turn; it is safe to call while the
+// sources are being written, with the usual scrape semantics (values from
+// different registries may be from slightly different instants).
+func Merge(regs ...*Registry) *Registry {
+	out := NewRegistry()
+	for _, r := range regs {
+		if r == nil {
+			continue
+		}
+		r.mu.Lock()
+		counters := r.sortedCounters()
+		gauges := r.sortedGauges()
+		hists := r.sortedHists()
+		r.mu.Unlock()
+		for _, c := range counters {
+			out.Counter(c.name, c.help).Add(c.Value())
+		}
+		for _, g := range gauges {
+			out.Gauge(g.name, g.help).Add(g.Value())
+		}
+		for _, h := range hists {
+			s := h.Snapshot()
+			oh := out.Histogram(h.name, h.help)
+			oh.mu.Lock()
+			oh.h.Merge(&s)
+			oh.mu.Unlock()
+		}
+	}
+	return out
+}

@@ -44,6 +44,26 @@ func All() []*Benchmark {
 	}
 }
 
+// QuickParams returns parameters that keep one simulated run in the tens of
+// milliseconds of host time — the sizes the repo-root benchmarks, the load
+// generator (cmd/earthload), and service smoke tests share.
+func QuickParams(b *Benchmark) Params {
+	p := b.DefaultParams
+	switch b.Name {
+	case "power":
+		p.Size, p.Iters = 8, 2
+	case "perimeter":
+		p.Size = 5
+	case "tsp":
+		p.Size = 64
+	case "health":
+		p.Size, p.Iters = 3, 20
+	case "voronoi":
+		p.Size = 96
+	}
+	return p
+}
+
 // ByName finds a benchmark.
 func ByName(name string) *Benchmark {
 	for _, b := range All() {

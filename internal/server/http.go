@@ -1,0 +1,226 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Handler returns the service's HTTP mux:
+//
+//	POST /jobs        submit one JobRequest, respond with its JobResult
+//	POST /jobs/batch  submit a JSON array of JobRequests; the response
+//	                  streams one NDJSON line per job as it completes
+//	GET  /metrics     Prometheus text: service + all shards + process,
+//	                  merged into one exposition
+//	GET  /metrics.json  the same merged registry as JSON
+//	GET  /healthz     liveness, queue occupancy, per-shard job counts
+//	GET  /series.json?shard=N  the shard's current-run simulator time series
+//
+// Submission status codes: 200 success; 400 malformed or invalid request;
+// 422 well-formed but uncompilable/unrunnable program; 429 queue full
+// (with Retry-After); 503 draining (with Retry-After).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "earthd compile-and-simulate service\n\n"+
+			"POST /jobs         submit one job (JSON)\n"+
+			"POST /jobs/batch   submit an array of jobs; NDJSON results stream back\n"+
+			"GET  /metrics      aggregated Prometheus exposition\n"+
+			"GET  /metrics.json aggregated registry as JSON\n"+
+			"GET  /healthz      liveness + queue + shard status\n"+
+			"GET  /series.json  per-shard simulator time series (?shard=N)\n")
+	})
+	mux.HandleFunc("/jobs", s.handleJob)
+	mux.HandleFunc("/jobs/batch", s.handleBatch)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.MergedRegistry().WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		s.MergedRegistry().WriteJSON(w)
+	})
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/series.json", s.handleSeries)
+	return mux
+}
+
+// retryAfter stamps the backpressure hint on 429/503 responses.
+func (s *Server) retryAfter(w http.ResponseWriter) {
+	secs := int(s.cfg.RetryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+}
+
+// writeJobError renders a job-level failure as JSON with its status code.
+func (s *Server) writeJobError(w http.ResponseWriter, jerr *jobError) {
+	if jerr.status == 429 || jerr.status == 503 {
+		s.retryAfter(w)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(jerr.status)
+	json.NewEncoder(w).Encode(struct {
+		Error string `json:"error"`
+	}{jerr.msg})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		http.Error(w, "POST a JobRequest JSON body", http.StatusMethodNotAllowed)
+		return
+	}
+	var req JobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.reject("invalid")
+		s.writeJobError(w, errf(400, "bad request body: %v", err))
+		return
+	}
+	res, jerr := s.Submit(&req)
+	if jerr != nil {
+		s.writeJobError(w, jerr)
+		return
+	}
+	// The job is accepted: it will run to completion even if the client
+	// departs, and the drain path guarantees the outcome arrives.
+	select {
+	case out := <-res:
+		if out.err != nil {
+			s.writeJobError(w, out.err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(out.result)
+	case <-r.Context().Done():
+		// Client gone; the worker's buffered send still completes.
+	}
+}
+
+// handleBatch accepts a JSON array of JobRequests and streams one NDJSON
+// line per job in completion order (each line carries the submission index).
+// Jobs the queue cannot accept are reported inline as error lines; the
+// stream itself is always 200 once the array parses.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		http.Error(w, "POST a JSON array of JobRequests", http.StatusMethodNotAllowed)
+		return
+	}
+	var reqs []JobRequest
+	if err := json.NewDecoder(r.Body).Decode(&reqs); err != nil {
+		s.reject("invalid")
+		s.writeJobError(w, errf(400, "bad request body: %v", err))
+		return
+	}
+	if len(reqs) == 0 {
+		s.writeJobError(w, errf(400, "empty batch"))
+		return
+	}
+	type line struct {
+		Index  int        `json:"index"`
+		Status int        `json:"status"`
+		Error  string     `json:"error,omitempty"`
+		Result *JobResult `json:"result,omitempty"`
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	emit := func(l line) {
+		enc.Encode(l)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	// Submit everything first so concurrent duplicates batch, then stream
+	// outcomes in completion order.
+	type pending struct {
+		index int
+		res   <-chan jobOutcome
+	}
+	done := make(chan line, len(reqs))
+	inFlight := 0
+	for i := range reqs {
+		res, jerr := s.Submit(&reqs[i])
+		if jerr != nil {
+			emit(line{Index: i, Status: jerr.status, Error: jerr.msg})
+			continue
+		}
+		inFlight++
+		go func(p pending) {
+			out := <-p.res
+			if out.err != nil {
+				done <- line{Index: p.index, Status: out.err.status, Error: out.err.msg}
+				return
+			}
+			done <- line{Index: p.index, Status: 200, Result: out.result}
+		}(pending{index: i, res: res})
+	}
+	for ; inFlight > 0; inFlight-- {
+		select {
+		case l := <-done:
+			emit(l)
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	type shardHealth struct {
+		Shard int   `json:"shard"`
+		Jobs  int64 `json:"jobs"`
+	}
+	h := struct {
+		Status    string        `json:"status"`
+		Draining  bool          `json:"draining"`
+		UptimeMs  int64         `json:"uptime_ms"`
+		QueueLen  int           `json:"queue_len"`
+		QueueCap  int           `json:"queue_cap"`
+		Accepted  int64         `json:"accepted"`
+		Completed int64         `json:"completed"`
+		Shards    []shardHealth `json:"shards"`
+	}{
+		Status:    "ok",
+		Draining:  s.Draining(),
+		UptimeMs:  time.Since(s.start).Milliseconds(),
+		QueueLen:  len(s.queue),
+		QueueCap:  s.cfg.QueueDepth,
+		Accepted:  s.accepted.Load(),
+		Completed: s.completed.Load(),
+	}
+	if h.Draining {
+		h.Status = "draining"
+	}
+	for _, sh := range s.shards {
+		h.Shards = append(h.Shards, shardHealth{Shard: sh.id, Jobs: sh.jobs.Load()})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(h)
+}
+
+// handleSeries serves one shard's current-run simulator time series — the
+// same deterministic sampler surface as `earthrun -http`'s /series.json,
+// per shard.
+func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
+	shardIx := 0
+	if v := r.URL.Query().Get("shard"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 || n >= len(s.shards) {
+			http.Error(w, fmt.Sprintf("shard must be in [0,%d)", len(s.shards)), http.StatusBadRequest)
+			return
+		}
+		shardIx = n
+	}
+	w.Header().Set("Content-Type", "application/json")
+	s.shards[shardIx].sampler.WriteSeriesJSON(w)
+}

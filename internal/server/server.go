@@ -1,0 +1,439 @@
+// Package server implements earthd, the long-lived sharded
+// compile-and-simulate service over core.Pipeline: jobs (EARTH-C source ×
+// cost-model/fault config) arrive over HTTP/JSON, flow through a bounded
+// queue with backpressure, and execute on one of N pipeline shards. Three
+// properties make it a traffic-serving system rather than a CLI in a loop:
+//
+//   - Backpressure, not buffering. The job queue is bounded; when it is
+//     full the service answers 429 with a Retry-After hint instead of
+//     accepting unbounded work. A draining server answers 503.
+//
+//   - Single-flight batching. Concurrent submissions of the same source
+//     (keyed by profile.HashSource plus the compile-relevant options) share
+//     one compile: the first submission compiles, the duplicates wait on it
+//     and run the shared unit. Compilation is deterministic, so identical
+//     requests produce byte-identical result payloads whether or not they
+//     were batched.
+//
+//   - Aggregated observability. Each shard records into its own
+//     metrics.Registry (no cross-shard contention); every /metrics scrape
+//     folds the shard registries, the service registry, and process-level
+//     runtime metrics into one exposition via metrics.Merge.
+//
+// Drain (wired to SIGTERM in cmd/earthd) stops intake, lets the workers
+// finish every accepted job, and only then releases the HTTP server — an
+// accepted job is never lost to a shutdown.
+package server
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/profile"
+	"repro/internal/trace"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Shards is the number of pipeline shards, each with a dedicated worker
+	// goroutine and its own metrics registry (default GOMAXPROCS, capped at
+	// 8).
+	Shards int
+	// QueueDepth bounds the job queue (default 64). A full queue rejects
+	// with 429 + Retry-After.
+	QueueDepth int
+	// Workers is the per-compile analysis worker count (core.Options.Workers;
+	// default 1 — shard-level parallelism is usually the better use of cores
+	// under load).
+	Workers int
+	// DefaultNodes is the machine size for jobs that don't specify one
+	// (default 4).
+	DefaultNodes int
+	// MaxFuel caps simulated EU instructions per job, including jobs that
+	// ask for no limit, so one runaway program cannot pin a shard forever
+	// (default 500M; set negative for unlimited).
+	MaxFuel int64
+	// JobDeadline bounds host wall-clock time per job run (default 60s).
+	JobDeadline time.Duration
+	// RetryAfter is the hint returned with 429/503 responses (default 1s).
+	RetryAfter time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = min(runtime.GOMAXPROCS(0), 8)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.DefaultNodes <= 0 {
+		c.DefaultNodes = 4
+	}
+	if c.MaxFuel == 0 {
+		c.MaxFuel = 500_000_000
+	}
+	if c.JobDeadline <= 0 {
+		c.JobDeadline = 60 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// shard is one execution lane: a dedicated worker goroutine draining the
+// shared queue into this shard's pipelines. The registry, trace recorder,
+// and sampler are per-shard so the hot path never contends across shards;
+// the recorder and sampler are reused job to job (the worker is sequential)
+// and the scrape endpoints read them concurrently through their own locks.
+type shard struct {
+	id      int
+	reg     *metrics.Registry
+	rec     *trace.Recorder
+	sampler *metrics.Sampler
+	jobs    atomic.Int64 // jobs completed on this shard
+}
+
+// flight is one shared compile. Jobs attach at submit time (refs, guarded
+// by Server.fmu) and the first worker to reach an attached job performs the
+// compile; the entry lives until the last attached job has executed, so the
+// batching window spans the whole queue residency of the duplicates — not
+// just the compile's own duration. Submit-time attachment is what makes the
+// guarantee deterministic: any set of identical jobs submitted while one of
+// them is still pending or running shares exactly one compile.
+type flight struct {
+	refs    int  // attached jobs not yet finished executing
+	started bool // a worker has claimed the compile
+	done    chan struct{}
+	unit    *core.Unit
+	err     error
+}
+
+// Server is the sharded compile-and-simulate service.
+type Server struct {
+	cfg    Config
+	reg    *metrics.Registry // service-level registry
+	proc   *metrics.ProcessCollector
+	shards []*shard
+	start  time.Time
+
+	mu       sync.Mutex // guards draining + queue close
+	draining bool
+	queue    chan *job
+
+	fmu     sync.Mutex
+	flights map[string]*flight
+
+	nextID    atomic.Uint64
+	accepted  atomic.Int64
+	completed atomic.Int64
+
+	wg sync.WaitGroup
+}
+
+// New builds a server and starts its shard workers.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		reg:     metrics.NewRegistry(),
+		proc:    metrics.NewProcessCollector(),
+		queue:   make(chan *job, cfg.QueueDepth),
+		flights: make(map[string]*flight),
+		start:   time.Now(),
+	}
+	s.reg.Gauge("earthd_shards", "Pipeline shards serving the job queue.").Set(int64(cfg.Shards))
+	for i := 0; i < cfg.Shards; i++ {
+		sh := &shard{
+			id:      i,
+			reg:     metrics.NewRegistry(),
+			rec:     trace.NewRecorder(0),
+			sampler: metrics.NewSampler(0, 0),
+		}
+		s.shards = append(s.shards, sh)
+		s.wg.Add(1)
+		go s.worker(sh)
+	}
+	return s
+}
+
+// Config returns the effective (defaulted) configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// Submit validates req and places it on the queue, returning the channel
+// the job's outcome arrives on. A *jobError return means the job was NOT
+// accepted: 400 for validation failures, 429 when the queue is full, 503
+// when the server is draining. Once accepted, a job always produces exactly
+// one outcome, even through a drain.
+func (s *Server) Submit(req *JobRequest) (<-chan jobOutcome, *jobError) {
+	name, src, jerr := resolve(req)
+	if jerr != nil {
+		s.reject("invalid")
+		return nil, jerr
+	}
+	if _, _, jerr := runSpec(req); jerr != nil {
+		s.reject("invalid")
+		return nil, jerr
+	}
+	j := &job{
+		id:   s.nextID.Add(1),
+		req:  req,
+		name: name,
+		src:  src,
+		key:  compileKey(profile.HashSource(src), req.optimize()),
+		enq:  time.Now(),
+		res:  make(chan jobOutcome, 1),
+	}
+	// Attach to the compile flight before enqueueing so a worker can never
+	// dequeue the job ahead of its flight registration.
+	s.attach(j.key)
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.release(j.key)
+		s.reject("draining")
+		return nil, errf(503, "server is draining")
+	}
+	select {
+	case s.queue <- j:
+		s.mu.Unlock()
+		s.accepted.Add(1)
+		s.reg.Counter("earthd_jobs_accepted_total", "Jobs accepted into the queue.").Inc()
+		return j.res, nil
+	default:
+		s.mu.Unlock()
+		s.release(j.key)
+		s.reject("queue_full")
+		return nil, errf(429, "queue full (%d jobs deep); retry later", s.cfg.QueueDepth)
+	}
+}
+
+func (s *Server) reject(reason string) {
+	s.reg.Counter(fmt.Sprintf("earthd_jobs_rejected_total{reason=%q}", reason),
+		"Jobs rejected before entering the queue.").Inc()
+}
+
+// Drain stops intake and waits (bounded by ctx) for the workers to finish
+// every accepted job. Idempotent; concurrent calls all wait.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		// Closing the queue still delivers every buffered job to the
+		// workers; they exit when it is empty.
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("drain: %w (%d of %d accepted jobs completed)",
+			ctx.Err(), s.completed.Load(), s.accepted.Load())
+	}
+}
+
+// Draining reports whether intake has stopped.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// worker drains the shared queue into one shard until drain closes it.
+func (s *Server) worker(sh *shard) {
+	defer s.wg.Done()
+	for j := range s.queue {
+		out := s.execute(sh, j)
+		s.release(j.key)
+		if out.err != nil {
+			s.reg.Counter("earthd_jobs_failed_total", "Accepted jobs that failed to compile or run.").Inc()
+		}
+		s.completed.Add(1)
+		sh.jobs.Add(1)
+		s.reg.Counter("earthd_jobs_completed_total", "Jobs completed (success or failure).").Inc()
+		j.res <- out
+	}
+}
+
+// compileKey keys the single-flight table: only compile-relevant inputs
+// participate, so jobs that differ in run configuration still share a
+// compile.
+func compileKey(hash string, optimize bool) string {
+	return fmt.Sprintf("%s|opt=%t", hash, optimize)
+}
+
+// attach joins (creating if needed) the compile flight for key.
+func (s *Server) attach(key string) {
+	s.fmu.Lock()
+	f := s.flights[key]
+	if f == nil {
+		f = &flight{done: make(chan struct{})}
+		s.flights[key] = f
+	}
+	f.refs++
+	s.fmu.Unlock()
+}
+
+// release detaches one job from its flight, disposing the entry when the
+// last attached job is done with the unit. Single-flight, not a cache: once
+// no attached job remains, the next identical submission compiles afresh
+// (content-hashed persistent caching is a separate roadmap item).
+func (s *Server) release(key string) {
+	s.fmu.Lock()
+	if f := s.flights[key]; f != nil {
+		f.refs--
+		if f.refs <= 0 {
+			delete(s.flights, key)
+		}
+	}
+	s.fmu.Unlock()
+}
+
+// compileShared resolves j's compile: the first worker to reach any job
+// attached to the flight performs it, and every other attached job waits
+// and shares the unit. The returned bool reports whether this job shared
+// another job's compile (batched). Compilation is deterministic, so the
+// shared unit is byte-identical to what a private compile would have
+// produced.
+func (s *Server) compileShared(sh *shard, j *job) (*core.Unit, bool, error) {
+	s.fmu.Lock()
+	f := s.flights[j.key]
+	if f == nil {
+		// Unreachable by construction (Submit attaches before enqueue, and
+		// the job itself still holds a ref), but fail soft rather than
+		// deadlock if the invariant is ever broken.
+		f = &flight{refs: 1, done: make(chan struct{})}
+		s.flights[j.key] = f
+	}
+	if f.started {
+		s.fmu.Unlock()
+		s.reg.Counter("earthd_batch_shared_total", "Jobs whose compile was shared with a concurrent identical submission.").Inc()
+		<-f.done
+		return f.unit, true, f.err
+	}
+	f.started = true
+	s.fmu.Unlock()
+
+	s.reg.Counter("earthd_compiles_total", "Distinct compiles performed (batched duplicates excluded).").Inc()
+	p := core.NewPipeline(core.Options{
+		Optimize: j.req.optimize(),
+		Workers:  s.cfg.Workers,
+		Metrics:  sh.reg,
+	})
+	f.unit, f.err = p.Compile(j.name, j.src)
+	close(f.done)
+	return f.unit, false, f.err
+}
+
+// execute runs one job on sh. Compile errors and run failures (traps,
+// deadlocks, exhausted limits) map to 422: the request was well-formed but
+// the program is not executable as submitted.
+func (s *Server) execute(sh *shard, j *job) jobOutcome {
+	queueNs := time.Since(j.enq).Nanoseconds()
+	s.reg.Histogram("earthd_queue_wait_ns", "Host time jobs spent queued.").Observe(queueNs)
+
+	req := j.req
+	machine, faults, jerr := runSpec(req) // re-parse; validated at submit
+	if jerr != nil {
+		return jobOutcome{err: jerr}
+	}
+	nodes := req.Nodes
+	if nodes <= 0 {
+		nodes = s.cfg.DefaultNodes
+	}
+	fuel := req.Fuel
+	if s.cfg.MaxFuel > 0 && (fuel <= 0 || fuel > s.cfg.MaxFuel) {
+		fuel = s.cfg.MaxFuel
+	}
+
+	t0 := time.Now()
+	u, batched, err := s.compileShared(sh, j)
+	compileNs := time.Since(t0).Nanoseconds()
+	if err != nil {
+		return jobOutcome{err: errf(422, "compile: %v", err)}
+	}
+
+	// Traced jobs get a pipeline carrying the shard's recorder; the worker
+	// is sequential, so Reset-per-job reuse is safe while scrapes read the
+	// recorder through its own lock.
+	runOpts := core.Options{Workers: s.cfg.Workers, Metrics: sh.reg}
+	if req.TraceSummary {
+		sh.rec.Reset()
+		runOpts.Trace = sh.rec
+	}
+	sh.sampler.Reset()
+	rp := core.NewPipeline(runOpts)
+	t0 = time.Now()
+	res, err := rp.Run(u, core.RunConfig{
+		Nodes:      nodes,
+		Sequential: req.Sequential,
+		Machine:    machine,
+		Fuel:       fuel,
+		Deadline:   s.cfg.JobDeadline,
+		Faults:     faults,
+		Sampler:    sh.sampler,
+	})
+	runNs := time.Since(t0).Nanoseconds()
+	if err != nil {
+		return jobOutcome{err: errf(422, "run: %v", err)}
+	}
+
+	r := &JobResult{
+		ID:         j.id,
+		Name:       j.name,
+		Benchmark:  req.Benchmark,
+		SourceHash: u.SourceHash,
+		Shard:      sh.id,
+		Batched:    batched,
+		Nodes:      nodes,
+		Optimized:  req.optimize(),
+		TimeNs:     res.Time,
+		Output:     res.Output,
+		MainRet:    res.MainRet,
+		Counts:     res.Counts,
+		Faults:     res.Faults,
+		Warnings:   u.Warnings,
+		QueueNs:    queueNs,
+		CompileNs:  compileNs,
+		RunNs:      runNs,
+	}
+	if req.TraceSummary {
+		sum := sh.rec.Summarize()
+		r.TraceSummary = sum.String()
+		brief := sum.Brief()
+		r.Trace = &brief
+	}
+	return jobOutcome{result: r}
+}
+
+// MergedRegistry folds the service registry, every shard registry, and the
+// latest process-metrics snapshot into one point-in-time registry — the
+// body of a /metrics scrape.
+func (s *Server) MergedRegistry() *Registry {
+	s.reg.Gauge("earthd_queue_depth", "Jobs currently queued.").Set(int64(len(s.queue)))
+	s.proc.Collect()
+	regs := make([]*metrics.Registry, 0, len(s.shards)+2)
+	regs = append(regs, s.reg, s.proc.Registry())
+	for _, sh := range s.shards {
+		regs = append(regs, sh.reg)
+	}
+	return metrics.Merge(regs...)
+}
+
+// Registry aliases metrics.Registry for the package's public surface.
+type Registry = metrics.Registry

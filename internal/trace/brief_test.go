@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestHistMerge(t *testing.T) {
+	var a, b Hist
+	for _, v := range []int64{3, 100, 4096} {
+		a.Add(v)
+	}
+	for _, v := range []int64{1, 1 << 30} {
+		b.Add(v)
+	}
+	a.Merge(&b)
+	if a.N != 5 || a.Sum != 3+100+4096+1+(1<<30) {
+		t.Errorf("merged N=%d Sum=%d", a.N, a.Sum)
+	}
+	if a.Min != 1 || a.Max != 1<<30 {
+		t.Errorf("merged Min=%d Max=%d", a.Min, a.Max)
+	}
+	var total int64
+	for _, c := range a.Buckets {
+		total += c
+	}
+	if total != 5 {
+		t.Errorf("bucket counts sum to %d, want 5", total)
+	}
+	if q := a.Quantile(1.0); q < a.Max {
+		t.Errorf("q100 %d < max %d after merge", q, a.Max)
+	}
+}
+
+func TestHistMergeEdgeCases(t *testing.T) {
+	var a Hist
+	a.Add(7)
+	before := a
+	a.Merge(nil)
+	a.Merge(&Hist{})
+	if a != before {
+		t.Error("merging nil/empty changed the histogram")
+	}
+
+	// Merging into an empty histogram copies the source exactly.
+	var empty Hist
+	empty.Merge(&before)
+	if empty != before {
+		t.Errorf("empty.Merge(x) = %+v, want %+v", empty, before)
+	}
+}
+
+func TestSummaryBrief(t *testing.T) {
+	rec := NewRecorder(2)
+	// Two completed messages and one still in flight at the horizon.
+	id1 := rec.MsgIssue(ClassGet, "a.ec:1", 0, 1, 1, 2, 100)
+	rec.MsgDone(id1, 900)
+	id2 := rec.MsgIssue(ClassPut, "a.ec:2", 1, 0, 1, 4, 200)
+	rec.MsgDone(id2, 5000)
+	rec.MsgIssue(ClassGet, "a.ec:3", 0, 1, 1, 2, 300)
+	sum := rec.Summarize()
+	b := sum.Brief()
+
+	if b.Nodes != 2 || b.Msgs != 3 || b.Words != 8 || b.Incomplete != 1 {
+		t.Errorf("brief = %+v", b)
+	}
+	// Completed latencies are 800 and 4800 ns; the pooled quantiles must
+	// bracket them (bucket upper edges).
+	if b.LatencyMaxNs != 4800 {
+		t.Errorf("LatencyMaxNs = %d, want 4800", b.LatencyMaxNs)
+	}
+	if b.LatencyP50Ns < 800 || b.LatencyP50Ns > b.LatencyP95Ns {
+		t.Errorf("quantiles out of order: p50=%d p95=%d", b.LatencyP50Ns, b.LatencyP95Ns)
+	}
+	if b.Faults != 0 || b.Retries != 0 || b.Drops != 0 {
+		t.Errorf("fault fields should be zero: %+v", b)
+	}
+
+	// The digest is part of the earthd wire format: stable JSON keys.
+	j, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"nodes"`, `"msgs"`, `"latency_p50_ns"`, `"latency_p95_ns"`} {
+		if !strings.Contains(string(j), key) {
+			t.Errorf("digest JSON missing %s: %s", key, j)
+		}
+	}
+	// Zero-valued fault fields are omitted from the wire format.
+	if strings.Contains(string(j), `"retries"`) {
+		t.Errorf("zero retries should be omitted: %s", j)
+	}
+
+	// Brief is deterministic for equal summaries.
+	if b2 := rec.Summarize().Brief(); b != b2 {
+		t.Errorf("Brief not deterministic: %+v vs %+v", b, b2)
+	}
+}

@@ -40,6 +40,28 @@ func (h *Hist) Add(v int64) {
 	h.Sum += v
 }
 
+// Merge pools o's samples into h (bucket-wise; Min/Max/Sum/N combine).
+// Aggregators use this to fold per-class or per-shard histograms into one:
+// Summary.Brief folds class latencies, and the metrics registry merge in
+// internal/metrics folds per-shard pipeline histograms for the earthd
+// scrape endpoint.
+func (h *Hist) Merge(o *Hist) {
+	if o == nil || o.N == 0 {
+		return
+	}
+	for i, c := range o.Buckets {
+		h.Buckets[i] += c
+	}
+	if h.N == 0 || o.Min < h.Min {
+		h.Min = o.Min
+	}
+	if o.Max > h.Max {
+		h.Max = o.Max
+	}
+	h.N += o.N
+	h.Sum += o.Sum
+}
+
 // Mean is the average sample (0 when empty).
 func (h *Hist) Mean() int64 {
 	if h.N == 0 {
@@ -279,6 +301,49 @@ func (r *Recorder) Summarize() *Summary {
 		return s.Links[i].Dst < s.Links[j].Dst
 	})
 	return s
+}
+
+// Brief is a compact, JSON-friendly digest of a Summary: total message
+// traffic and end-to-end latency quantiles pooled across classes, without
+// the per-site/per-node tables. The compile-and-simulate service (earthd)
+// attaches one to each traced job's result so clients get machine-readable
+// per-job communication telemetry without parsing the text report.
+type Brief struct {
+	Nodes        int   `json:"nodes"`
+	HorizonNs    int64 `json:"horizon_ns"`
+	Msgs         int64 `json:"msgs"`
+	Words        int64 `json:"words"`
+	Incomplete   int64 `json:"incomplete"`
+	LatencyP50Ns int64 `json:"latency_p50_ns"`
+	LatencyP95Ns int64 `json:"latency_p95_ns"`
+	LatencyMaxNs int64 `json:"latency_max_ns"`
+	Faults       int64 `json:"faults,omitempty"`
+	Retries      int64 `json:"retries,omitempty"`
+	Drops        int64 `json:"drops,omitempty"`
+}
+
+// Brief reduces the summary to its digest. Deterministic for equal
+// summaries.
+func (s *Summary) Brief() Brief {
+	b := Brief{Nodes: s.Nodes, HorizonNs: s.Horizon, Faults: s.Faults.Total()}
+	var all Hist
+	for i := range s.Classes {
+		cs := &s.Classes[i]
+		b.Msgs += cs.Count
+		b.Words += cs.Words
+		b.Incomplete += cs.Incomplete
+		all.Merge(&cs.Latency)
+	}
+	b.LatencyP50Ns = all.Quantile(0.50)
+	b.LatencyP95Ns = all.Quantile(0.95)
+	b.LatencyMaxNs = all.Max
+	for _, n := range s.Faults.Retries {
+		b.Retries += n
+	}
+	for _, n := range s.Faults.Drops {
+		b.Drops += n
+	}
+	return b
 }
 
 // pct renders busy/total as a percentage.

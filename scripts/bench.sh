@@ -12,13 +12,15 @@
 #   go test -run '^$' -bench ... -benchmem . | go run ./cmd/benchdiff -baseline BENCH_pr5.json
 # is the full gate.
 #
-# Usage: scripts/bench.sh [output.json [faultsweep-output.json]]
+# Usage: scripts/bench.sh [output.json [faultsweep-output.json [load-output.json]]]
 # BENCHTIME=2s scripts/bench.sh   # longer runs for quieter numbers
+# LOADJOBS=80 scripts/bench.sh    # more jobs per earthload sweep point
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_pr5.json}"
 fault_out="${2:-BENCH_fault_pr5.json}"
+load_out="${3:-BENCH_pr6.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
@@ -34,3 +36,13 @@ echo "bench: wrote $out"
 # completion and result fidelity (deterministic for a fixed seed).
 go run ./cmd/paperbench -faultsweep -json -scale quick -out "$fault_out"
 echo "bench: wrote $fault_out"
+
+# Service throughput sweep: earthload drives a self-hosted earthd through
+# 1/2/4/8 pipeline shards with the mixed Olden workload and emits
+# BenchmarkEarthload/shards=N lines (jobs/sec, mean job latency) that join
+# the benchdiff-gated trajectory. scripts/check.sh diffs a short rerun
+# against this artifact.
+go run ./cmd/earthload -sweep 1,2,4,8 -c 8 -n "${LOADJOBS:-40}" -bench \
+    2> >(sed 's/^/  /' >&2) > "$raw"
+go run ./cmd/benchdiff -emit < "$raw" > "$load_out"
+echo "bench: wrote $load_out"

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 gate: formatting, vet, build, tests. Run before every commit.
 # Performance is gated separately: scripts/bench.sh regenerates the
-# checked-in perf trajectory (BENCH_pr5.json) — run it after touching the
-# compiler pipeline or the simulator hot path.
+# checked-in perf trajectory (BENCH_pr5.json, BENCH_pr6.json) — run it
+# after touching the compiler pipeline, the simulator hot path, or the
+# earthd service.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -39,6 +40,57 @@ if [ -f BENCH_pr5.json ]; then
         -bench '^(BenchmarkCompile|BenchmarkSimulator|BenchmarkFig10)$' \
         -benchmem -benchtime 50ms . \
       | go run ./cmd/benchdiff -baseline BENCH_pr5.json -quick
+fi
+# Service smoke leg: boot a real earthd on an ephemeral port, submit one
+# good job and one malformed job over HTTP, then verify SIGTERM produces a
+# clean drain (exit 0, "drained cleanly" in the log). This exercises the
+# binary end to end — flag parsing, listener bootstrap, the HTTP surface,
+# and the signal path — which no in-process test does.
+earthd_bin="$(mktemp)"
+earthd_log="$(mktemp)"
+trap 'rm -f "$earthd_bin" "$earthd_log"' EXIT
+go build -o "$earthd_bin" ./cmd/earthd
+"$earthd_bin" -addr 127.0.0.1:0 -shards 2 >"$earthd_log" 2>&1 &
+earthd_pid=$!
+for _ in $(seq 1 50); do
+    grep -q 'listening on' "$earthd_log" && break
+    sleep 0.1
+done
+port=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$earthd_log")
+if [ -z "$port" ]; then
+    echo "earthd smoke: server never announced its port" >&2
+    cat "$earthd_log" >&2
+    exit 1
+fi
+ok_code=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+    "http://127.0.0.1:$port/jobs" -d '{"benchmark":"power","quick":true,"nodes":4}')
+bad_code=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+    "http://127.0.0.1:$port/jobs" -d '{"benchmark":"no-such-benchmark"}')
+kill -TERM "$earthd_pid"
+if ! wait "$earthd_pid"; then
+    echo "earthd smoke: dirty exit after SIGTERM" >&2
+    cat "$earthd_log" >&2
+    exit 1
+fi
+if [ "$ok_code" != 200 ] || [ "$bad_code" != 400 ]; then
+    echo "earthd smoke: good job -> $ok_code (want 200), malformed -> $bad_code (want 400)" >&2
+    cat "$earthd_log" >&2
+    exit 1
+fi
+grep -q 'drained cleanly' "$earthd_log" || {
+    echo "earthd smoke: no clean-drain message in log:" >&2
+    cat "$earthd_log" >&2
+    exit 1
+}
+echo "earthd smoke: 200/400/clean drain ok"
+# Service throughput smoke: a short earthload sweep diffed against the
+# committed BENCH_pr6.json trajectory. Loopback jobs/sec is the noisiest
+# metric in the trajectory, so the quick tolerances are wide; the full
+# gate is scripts/bench.sh.
+if [ -f BENCH_pr6.json ]; then
+    go run ./cmd/earthload -sweep 1,2,4,8 -c 8 -n 16 -bench 2>/dev/null \
+      | go run ./cmd/benchdiff -baseline BENCH_pr6.json -quick \
+            -tol 'ns_per_op=2.0,jobs_sec=0.85'
 fi
 # Native-fuzz smoke leg: ten seconds of parser fuzzing, seeded from
 # testdata/ (including the malformed-input corpus). Catches panics the
