@@ -15,6 +15,7 @@ package repro_test
 import (
 	"testing"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/olden"
@@ -95,6 +96,32 @@ func BenchmarkCompile(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := p.Compile("health.ec", src); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompileWarm measures recompiling the unchanged source against a
+// warm compile cache: the unit LRU serves the same immutable unit, so the
+// warm cost is hashing the source plus one lookup. Paired with
+// BenchmarkCompile in BENCH_pr7.json, it pins the cache contract — warm
+// recompile under 10% of cold — in the benchdiff gate.
+func BenchmarkCompileWarm(b *testing.B) {
+	bm := olden.ByName("health")
+	src := bm.Source(bm.DefaultParams)
+	p := core.NewPipeline(core.Options{Optimize: true, Cache: cache.New(0, "")})
+	req := core.CompileRequest{Name: "health.ec", Source: src}
+	if _, err := p.Do(req); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := p.Do(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Hit {
+			b.Fatal("warm compile missed the cache")
 		}
 	}
 }

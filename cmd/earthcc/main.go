@@ -25,19 +25,22 @@
 //	-nodes N           machine size for -profile-gen (default 1)
 //	-j N               compile with N analysis workers (0 = all CPUs); the
 //	                   output is identical for every worker count
+//	-cache-dir dir     persist compile artifacts under dir; a later
+//	                   -dump=threaded of unchanged source is served from the
+//	                   store without compiling (corrupted entries fall back
+//	                   to a cold compile)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/earthc"
 	"repro/internal/profile"
 	"repro/internal/simple"
-	"repro/internal/threaded"
 )
 
 func main() {
@@ -54,6 +57,7 @@ func main() {
 	profUse := flag.String("profile-use", "", "optimize using a previously collected profile (implies -O)")
 	nodes := flag.Int("nodes", 1, "machine size for -profile-gen")
 	workers := flag.Int("j", 0, "analysis worker count (0 = all CPUs); output is identical for any value")
+	cacheDir := flag.String("cache-dir", "", "persist compile artifacts here and serve -dump=threaded/-report from valid entries")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: earthcc [flags] file.ec")
@@ -87,17 +91,46 @@ func main() {
 	opts := core.Options{Optimize: *optimize, NoInline: *noInline, ReorderFields: *reorder,
 		Stats: *stats, Workers: *workers}
 	opts.Sel.BlockThreshold = *threshold
+	req := core.CompileRequest{Name: name, Source: string(src)}
 	if *profUse != "" {
 		p, err := profile.ReadFile(*profUse)
 		if err != nil {
 			fatal(err)
 		}
-		opts.Profile = p
+		req.Profile = p
 		opts.Optimize = true
 	}
-	u, err := core.NewPipeline(opts).Compile(name, string(src))
+	var c *cache.Cache
+	if *cacheDir != "" {
+		c = cache.New(0, *cacheDir)
+		opts.Cache = c
+	}
+	p := core.NewPipeline(opts)
+	// Disk fast path: when the requested outputs are exactly the persisted
+	// artifacts, a valid cache entry serves them without compiling.
+	// Corrupted or truncated entries fail validation and fall through to a
+	// cold compile.
+	if c != nil && *dump == "threaded" && !*stats && *fnFilter == "" {
+		if a, ok := c.LoadArtifact(p.CacheKey(req)); ok {
+			for _, w := range a.Warnings {
+				fmt.Fprintln(os.Stderr, "earthcc: warning:", w)
+			}
+			fmt.Print(a.Disasm)
+			if *report && a.Report != "" {
+				fmt.Println(a.Report)
+			}
+			fmt.Fprintln(os.Stderr, "earthcc: cache: 1 disk hit (compile skipped)")
+			return
+		}
+	}
+	res, err := p.Do(req)
 	if err != nil {
 		fatal(err)
+	}
+	u := res.Unit
+	if c != nil {
+		fmt.Fprintf(os.Stderr, "earthcc: cache: %d function(s) reused, %d recompiled\n",
+			res.FuncsReused, res.FuncsRecompiled)
 	}
 	for _, w := range u.Warnings {
 		fmt.Fprintln(os.Stderr, "earthcc: warning:", w)
@@ -118,18 +151,11 @@ func main() {
 			}
 		}
 	case "threaded":
-		tp, err := u.Threaded(threaded.Options{})
+		disasm, err := u.Disasm()
 		if err != nil {
 			fatal(err)
 		}
-		names := make([]string, 0, len(tp.Funcs))
-		for n := range tp.Funcs {
-			names = append(names, n)
-		}
-		sort.Strings(names)
-		for _, n := range names {
-			fmt.Println(tp.Funcs[n].Disasm())
-		}
+		fmt.Print(disasm)
 	case "placement":
 		if u.Placement == nil {
 			fatal(fmt.Errorf("placement sets require -O"))

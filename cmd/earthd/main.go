@@ -18,6 +18,9 @@
 //	                  negative = unlimited)
 //	-job-deadline d   per-job host wall-clock bound (default 60s)
 //	-drain d          drain timeout on SIGINT/SIGTERM (default 30s)
+//	-cache-size N     shared compile cache capacity in units (default 64;
+//	                  negative disables caching)
+//	-cache-dir dir    persist compile artifacts under dir across restarts
 //
 // Submit a job:
 //
@@ -50,6 +53,8 @@ func main() {
 	maxFuel := flag.Int64("max-fuel", 0, "per-job instruction cap (0 = default 500M, negative = unlimited)")
 	jobDeadline := flag.Duration("job-deadline", 0, "per-job host wall-clock bound (0 = default 60s)")
 	drain := flag.Duration("drain", 30*time.Second, "drain timeout on SIGINT/SIGTERM")
+	cacheSize := flag.Int("cache-size", 0, "compile cache capacity in units (0 = default 64, negative = disabled)")
+	cacheDir := flag.String("cache-dir", "", "persist compile artifacts here across restarts")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: earthd [flags]")
@@ -64,6 +69,8 @@ func main() {
 		DefaultNodes: *nodes,
 		MaxFuel:      *maxFuel,
 		JobDeadline:  *jobDeadline,
+		CacheSize:    *cacheSize,
+		CacheDir:     *cacheDir,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -234,6 +234,7 @@ func drive(base string, names []string, conc, total, nodes int, quick bool) *sta
 					return
 				}
 				body, _ := json.Marshal(server.JobRequest{
+					V:         server.SchemaVersion,
 					Benchmark: names[i%len(names)],
 					Nodes:     nodes,
 					Quick:     quick,

@@ -249,7 +249,7 @@ type runResult struct {
 }
 
 func run(name, src string, ro runOpts) (*runResult, error) {
-	p := core.NewPipeline(core.Options{Optimize: ro.optimize, Profile: ro.prof,
+	p := core.NewPipeline(core.Options{Optimize: ro.optimize,
 		Trace: ro.rec, Workers: ro.workers, Metrics: ro.reg})
 	if ro.httpAddr != "" {
 		d, err := p.ServeDebug(ro.httpAddr)
@@ -269,10 +269,11 @@ func run(name, src string, ro runOpts) (*runResult, error) {
 			os.Exit(130)
 		}()
 	}
-	u, err := p.Compile(name, src)
+	cres, err := p.Do(core.CompileRequest{Name: name, Source: src, Profile: ro.prof})
 	if err != nil {
 		return nil, err
 	}
+	u := cres.Unit
 	for _, w := range u.Warnings {
 		fmt.Fprintln(os.Stderr, "earthrun: warning:", w)
 	}

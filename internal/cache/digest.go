@@ -1,0 +1,318 @@
+// Per-function keys and analysis-facts digests for the incremental layer.
+//
+// A function's compiled (transformed) body is a deterministic function of
+// two inputs:
+//
+//   - its own pristine SIMPLE body plus the signatures of the functions it
+//     calls (FuncHash) under a fixed environment of struct layouts and
+//     globals (EnvHash), and
+//   - the whole-program analysis facts the placement analysis and
+//     communication selection consult about it: locality verdicts and
+//     points-to sets of the variables it can name, whether their storage
+//     is reachable through pointers, and the transitive effect summaries
+//     of its direct callees (FactsDigest).
+//
+// The analyses themselves are always re-run from scratch on the pristine
+// program — they are whole-program fixpoints, and transformed bodies must
+// never feed them (split-phase opcodes generate no points-to constraints,
+// and blocked transfers inflate effect summaries). What the digest buys is
+// skipping the *transformation* (placement + selection), which dominates
+// optimized compile time, for every function whose facts are unchanged —
+// MARS-style usage-based invalidation: an edit invalidates exactly the
+// edited functions plus the functions whose consulted facts it altered.
+//
+// All renderings qualify variable names by owning function ("fn:v", or
+// "g:v" for globals) so identically-named locals in different functions can
+// never collide, and the rendering of a points-to set is injective within
+// one compile.
+package cache
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/contenthash"
+	"repro/internal/locality"
+	"repro/internal/placement"
+	"repro/internal/pointsto"
+	"repro/internal/rwsets"
+	"repro/internal/simple"
+
+	"repro/internal/commsel"
+)
+
+// FuncRecord is one function's cached compile artifacts, valid while both
+// Hash and Digest match a fresh compile's values.
+type FuncRecord struct {
+	// Hash keys the function's pristine content: its canonical SIMPLE body,
+	// its variable table, and the signatures of every function it calls.
+	Hash string
+	// Digest keys the analysis facts consumed by placement + selection
+	// (see FactsDigest).
+	Digest string
+	// Fn is the transformed SIMPLE function from the compile that created
+	// the record; it is spliced verbatim into the next program whose Hash
+	// and Digest match.
+	Fn *simple.Func
+	// Reads / Writes / EntryReads / ExitWrites are the function's slice of
+	// the placement result (keyed by its own statements).
+	Reads      map[simple.Stmt]*placement.Set
+	Writes     map[simple.Stmt]*placement.Set
+	EntryReads *placement.Set
+	ExitWrites *placement.Set
+	// Report is the function's communication-selection report.
+	Report *commsel.FuncReport
+	// Verdicts lists the function's variables that locality analysis proved
+	// local in the compile that created the record; splicing installs them
+	// onto the reused Var objects (locality.Result.Set).
+	Verdicts []*simple.Var
+}
+
+// ProgramState is the incremental state of one (fingerprint, unit name)
+// pair: everything the next compile needs to reuse per-function work.
+type ProgramState struct {
+	// EnvHash keys the shared environment (struct layouts + globals); a
+	// mismatch invalidates every record.
+	EnvHash string
+	// Globals are the global Var objects of the compile that created the
+	// state. Re-lowering injects them by name (lower.ProgramInto) so spliced
+	// bodies and freshly-compiled bodies reference identical objects.
+	Globals []*simple.Var
+	// Funcs maps function name to its record.
+	Funcs map[string]*FuncRecord
+}
+
+// GlobalsByName returns the injection map for lower.ProgramInto.
+func (st *ProgramState) GlobalsByName() map[string]*simple.Var {
+	m := make(map[string]*simple.Var, len(st.Globals))
+	for _, g := range st.Globals {
+		m[g.Name] = g
+	}
+	return m
+}
+
+// StateKey derives the key incremental state is stored under.
+func StateKey(fingerprint, unitName string) string {
+	return contenthash.Parts("state", fingerprint, unitName)
+}
+
+// UnitKey derives the unit-LRU key from the options fingerprint and the
+// canonical source hash.
+func UnitKey(fingerprint, sourceHash string) string {
+	return contenthash.Parts("unit", fingerprint, sourceHash)
+}
+
+// Qualify builds the program-wide qualified-name table used by every
+// digest rendering: "g:name" for globals, "fn:name" for a function's
+// params and locals.
+func Qualify(prog *simple.Program) map[*simple.Var]string {
+	qual := make(map[*simple.Var]string)
+	for _, g := range prog.Globals {
+		qual[g] = "g:" + g.Name
+	}
+	for _, f := range prog.Funcs {
+		for _, v := range f.Params {
+			qual[v] = f.Name + ":" + v.Name
+		}
+		for _, v := range f.Locals {
+			qual[v] = f.Name + ":" + v.Name
+		}
+	}
+	return qual
+}
+
+// varLine renders one variable's identity-relevant attributes.
+func varLine(v *simple.Var) string {
+	return fmt.Sprintf("%s kind=%d type=%s shared=%t size=%d",
+		v.Name, v.Kind, v.Type, v.Shared, v.Size)
+}
+
+// sigOf renders a function's signature: everything a caller's compiled
+// form can depend on without depending on the body.
+func sigOf(f *simple.Func) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s(", f.Ret, f.Name)
+	for i, p := range f.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(varLine(p))
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// calleeNames returns the sorted, deduplicated names of the user functions
+// f calls (inlining already ran, so these are the calls that survive to
+// code generation).
+func calleeNames(f *simple.Func) []string {
+	seen := make(map[string]bool)
+	simple.WalkBasics(f.Body, func(b *simple.Basic) {
+		if b.Kind == simple.KCall && b.Fun != "" {
+			seen[b.Fun] = true
+		}
+	})
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// FuncHash is the content hash of a function's pristine form: its variable
+// table (types matter to code generation even when the printed body is
+// unchanged), its canonical labeled SIMPLE body, and the signatures of
+// everything it calls.
+func FuncHash(f *simple.Func, prog *simple.Program) string {
+	var vars strings.Builder
+	for _, v := range f.Params {
+		vars.WriteString("p " + varLine(v) + "\n")
+	}
+	for _, v := range f.Locals {
+		vars.WriteString("l " + varLine(v) + "\n")
+	}
+	parts := []string{
+		vars.String(),
+		simple.FuncString(f, simple.PrintOptions{Labels: true}),
+	}
+	for _, name := range calleeNames(f) {
+		if g := prog.FuncByName(name); g != nil {
+			parts = append(parts, sigOf(g))
+		} else {
+			parts = append(parts, "extern "+name)
+		}
+	}
+	return contenthash.Parts(parts...)
+}
+
+// EnvHash keys the environment shared by every function: struct word
+// layouts, and the global variable table with constant initializers.
+func EnvHash(prog *simple.Program) string {
+	var b strings.Builder
+	names := make([]string, 0, len(prog.Structs))
+	for n := range prog.Structs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		lay := prog.Structs[n]
+		fmt.Fprintf(&b, "struct %s size=%d", n, lay.Size)
+		for _, fl := range lay.Fields {
+			fmt.Fprintf(&b, " %s@%d#%d", fl, lay.Offsets[fl], lay.FieldSizes[fl])
+		}
+		b.WriteString("\n")
+	}
+	for _, g := range prog.Globals {
+		b.WriteString("global " + varLine(g))
+		if init, ok := prog.GlobalInit[g]; ok {
+			fmt.Fprintf(&b, " init=%d", init)
+		}
+		b.WriteString("\n")
+	}
+	return contenthash.Parts(b.String())
+}
+
+// locString renders an abstract location with qualified names. Allocation
+// sites render via their own String (function name + statement label),
+// which is injective within one compile.
+func locString(l pointsto.Loc, qual map[*simple.Var]string) string {
+	if v, ok := l.Base.(*simple.Var); ok {
+		if q, ok := qual[v]; ok {
+			return fmt.Sprintf("%s+%d", q, l.Off)
+		}
+		return fmt.Sprintf("?%s+%d", v.Name, l.Off)
+	}
+	return fmt.Sprintf("%s+%d", l.Base.(*pointsto.AllocSite), l.Off)
+}
+
+func locSetString(s pointsto.LocSet, qual map[*simple.Var]string) string {
+	items := make([]string, 0, len(s))
+	for l := range s {
+		items = append(items, locString(l, qual))
+	}
+	sort.Strings(items)
+	return strings.Join(items, ",")
+}
+
+// summaryString renders a function's transitive effect summary.
+func summaryString(eff *rwsets.Effects, qual map[*simple.Var]string) string {
+	if eff == nil {
+		return "nil"
+	}
+	var lines []string
+	for v := range eff.VarReads {
+		lines = append(lines, "R "+qual[v])
+	}
+	for v := range eff.VarWrites {
+		lines = append(lines, "W "+qual[v])
+	}
+	via := func(v rwsets.Via) string {
+		if v.P == nil {
+			return "other"
+		}
+		return fmt.Sprintf("%s+%d", qual[v.P], v.Off)
+	}
+	for l, vs := range eff.Reads {
+		for _, v := range vs {
+			lines = append(lines, fmt.Sprintf("r %s via %s", locString(l, qual), via(v)))
+		}
+	}
+	for l, vs := range eff.Writes {
+		for _, v := range vs {
+			lines = append(lines, fmt.Sprintf("w %s via %s", locString(l, qual), via(v)))
+		}
+	}
+	if eff.HasCall {
+		lines = append(lines, "call")
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// FactsDigest renders every whole-program analysis fact that placement and
+// selection consult about f: locality, address-takenness, and points-to
+// sets for each variable f can name (its params and locals plus every
+// global), and the transitive effect summaries of its direct callees. Two
+// compiles that agree on FuncHash, EnvHash, and FactsDigest transform f
+// identically.
+func FactsDigest(f *simple.Func, prog *simple.Program, pt *pointsto.Result,
+	rw *rwsets.Result, loc *locality.Result, qual map[*simple.Var]string) string {
+	var b strings.Builder
+	scope := make([]*simple.Var, 0, len(f.Params)+len(f.Locals)+len(prog.Globals))
+	scope = append(scope, f.Params...)
+	scope = append(scope, f.Locals...)
+	scope = append(scope, prog.Globals...)
+	for _, v := range scope {
+		fmt.Fprintf(&b, "%s at=%t loc=%t pts={%s}\n",
+			qual[v], pt.AddressTaken(v), loc.IsLocal(v), locSetString(pt.Pts(v), qual))
+	}
+	parts := []string{b.String()}
+	for _, name := range calleeNames(f) {
+		g := prog.FuncByName(name)
+		if g == nil {
+			parts = append(parts, "extern "+name)
+			continue
+		}
+		parts = append(parts, "callee "+name+"\n"+summaryString(rw.Summary[g], qual))
+	}
+	return contenthash.Parts(parts...)
+}
+
+// CollectVerdicts snapshots which of f's variables locality proved local,
+// for installation when the record is spliced into a later compile.
+func CollectVerdicts(f *simple.Func, loc *locality.Result) []*simple.Var {
+	var out []*simple.Var
+	for _, v := range f.Params {
+		if loc.IsLocal(v) {
+			out = append(out, v)
+		}
+	}
+	for _, v := range f.Locals {
+		if loc.IsLocal(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+// On-disk artifact store: textual compile artifacts persisted across
+// process runs. Analysis results are webs of pointer-identity-keyed maps
+// and cannot round-trip through serialization, so the disk layer stores
+// what *can*: the threaded-code disassembly, the selection report, and
+// compile warnings, keyed like the unit LRU. Consumers that only need
+// those artifacts (earthcc -dump=threaded / -report under -cache-dir)
+// skip compilation entirely on a disk hit; everything else treats the
+// store as write-through.
+//
+// Entries self-validate: each carries its own key and a checksum over its
+// payload fields. A mismatch — truncation, corruption, a hash-scheme
+// change — deletes the entry and reports a miss, so a damaged cache
+// directory degrades to cold compiles, never to wrong output.
+package cache
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/contenthash"
+)
+
+// Artifact is one persisted compile result.
+type Artifact struct {
+	// Key is the unit key the artifact was stored under; verified on load.
+	Key string `json:"key"`
+	// Name and SourceHash identify the compiled unit for humans and for
+	// staleness checks by external tooling.
+	Name       string `json:"name"`
+	SourceHash string `json:"source_hash,omitempty"`
+	// Disasm is the canonical threaded-code disassembly (functions sorted
+	// by name), byte-identical to what a cold compile prints.
+	Disasm string `json:"disasm"`
+	// Report is the communication-selection report ("" when not optimizing).
+	Report string `json:"report,omitempty"`
+	// Warnings are the compile's non-fatal notes.
+	Warnings []string `json:"warnings,omitempty"`
+	// Checksum covers every field above; see checksum().
+	Checksum string `json:"checksum"`
+}
+
+func (a *Artifact) checksum() string {
+	parts := []string{a.Key, a.Name, a.SourceHash, a.Disasm, a.Report}
+	parts = append(parts, a.Warnings...)
+	return contenthash.Parts(parts...)
+}
+
+// artifactPath maps a unit key ("sha256:<hex>") to a file path. The hex
+// digest is already filesystem-safe; the scheme prefix is dropped.
+func (c *Cache) artifactPath(key string) string {
+	name := strings.TrimPrefix(key, "sha256:")
+	return filepath.Join(c.dir, name+".json")
+}
+
+// StoreArtifact persists a under key. Errors are returned for diagnostics
+// but are safe to ignore: the store is an optimization, never a
+// correctness dependency.
+func (c *Cache) StoreArtifact(key string, a *Artifact) error {
+	if c == nil || c.dir == "" || key == "" {
+		return nil
+	}
+	a.Key = key
+	a.Checksum = a.checksum()
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return err
+	}
+	path := c.artifactPath(key)
+	// Write-then-rename so a crash mid-write leaves no truncated entry
+	// under the real name (a truncated entry would be detected anyway).
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadArtifact fetches the artifact stored under key. Missing, truncated,
+// corrupted, or mis-keyed entries report (nil, false); invalid entries are
+// deleted so they are not re-validated on every lookup.
+func (c *Cache) LoadArtifact(key string) (*Artifact, bool) {
+	if c == nil || c.dir == "" || key == "" {
+		return nil, false
+	}
+	path := c.artifactPath(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		c.mu.Lock()
+		c.stats.DiskMisses++
+		c.mu.Unlock()
+		return nil, false
+	}
+	a := &Artifact{}
+	if err := json.Unmarshal(data, a); err == nil &&
+		a.Key == key && a.Checksum == a.checksum() {
+		c.mu.Lock()
+		c.stats.DiskHits++
+		c.mu.Unlock()
+		return a, true
+	}
+	os.Remove(path)
+	c.mu.Lock()
+	c.stats.DiskCorrupt++
+	c.stats.DiskMisses++
+	c.mu.Unlock()
+	return nil, false
+}

@@ -1,0 +1,319 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/cache"
+)
+
+// Three-function program, revision 1. The revisions below edit exactly one
+// function each, in ways chosen to exercise the incremental cache's two
+// gates (the function content hash and the analysis-facts digest).
+const incHeader = `
+struct Point {
+	double x;
+	double y;
+	struct Point *next;
+};
+`
+
+const incBuildV1 = `
+Point *build(int n) {
+	Point *head;
+	Point *p;
+	int i;
+	head = NULL;
+	for (i = 0; i < n; i++) {
+		p = alloc_on(Point, 1);
+		p->x = dbl(i);
+		p->y = dbl(i * 2);
+		p->next = head;
+		head = p;
+	}
+	return head;
+}
+`
+
+// Revision 2: build's arithmetic changes (i*2 -> i*3). Its content hash
+// changes but its effect summary — which fields of which objects it reads
+// and writes — does not, so callers' facts digests are untouched.
+const incBuildV2 = `
+Point *build(int n) {
+	Point *head;
+	Point *p;
+	int i;
+	head = NULL;
+	for (i = 0; i < n; i++) {
+		p = alloc_on(Point, 1);
+		p->x = dbl(i);
+		p->y = dbl(i * 3);
+		p->next = head;
+		head = p;
+	}
+	return head;
+}
+`
+
+const incSumV1 = `
+double sumlist(Point *p) {
+	double s;
+	s = 0.0;
+	while (p != NULL) {
+		s = s + p->x + p->y;
+		p = p->next;
+	}
+	return s;
+}
+`
+
+const incMain = `
+int main() {
+	Point *head;
+	double s;
+	head = build(20);
+	s = sumlist(head);
+	print_double(s);
+	return trunc(s);
+}
+`
+
+// incOpts compiles without inlining so the three functions stay distinct
+// compilation units for the per-function cache.
+func incOpts(c *cache.Cache) Options {
+	return Options{Optimize: true, NoInline: true, Cache: c}
+}
+
+// TestIncrementalReuseOnEdit: editing one function recompiles only that
+// function; the untouched ones are served from the per-function cache, and
+// the result is byte-identical to a cold compile of the edited source.
+func TestIncrementalReuseOnEdit(t *testing.T) {
+	v1 := incHeader + incBuildV1 + incSumV1 + incMain
+	v2 := incHeader + incBuildV2 + incSumV1 + incMain
+	c := cache.New(0, "")
+	p := NewPipeline(incOpts(c))
+
+	r1, err := p.Do(CompileRequest{Name: "inc.ec", Source: v1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Hit || r1.FuncsReused != 0 || r1.FuncsRecompiled != 3 {
+		t.Fatalf("cold compile: hit=%t reused=%d recompiled=%d, want 0/3",
+			r1.Hit, r1.FuncsReused, r1.FuncsRecompiled)
+	}
+
+	r2, err := p.Do(CompileRequest{Name: "inc.ec", Source: v2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Hit {
+		t.Fatal("edited source reported a whole-unit hit")
+	}
+	if r2.FuncsRecompiled != 1 || r2.FuncsReused != 2 {
+		t.Errorf("edit of build: reused=%d recompiled=%d, want 2 reused, 1 recompiled",
+			r2.FuncsReused, r2.FuncsRecompiled)
+	}
+
+	// Correctness contract: the incremental build of v2 is byte-identical to
+	// a cold build of v2 — same disassembly, same report, same visible
+	// behavior on a real run.
+	cold, err := NewPipeline(incOpts(nil)).Do(CompileRequest{Name: "inc.ec", Source: v2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmD, err := r2.Unit.Disasm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldD, err := cold.Unit.Disasm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmD != coldD {
+		t.Errorf("incremental disassembly differs from cold:\n--- warm ---\n%s\n--- cold ---\n%s", warmD, coldD)
+	}
+	if w, c := r2.Unit.Report.String(), cold.Unit.Report.String(); w != c {
+		t.Errorf("incremental report differs from cold:\n%s\nvs\n%s", w, c)
+	}
+	warmRes, err := runUnit(r2.Unit, RunConfig{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldRes, err := runUnit(cold.Unit, RunConfig{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmRes.Visible() != coldRes.Visible() {
+		t.Errorf("incremental run visible state differs from cold:\n%s\nvs\n%s",
+			warmRes.Visible(), coldRes.Visible())
+	}
+}
+
+// TestIncrementalDependentInvalidation: an edit that changes a function's
+// effect summary (sumlist stops reading p->y) must also recompile its
+// callers — their facts digests consumed that summary — while unrelated
+// functions are still reused.
+func TestIncrementalDependentInvalidation(t *testing.T) {
+	v1 := incHeader + incBuildV1 + incSumV1 + incMain
+	sumV2 := strings.Replace(incSumV1, "s + p->x + p->y", "s + p->x", 1)
+	if sumV2 == incSumV1 {
+		t.Fatal("test bug: edit did not apply")
+	}
+	v2 := incHeader + incBuildV1 + sumV2 + incMain
+	c := cache.New(0, "")
+	p := NewPipeline(incOpts(c))
+	if _, err := p.Do(CompileRequest{Name: "dep.ec", Source: v1}); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := p.Do(CompileRequest{Name: "dep.ec", Source: v2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sumlist must recompile (content changed); build must be reused (it
+	// neither changed nor calls sumlist). Whether main recompiles depends on
+	// how precisely the facts digest captures the callee summary — it may
+	// not change if the summary is field-insensitive — so assert only the
+	// required invalidation and the required reuse.
+	if r2.FuncsRecompiled < 1 {
+		t.Errorf("no function recompiled after a semantic edit (reused=%d)", r2.FuncsReused)
+	}
+	if r2.FuncsReused < 1 {
+		t.Errorf("build not reused after an unrelated edit (recompiled=%d)", r2.FuncsRecompiled)
+	}
+	cold, err := NewPipeline(incOpts(nil)).Do(CompileRequest{Name: "dep.ec", Source: v2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmD, _ := r2.Unit.Disasm()
+	coldD, _ := cold.Unit.Disasm()
+	if warmD != coldD {
+		t.Errorf("incremental disassembly differs from cold after dependent edit")
+	}
+}
+
+// TestIncrementalEnvChange: adding a global changes the shared environment
+// hash, so no previous per-function record may be reused.
+func TestIncrementalEnvChange(t *testing.T) {
+	v1 := incHeader + incBuildV1 + incSumV1 + incMain
+	v2 := incHeader + "\nint total;\n" + incBuildV1 + incSumV1 + incMain
+	c := cache.New(0, "")
+	p := NewPipeline(incOpts(c))
+	if _, err := p.Do(CompileRequest{Name: "env.ec", Source: v1}); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := p.Do(CompileRequest{Name: "env.ec", Source: v2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.FuncsReused != 0 {
+		t.Errorf("reused %d functions across an environment change", r2.FuncsReused)
+	}
+}
+
+// TestUnitCacheHit: an identical resubmission is served whole — the very
+// same *Unit — and reports a hit.
+func TestUnitCacheHit(t *testing.T) {
+	src := incHeader + incBuildV1 + incSumV1 + incMain
+	c := cache.New(0, "")
+	p := NewPipeline(incOpts(c))
+	r1, err := p.Do(CompileRequest{Name: "hit.ec", Source: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := p.Do(CompileRequest{Name: "hit.ec", Source: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Hit || r2.Unit != r1.Unit {
+		t.Errorf("identical resubmission: hit=%t, same unit=%t", r2.Hit, r2.Unit == r1.Unit)
+	}
+	if r2.FuncsReused != 3 || r2.FuncsRecompiled != 0 {
+		t.Errorf("unit hit counters: reused=%d recompiled=%d", r2.FuncsReused, r2.FuncsRecompiled)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("cache stats = %+v, want 1 hit, 1 miss", st)
+	}
+}
+
+// TestCachePolicyBypass: Bypass compiles cold even against a warm cache and
+// leaves no new state behind.
+func TestCachePolicyBypass(t *testing.T) {
+	src := incHeader + incBuildV1 + incSumV1 + incMain
+	c := cache.New(0, "")
+	p := NewPipeline(incOpts(c))
+	if _, err := p.Do(CompileRequest{Name: "byp.ec", Source: src}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := p.Do(CompileRequest{Name: "byp.ec", Source: src, Cache: CachePolicy{Bypass: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Hit || r.FuncsReused != 0 {
+		t.Errorf("bypass compile consulted the cache: hit=%t reused=%d", r.Hit, r.FuncsReused)
+	}
+}
+
+// TestDiskArtifactLifecycle: a -cache-dir compile persists an artifact whose
+// disassembly matches the unit's; a corrupted entry degrades to a miss and a
+// recompile stores a fresh valid one.
+func TestDiskArtifactLifecycle(t *testing.T) {
+	src := incHeader + incBuildV1 + incSumV1 + incMain
+	dir := t.TempDir()
+	c := cache.New(0, dir)
+	p := NewPipeline(incOpts(c))
+	req := CompileRequest{Name: "disk.ec", Source: src}
+	r, err := p.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := p.CacheKey(req)
+	if key == "" || key != r.Key {
+		t.Fatalf("CacheKey %q != Do's key %q", key, r.Key)
+	}
+	a, ok := c.LoadArtifact(key)
+	if !ok {
+		t.Fatal("compile under -cache-dir stored no artifact")
+	}
+	d, err := r.Unit.Disasm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Disasm != d {
+		t.Error("persisted disassembly differs from the unit's")
+	}
+
+	// Corrupt every stored entry; the next load must miss cleanly and the
+	// next compile (fresh pipeline+cache, as after a process restart) must
+	// succeed and heal the store.
+	ents, err := os.ReadDir(dir)
+	if err != nil || len(ents) == 0 {
+		t.Fatalf("cache dir unreadable or empty: %v", err)
+	}
+	for _, e := range ents {
+		if err := os.WriteFile(filepath.Join(dir, e.Name()), []byte("truncated"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c2 := cache.New(0, dir)
+	if _, ok := c2.LoadArtifact(key); ok {
+		t.Fatal("corrupted artifact validated")
+	}
+	p2 := NewPipeline(Options{Optimize: true, NoInline: true, Cache: c2})
+	r2, err := p2.Do(req)
+	if err != nil {
+		t.Fatalf("cold fallback after corruption failed: %v", err)
+	}
+	d2, err := r2.Unit.Disasm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2 != d {
+		t.Error("post-corruption recompile produced different disassembly")
+	}
+	if a2, ok := c2.LoadArtifact(key); !ok || a2.Disasm != d {
+		t.Error("recompile did not re-store a valid artifact")
+	}
+}

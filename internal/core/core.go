@@ -12,6 +12,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/cache"
 	"repro/internal/commsel"
 	"repro/internal/earthc"
 	"repro/internal/locality"
@@ -46,13 +47,14 @@ type Options struct {
 	// program is compiled once to collect access counts, then recompiled
 	// with the permuted layouts.
 	ReorderFields bool
-	// Profile supplies measured execution frequencies from an instrumented
-	// simulator run (see internal/profile and Pipeline.ProfileCycle): the
-	// placement analysis replaces its static ×10/÷2/÷k guesses with the
-	// measured per-site factors and selection becomes profile-guided. A
-	// profile whose source hash does not match the unit being compiled is
-	// ignored with a warning (static heuristics apply).
-	Profile *profile.Data
+	// Cache, when non-nil, memoizes compiles across Do calls (see
+	// internal/cache): identical (options, profile, source) submissions
+	// return the same immutable unit, and edited sources reuse the
+	// per-function artifacts of functions whose content hash and analysis
+	// facts are unchanged. Per-request policy (bypass, no-store, no
+	// incremental reuse) rides on CompileRequest.Cache. A cache is safe to
+	// share between pipelines and goroutines.
+	Cache *cache.Cache
 	// Workers bounds the worker pool used to fan the per-function analysis
 	// and transformation phases (points-to constraint generation, read/write
 	// sets, locality, placement, communication selection) across goroutines.
@@ -192,10 +194,14 @@ func pointeeName(p *simple.Var) string {
 }
 
 // MustCompile compiles or panics; for tests and embedded benchmarks.
+//
+// Deprecated: thin wrapper over Pipeline.Do, kept for call-site brevity.
+// New code should build a CompileRequest and call Do, which also exposes
+// the cache outcome.
 func MustCompile(name, src string, opt Options) *Unit {
-	u, err := NewPipeline(opt).Compile(name, src)
+	res, err := NewPipeline(opt).Do(CompileRequest{Name: name, Source: src})
 	if err != nil {
 		panic(err)
 	}
-	return u
+	return res.Unit
 }

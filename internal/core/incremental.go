@@ -1,0 +1,137 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/commsel"
+	"repro/internal/placement"
+	"repro/internal/simple"
+	"repro/internal/trace"
+)
+
+// incCtx threads the incremental-compile state through build: the cache,
+// the program's state key, and the result the per-function outcome is
+// reported on.
+type incCtx struct {
+	c        *cache.Cache
+	stateKey string
+	res      *CompileResult
+	noStore  bool
+	envHash  string
+}
+
+// optimizeIncremental replaces the whole-program placement + selection
+// phases with per-function ones gated by the cache.
+//
+// Soundness: the front end and the whole-program analyses (points-to,
+// read/write sets, locality) have already run fresh over the pristine
+// program — they are global fixpoints and transformed bodies must never
+// feed them. What is skipped per function is only the transformation
+// (placement analysis + communication selection), which is a deterministic
+// function of the function's pristine content (cache.FuncHash), the shared
+// environment (cache.EnvHash, checked in build), and the analysis facts it
+// consults (cache.FactsDigest, computed from this run's fresh results). A
+// function whose three keys match the previous compile's record gets that
+// record's transformed body spliced in — referencing the same injected
+// global Var objects — with its locality verdicts installed for code
+// generation; everything else is transformed anew, one function per
+// sub-program (placement and selection are per-function independent, as
+// established by the worker-count determinism contract, so the result is
+// byte-identical to a whole-program cold compile).
+func (p *Pipeline) optimizeIncremental(u *Unit, sp *simple.Program,
+	fp placement.FreqProvider, sel commsel.Options, st *trace.CompileStats,
+	inc *incCtx, prev *cache.ProgramState) {
+	qual := cache.Qualify(sp)
+	n := len(sp.Funcs)
+	recs := make([]*cache.FuncRecord, n)
+	reuse := make([]bool, n)
+	for i, f := range sp.Funcs {
+		h := cache.FuncHash(f, sp)
+		d := cache.FactsDigest(f, sp, u.PointsTo, u.RWSets, u.Locality, qual)
+		if prev != nil {
+			if r := prev.Funcs[f.Name]; r != nil && r.Fn != nil && r.Hash == h && r.Digest == d {
+				recs[i], reuse[i] = r, true
+				continue
+			}
+		}
+		recs[i] = &cache.FuncRecord{Hash: h, Digest: d}
+	}
+	var tPl, tSel time.Duration
+	for i, f := range sp.Funcs {
+		if reuse[i] {
+			continue
+		}
+		one := &simple.Program{
+			Funcs:      []*simple.Func{f},
+			Globals:    sp.Globals,
+			GlobalInit: sp.GlobalInit,
+			Structs:    sp.Structs,
+		}
+		t0 := time.Now()
+		pl := placement.AnalyzeProfiledP(one, u.RWSets, u.Locality, fp, nil)
+		tPl += time.Since(t0)
+		t0 = time.Now()
+		rep := commsel.TransformP(one, pl, u.RWSets, u.Locality, sel, nil)
+		tSel += time.Since(t0)
+		r := recs[i]
+		r.Fn = f
+		r.Reads, r.Writes = pl.Reads, pl.Writes
+		r.EntryReads, r.ExitWrites = pl.EntryReads[f], pl.ExitWrites[f]
+		r.Report = rep.Funcs[0]
+		r.Verdicts = cache.CollectVerdicts(f, u.Locality)
+	}
+	st.AddPhase("placement", tPl)
+	st.AddPhase("commsel", tSel)
+
+	merged := &placement.Result{
+		Reads:      make(map[simple.Stmt]*placement.Set),
+		Writes:     make(map[simple.Stmt]*placement.Set),
+		EntryReads: make(map[*simple.Func]*placement.Set, n),
+		ExitWrites: make(map[*simple.Func]*placement.Set, n),
+	}
+	rep := &commsel.Report{Funcs: make([]*commsel.FuncReport, n)}
+	reused, recompiled := 0, 0
+	for i := range sp.Funcs {
+		r := recs[i]
+		if reuse[i] {
+			sp.Funcs[i] = r.Fn
+			for _, v := range r.Verdicts {
+				u.Locality.Set(v, true)
+			}
+			reused++
+		} else {
+			recompiled++
+		}
+		for s, set := range r.Reads {
+			merged.Reads[s] = set
+		}
+		for s, set := range r.Writes {
+			merged.Writes[s] = set
+		}
+		merged.EntryReads[r.Fn] = r.EntryReads
+		merged.ExitWrites[r.Fn] = r.ExitWrites
+		rep.Funcs[i] = r.Report
+	}
+	u.Placement = merged
+	u.Report = rep
+	inc.res.FuncsReused, inc.res.FuncsRecompiled = reused, recompiled
+	inc.c.CountFuncs(reused, recompiled)
+	if reg := p.opt.Metrics; reg != nil {
+		reg.Counter("earth_cache_funcs_reused_total",
+			"Functions whose cached transform artifacts were spliced into an incremental compile.").Add(int64(reused))
+		reg.Counter("earth_cache_funcs_recompiled_total",
+			"Functions transformed from scratch during incremental compiles.").Add(int64(recompiled))
+	}
+	if !inc.noStore {
+		funcs := make(map[string]*cache.FuncRecord, n)
+		for i, r := range recs {
+			funcs[sp.Funcs[i].Name] = r
+		}
+		inc.c.SetState(inc.stateKey, &cache.ProgramState{
+			EnvHash: inc.envHash,
+			Globals: sp.Globals,
+			Funcs:   funcs,
+		})
+	}
+}

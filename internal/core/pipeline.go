@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/commsel"
 	"repro/internal/earthc"
 	"repro/internal/earthsim"
@@ -41,40 +42,29 @@ func NewPipeline(opt Options) *Pipeline { return &Pipeline{opt: opt, live: &live
 func (p *Pipeline) Options() Options { return p.opt }
 
 // Compile runs the full pipeline over EARTH-C source text.
+//
+// Deprecated: thin wrapper over Do, kept for call-site brevity. New code
+// should build a CompileRequest and call Do, which also carries the
+// profile and cache policy and exposes the cache outcome.
 func (p *Pipeline) Compile(name, src string) (*Unit, error) {
-	opt := p.opt
-	st := p.newStats()
-	t0 := time.Now()
-	file, err := earthc.ParseFile(name, src)
+	res, err := p.Do(CompileRequest{Name: name, Source: src})
 	if err != nil {
 		return nil, err
 	}
-	st.AddPhase("parse", time.Since(t0))
-	hash := profile.HashSource(src)
-	var warnings []string
-	if opt.Profile != nil && opt.Profile.SourceHash != "" && opt.Profile.SourceHash != hash {
-		warnings = append(warnings,
-			"profile is stale (collected from a different source revision); falling back to static frequency heuristics")
-		opt.Profile = nil
-	}
-	u, err := p.compileAST(file, opt, st)
-	if err != nil {
-		return nil, err
-	}
-	u.SourceHash = hash
-	u.Warnings = append(warnings, u.Warnings...)
-	return p.finishCompile(u), nil
+	return res.Unit, nil
 }
 
 // CompileAST runs the pipeline from a parsed (possibly programmatically
 // constructed) AST. The AST is modified in place by loop desugaring and
 // goto elimination.
+//
+// Deprecated: thin wrapper over Do with CompileRequest.AST set.
 func (p *Pipeline) CompileAST(file *earthc.File) (*Unit, error) {
-	u, err := p.compileAST(file, p.opt, p.newStats())
+	res, err := p.Do(CompileRequest{Name: file.Name, AST: file})
 	if err != nil {
 		return nil, err
 	}
-	return p.finishCompile(u), nil
+	return res.Unit, nil
 }
 
 // newStats returns a stats collector when any sink wants one (Unit.Stats
@@ -129,7 +119,7 @@ func recoverPhase(file string, phase *string, fnName func(i int) string, u **Uni
 // noFn is the fnName callback for phases that do not fan over functions.
 func noFn(int) string { return "" }
 
-func (p *Pipeline) compileAST(file *earthc.File, opt Options, st *trace.CompileStats) (u *Unit, err error) {
+func (p *Pipeline) compileAST(file *earthc.File, opt Options, prof *profile.Data, st *trace.CompileStats, inc *incCtx) (u *Unit, err error) {
 	phase := "inline"
 	defer recoverPhase(file.Name, &phase, noFn, &u, &err)
 	t0 := time.Now()
@@ -154,19 +144,21 @@ func (p *Pipeline) compileAST(file *earthc.File, opt Options, st *trace.CompileS
 		// real.
 		phase = "reorder"
 		t0 = time.Now()
-		probe, err := p.build(file, Options{}, nil)
+		probe, err := p.build(file, Options{}, nil, nil, nil)
 		if err != nil {
 			return nil, err
 		}
 		reorderStructFields(file, probe)
 		st.AddPhase("reorder", time.Since(t0))
 	}
-	return p.build(file, opt, st)
+	return p.build(file, opt, prof, st, inc)
 }
 
 // build runs semantic analysis through communication selection on an
-// already-restructured AST.
-func (p *Pipeline) build(file *earthc.File, opt Options, st *trace.CompileStats) (u *Unit, err error) {
+// already-restructured AST. When inc is non-nil, the placement and
+// selection phases reuse cached per-function artifacts (see incremental.go);
+// the front end and the whole-program analyses always run fresh.
+func (p *Pipeline) build(file *earthc.File, opt Options, prof *profile.Data, st *trace.CompileStats, inc *incCtx) (u *Unit, err error) {
 	phase := "sema"
 	var sp *simple.Program
 	defer recoverPhase(file.Name, &phase, func(i int) string {
@@ -186,6 +178,23 @@ func (p *Pipeline) build(file *earthc.File, opt Options, st *trace.CompileStats)
 	sp, err = lower.Program(sm)
 	if err != nil {
 		return nil, err
+	}
+	var prev *cache.ProgramState
+	if inc != nil {
+		// Under a matching environment, re-lower with the previous
+		// compile's global Var objects injected so cached bodies (which
+		// reference them) and fresh bodies reference identical globals. An
+		// environment change invalidates all incremental state.
+		inc.envHash = cache.EnvHash(sp)
+		prev = inc.c.State(inc.stateKey)
+		if prev != nil && prev.EnvHash == inc.envHash {
+			sp, err = lower.ProgramInto(sm, prev.GlobalsByName())
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			prev = nil
+		}
 	}
 	// Site IDs are assigned on the freshly-lowered SIMPLE form, before any
 	// transformation: the instrumented (unoptimized) compile and a later
@@ -236,18 +245,23 @@ func (p *Pipeline) build(file *earthc.File, opt Options, st *trace.CompileStats)
 	if opt.Optimize {
 		var fp placement.FreqProvider
 		sel := opt.Sel
-		if opt.Profile != nil {
-			fp = opt.Profile
+		if prof != nil {
+			fp = prof
 			sel.ProfileGuided = true
 		}
-		phase = "placement"
-		t0, b0 = time.Now(), pool.Busy()
-		u.Placement = placement.AnalyzeProfiledP(sp, u.RWSets, u.Locality, fp, pool)
-		addPhase("placement", t0, b0)
-		phase = "commsel"
-		t0, b0 = time.Now(), pool.Busy()
-		u.Report = commsel.TransformP(sp, u.Placement, u.RWSets, u.Locality, sel, pool)
-		addPhase("commsel", t0, b0)
+		if inc != nil {
+			phase = "incremental"
+			p.optimizeIncremental(u, sp, fp, sel, st, inc, prev)
+		} else {
+			phase = "placement"
+			t0, b0 = time.Now(), pool.Busy()
+			u.Placement = placement.AnalyzeProfiledP(sp, u.RWSets, u.Locality, fp, pool)
+			addPhase("placement", t0, b0)
+			phase = "commsel"
+			t0, b0 = time.Now(), pool.Busy()
+			u.Report = commsel.TransformP(sp, u.Placement, u.RWSets, u.Locality, sel, pool)
+			addPhase("commsel", t0, b0)
+		}
 		if st != nil {
 			for _, set := range u.Placement.Reads {
 				st.PlacedReadTuples += set.Len()
@@ -338,17 +352,16 @@ func (p *Pipeline) Run(u *Unit, rc RunConfig) (*earthsim.Result, error) {
 func (p *Pipeline) ProfileCycle(name, src string, rc RunConfig) (*Unit, *profile.Data, error) {
 	gen := *p
 	gen.opt.Optimize = false
-	gen.opt.Profile = nil
 	// The instrumented run is a measurement pass, not the run of interest:
 	// keep it out of the trace recorder.
 	gen.opt.Trace = nil
-	gu, err := gen.Compile(name, src)
+	gres, err := gen.Do(CompileRequest{Name: name, Source: src})
 	if err != nil {
 		return nil, nil, err
 	}
 	grc := rc
 	grc.Profile = true
-	res, err := gen.Run(gu, grc)
+	res, err := gen.Run(gres.Unit, grc)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: instrumented run failed: %w", err)
 	}
@@ -357,10 +370,9 @@ func (p *Pipeline) ProfileCycle(name, src string, rc RunConfig) (*Unit, *profile
 	}
 	use := *p
 	use.opt.Optimize = true
-	use.opt.Profile = res.Profile
-	u, err := use.Compile(name, src)
+	ures, err := use.Do(CompileRequest{Name: name, Source: src, Profile: res.Profile})
 	if err != nil {
 		return nil, nil, err
 	}
-	return u, res.Profile, nil
+	return ures.Unit, res.Profile, nil
 }

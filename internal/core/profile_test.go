@@ -123,10 +123,12 @@ func TestStaleProfileFallsBack(t *testing.T) {
 	stale := profile.New()
 	stale.SourceHash = profile.HashSource("int main() { return 1; }")
 	stale.Runs = 1
-	u, err := compile("stale.ec", remoteListSrc, Options{Optimize: true, Profile: stale})
+	cres, err := NewPipeline(Options{Optimize: true}).Do(
+		CompileRequest{Name: "stale.ec", Source: remoteListSrc, Profile: stale})
 	if err != nil {
 		t.Fatalf("stale profile failed the compile: %v", err)
 	}
+	u := cres.Unit
 	if len(u.Warnings) == 0 || !strings.Contains(u.Warnings[0], "stale") {
 		t.Errorf("expected a staleness warning, got %v", u.Warnings)
 	}

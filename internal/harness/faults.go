@@ -67,8 +67,8 @@ func MeasureFaultSweep(nodes int, specs []string, seed uint64, paramsFor func(*o
 	res := &FaultSweepResult{Nodes: nodes, Seed: seed}
 	for _, bm := range olden.All() {
 		src := bm.Source(paramsFor(bm))
-		p := core.NewPipeline(core.Options{Optimize: true})
-		u, err := p.Compile(bm.Name+".ec", src)
+		p := core.NewPipeline(core.Options{Optimize: true, Cache: tableCache})
+		u, err := compileUnit(p, bm.Name+".ec", src)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", bm.Name, err)
 		}

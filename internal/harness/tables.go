@@ -4,11 +4,29 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/earthsim"
 	"repro/internal/olden"
 	"repro/internal/trace"
 )
+
+// tableCache memoizes compiles across the tables' repeated
+// (benchmark × machine size) sweeps: Table III compiles each source once
+// per optimization mode instead of once per machine size. The fingerprint
+// keys on the options, so simple/optimized/stats builds never collide.
+var tableCache = cache.New(0, "")
+
+// compileUnit is the harness's one compile path: every table builds its
+// units through the same CompileRequest surface (and shared cache) that
+// earthcc, earthrun, and earthd use.
+func compileUnit(p *core.Pipeline, name, src string) (*core.Unit, error) {
+	res, err := p.Do(core.CompileRequest{Name: name, Source: src})
+	if err != nil {
+		return nil, err
+	}
+	return res.Unit, nil
+}
 
 // Table2 renders the benchmark registry (the paper's Table II), with both
 // the paper's problem sizes and this harness's scaled defaults.
@@ -51,8 +69,8 @@ func RunPair(bm *olden.Benchmark, params olden.Params, nodes int) (simple, opt *
 // statistics.
 func runPair(bm *olden.Benchmark, params olden.Params, nodes int, stats bool) (simple, opt *earthsim.Result, cs *trace.CompileStats, err error) {
 	src := bm.Source(params)
-	sp := core.NewPipeline(core.Options{})
-	su, err := sp.Compile(bm.Name+".ec", src)
+	sp := core.NewPipeline(core.Options{Cache: tableCache})
+	su, err := compileUnit(sp, bm.Name+".ec", src)
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("%s simple: %w", bm.Name, err)
 	}
@@ -60,8 +78,8 @@ func runPair(bm *olden.Benchmark, params olden.Params, nodes int, stats bool) (s
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("%s simple: %w", bm.Name, err)
 	}
-	op := core.NewPipeline(core.Options{Optimize: true, Stats: stats})
-	ou, err := op.Compile(bm.Name+".ec", src)
+	op := core.NewPipeline(core.Options{Optimize: true, Stats: stats, Cache: tableCache})
+	ou, err := compileUnit(op, bm.Name+".ec", src)
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("%s optimized: %w", bm.Name, err)
 	}
@@ -272,8 +290,8 @@ func MeasureTable3(procs []int, paramsFor func(*olden.Benchmark) olden.Params) (
 	for _, bm := range olden.All() {
 		params := paramsFor(bm)
 		src := bm.Source(params)
-		p := core.NewPipeline(core.Options{})
-		u, err := p.Compile(bm.Name+".ec", src)
+		p := core.NewPipeline(core.Options{Cache: tableCache})
+		u, err := compileUnit(p, bm.Name+".ec", src)
 		if err != nil {
 			return nil, err
 		}

@@ -22,11 +22,12 @@
 package profile
 
 import (
-	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 	"io"
 	"os"
+
+	"repro/internal/contenthash"
 )
 
 // Version is the current artifact format version.
@@ -84,9 +85,11 @@ func New() *Data {
 	}
 }
 
-// HashSource returns the source-revision key a profile is bound to.
+// HashSource returns the source-revision key a profile is bound to. It is
+// the canonical contenthash.Source key, so profile bindings, earthd's
+// batching keys, and the compile cache's keys all agree byte-for-byte.
 func HashSource(src string) string {
-	return fmt.Sprintf("sha256:%x", sha256.Sum256([]byte(src)))
+	return contenthash.Source(src)
 }
 
 // ------------------------------------------------------------- recording ---

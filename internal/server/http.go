@@ -80,7 +80,9 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req JobRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields() // schema v1: unknown fields are a 400, not silently dropped
+	if err := dec.Decode(&req); err != nil {
 		s.reject("invalid")
 		s.writeJobError(w, errf(400, "bad request body: %v", err))
 		return
@@ -116,7 +118,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var reqs []JobRequest
-	if err := json.NewDecoder(r.Body).Decode(&reqs); err != nil {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields() // schema v1: unknown fields are a 400, not silently dropped
+	if err := dec.Decode(&reqs); err != nil {
 		s.reject("invalid")
 		s.writeJobError(w, errf(400, "bad request body: %v", err))
 		return

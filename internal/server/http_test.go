@@ -105,6 +105,35 @@ func TestHTTPStatusCodes(t *testing.T) {
 	}
 }
 
+// TestHTTPUnknownFieldsRejected: schema v1 rejects fields it does not know
+// with a 400 instead of silently dropping them, on both submission
+// endpoints.
+func TestHTTPUnknownFieldsRejected(t *testing.T) {
+	s := New(Config{Shards: 1, QueueDepth: 8})
+	defer drainServer(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(path, body string) int {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post("/jobs", `{"v":1,"benchmark":"power","turbo":true}`); code != 400 {
+		t.Errorf("unknown field on /jobs = %d, want 400", code)
+	}
+	if code := post("/jobs/batch", `[{"benchmark":"power","priority":9}]`); code != 400 {
+		t.Errorf("unknown field on /jobs/batch = %d, want 400", code)
+	}
+	if code := post("/jobs", `{"v":2,"benchmark":"power"}`); code != 400 {
+		t.Errorf("future schema version = %d, want 400", code)
+	}
+}
+
 func TestHTTPDrainingReturns503(t *testing.T) {
 	s := New(Config{Shards: 1, QueueDepth: 8})
 	ts := httptest.NewServer(s.Handler())

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/earthsim"
 	"repro/internal/olden"
 	"repro/internal/trace"
@@ -13,6 +14,11 @@ import (
 // an EARTH-C program (inline source or a named Olden benchmark) crossed
 // with a machine, cost-model, fault, and limit configuration.
 type JobRequest struct {
+	// V is the job schema version. 0 (absent) and 1 are accepted today and
+	// mean the same thing; anything newer is rejected with 400 so an old
+	// server never silently misreads a newer client's job. Unknown fields
+	// are likewise rejected at the HTTP layer (SchemaVersion).
+	V int `json:"v,omitempty"`
 	// Name labels the unit in results and diagnostics (default "job.ec", or
 	// "<benchmark>.ec" for benchmark jobs).
 	Name string `json:"name,omitempty"`
@@ -51,6 +57,35 @@ type JobRequest struct {
 	// TraceSummary attaches a per-job trace recorder and returns the text
 	// summary plus a compact digest (trace.Brief) with the result.
 	TraceSummary bool `json:"trace_summary,omitempty"`
+	// Cache is the per-job compile cache policy: "" (use the server's
+	// cache), "bypass" (cold compile, leave no trace in the cache), or
+	// "no-store" (read-only probe).
+	Cache string `json:"cache,omitempty"`
+}
+
+// SchemaVersion is the newest job schema this server speaks.
+const SchemaVersion = 1
+
+// cachePolicy maps the request's Cache field to the core policy.
+func (r *JobRequest) cachePolicy() (core.CachePolicy, *jobError) {
+	switch r.Cache {
+	case "":
+		return core.CachePolicy{}, nil
+	case "bypass":
+		return core.CachePolicy{Bypass: true}, nil
+	case "no-store":
+		return core.CachePolicy{NoStore: true}, nil
+	default:
+		return core.CachePolicy{}, errf(400, "cache: unknown policy %q (want bypass or no-store)", r.Cache)
+	}
+}
+
+// validateVersion rejects jobs from a newer schema generation.
+func (r *JobRequest) validateVersion() *jobError {
+	if r.V < 0 || r.V > SchemaVersion {
+		return errf(400, "v: unsupported job schema version %d (this server speaks <= %d)", r.V, SchemaVersion)
+	}
+	return nil
 }
 
 // JobResult is the service's response for one completed job. Everything

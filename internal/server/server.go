@@ -8,12 +8,16 @@
 //     full the service answers 429 with a Retry-After hint instead of
 //     accepting unbounded work. A draining server answers 503.
 //
-//   - Single-flight batching. Concurrent submissions of the same source
-//     (keyed by profile.HashSource plus the compile-relevant options) share
-//     one compile: the first submission compiles, the duplicates wait on it
-//     and run the shared unit. Compilation is deterministic, so identical
-//     requests produce byte-identical result payloads whether or not they
-//     were batched.
+//   - Single-flight batching composed with a shared compile cache.
+//     Concurrent submissions of the same source (keyed by
+//     profile.HashSource plus the compile-relevant options) share one
+//     compile: the first submission compiles, the duplicates wait on it and
+//     run the shared unit. Repeat submissions after the flight disperses
+//     are served whole from the server's content-hashed cache
+//     (internal/cache), so concurrent duplicates cost one compile and
+//     repeated duplicates cost zero. Compilation is deterministic, so
+//     identical requests produce byte-identical result payloads whether
+//     they were batched, cached, or compiled cold.
 //
 //   - Aggregated observability. Each shard records into its own
 //     metrics.Registry (no cross-shard contention); every /metrics scrape
@@ -33,6 +37,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/profile"
@@ -63,6 +68,12 @@ type Config struct {
 	JobDeadline time.Duration
 	// RetryAfter is the hint returned with 429/503 responses (default 1s).
 	RetryAfter time.Duration
+	// CacheSize caps the shared compile cache (units; default
+	// cache.DefaultCapacity, negative disables caching entirely).
+	CacheSize int
+	// CacheDir, when set, persists compile artifacts on disk across
+	// restarts (core cache's -cache-dir store).
+	CacheDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -124,6 +135,7 @@ type Server struct {
 	reg    *metrics.Registry // service-level registry
 	proc   *metrics.ProcessCollector
 	shards []*shard
+	cache  *cache.Cache // shared across shards; nil when CacheSize < 0
 	start  time.Time
 
 	mu       sync.Mutex // guards draining + queue close
@@ -151,6 +163,9 @@ func New(cfg Config) *Server {
 		flights: make(map[string]*flight),
 		start:   time.Now(),
 	}
+	if cfg.CacheSize >= 0 {
+		s.cache = cache.New(cfg.CacheSize, cfg.CacheDir)
+	}
 	s.reg.Gauge("earthd_shards", "Pipeline shards serving the job queue.").Set(int64(cfg.Shards))
 	for i := 0; i < cfg.Shards; i++ {
 		sh := &shard{
@@ -175,8 +190,16 @@ func (s *Server) Config() Config { return s.cfg }
 // when the server is draining. Once accepted, a job always produces exactly
 // one outcome, even through a drain.
 func (s *Server) Submit(req *JobRequest) (<-chan jobOutcome, *jobError) {
+	if jerr := req.validateVersion(); jerr != nil {
+		s.reject("invalid")
+		return nil, jerr
+	}
 	name, src, jerr := resolve(req)
 	if jerr != nil {
+		s.reject("invalid")
+		return nil, jerr
+	}
+	if _, jerr := req.cachePolicy(); jerr != nil {
 		s.reject("invalid")
 		return nil, jerr
 	}
@@ -189,7 +212,7 @@ func (s *Server) Submit(req *JobRequest) (<-chan jobOutcome, *jobError) {
 		req:  req,
 		name: name,
 		src:  src,
-		key:  compileKey(profile.HashSource(src), req.optimize()),
+		key:  compileKey(profile.HashSource(src), req.optimize(), req.Cache),
 		enq:  time.Now(),
 		res:  make(chan jobOutcome, 1),
 	}
@@ -272,9 +295,10 @@ func (s *Server) worker(sh *shard) {
 
 // compileKey keys the single-flight table: only compile-relevant inputs
 // participate, so jobs that differ in run configuration still share a
-// compile.
-func compileKey(hash string, optimize bool) string {
-	return fmt.Sprintf("%s|opt=%t", hash, optimize)
+// compile. The cache policy participates so a "bypass" probe never
+// piggybacks on (or feeds) a cached flight.
+func compileKey(hash string, optimize bool, policy string) string {
+	return fmt.Sprintf("%s|opt=%t|cache=%s", hash, optimize, policy)
 }
 
 // attach joins (creating if needed) the compile flight for key.
@@ -290,9 +314,9 @@ func (s *Server) attach(key string) {
 }
 
 // release detaches one job from its flight, disposing the entry when the
-// last attached job is done with the unit. Single-flight, not a cache: once
-// no attached job remains, the next identical submission compiles afresh
-// (content-hashed persistent caching is a separate roadmap item).
+// last attached job is done with the unit. The flight table is single-flight
+// only; once no attached job remains, the next identical submission goes
+// back through the shared content-hashed cache (a unit hit, not a compile).
 func (s *Server) release(key string) {
 	s.fmu.Lock()
 	if f := s.flights[key]; f != nil {
@@ -329,13 +353,29 @@ func (s *Server) compileShared(sh *shard, j *job) (*core.Unit, bool, error) {
 	f.started = true
 	s.fmu.Unlock()
 
-	s.reg.Counter("earthd_compiles_total", "Distinct compiles performed (batched duplicates excluded).").Inc()
 	p := core.NewPipeline(core.Options{
 		Optimize: j.req.optimize(),
 		Workers:  s.cfg.Workers,
 		Metrics:  sh.reg,
+		Cache:    s.cache,
 	})
-	f.unit, f.err = p.Compile(j.name, j.src)
+	policy, jerr := j.req.cachePolicy()
+	if jerr != nil {
+		// Unreachable: Submit validated the policy before accepting the job.
+		f.err = jerr
+		close(f.done)
+		return nil, false, f.err
+	}
+	res, err := p.Do(core.CompileRequest{Name: j.name, Source: j.src, Cache: policy})
+	if err == nil {
+		f.unit = res.Unit
+		if !res.Hit {
+			// Only cache misses perform work; batched duplicates and repeat
+			// submissions served from the unit cache don't compile at all.
+			s.reg.Counter("earthd_compiles_total", "Distinct compiles performed (batched duplicates and cache hits excluded).").Inc()
+		}
+	}
+	f.err = err
 	close(f.done)
 	return f.unit, false, f.err
 }

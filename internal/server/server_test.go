@@ -520,14 +520,104 @@ func TestRejectedFlightReleased(t *testing.T) {
 }
 
 func TestCompileKeyShape(t *testing.T) {
-	a := compileKey("sha256:aa", true)
-	b := compileKey("sha256:aa", false)
-	c := compileKey("sha256:bb", true)
-	if a == b || a == c || b == c {
-		t.Errorf("compile keys collide: %q %q %q", a, b, c)
+	a := compileKey("sha256:aa", true, "")
+	b := compileKey("sha256:aa", false, "")
+	c := compileKey("sha256:bb", true, "")
+	d := compileKey("sha256:aa", true, "bypass")
+	if a == b || a == c || b == c || a == d {
+		t.Errorf("compile keys collide: %q %q %q %q", a, b, c, d)
 	}
 	if !strings.Contains(a, "sha256:aa") {
 		t.Errorf("key %q lost the hash", a)
+	}
+}
+
+// TestSchemaVersion: v0 (absent) and v1 jobs are accepted; anything newer
+// is a 400 so an old server never silently misreads a newer client.
+func TestSchemaVersion(t *testing.T) {
+	s := New(Config{Shards: 1, QueueDepth: 4})
+	defer drainServer(t, s)
+
+	if _, jerr := submitWait(t, s, &JobRequest{V: 1, Source: remoteListSrc, Nodes: 2}); jerr != nil {
+		t.Errorf("v1 job rejected: %v", jerr)
+	}
+	for _, v := range []int{2, 99, -1} {
+		if _, jerr := s.Submit(&JobRequest{V: v, Source: remoteListSrc}); jerr == nil || jerr.status != 400 {
+			t.Errorf("v=%d: got %v, want 400", v, jerr)
+		}
+	}
+}
+
+// TestCachePolicyValidation: the cache policy field accepts exactly "",
+// "bypass", and "no-store".
+func TestCachePolicyValidation(t *testing.T) {
+	s := New(Config{Shards: 1, QueueDepth: 4})
+	defer drainServer(t, s)
+
+	for _, ok := range []string{"", "bypass", "no-store"} {
+		if _, jerr := submitWait(t, s, &JobRequest{Source: remoteListSrc, Nodes: 2, Cache: ok}); jerr != nil {
+			t.Errorf("cache=%q rejected: %v", ok, jerr)
+		}
+	}
+	if _, jerr := s.Submit(&JobRequest{Source: remoteListSrc, Cache: "aggressive"}); jerr == nil || jerr.status != 400 {
+		t.Errorf("bad cache policy: got %v, want 400", jerr)
+	}
+}
+
+// TestRepeatedDuplicatesHitCache: sequential identical submissions (no
+// concurrency, so single-flight batching cannot help) must compile once and
+// serve the repeats from the shared unit cache — the counters in the merged
+// scrape prove it.
+func TestRepeatedDuplicatesHitCache(t *testing.T) {
+	s := New(Config{Shards: 2, QueueDepth: 8})
+	defer drainServer(t, s)
+
+	const n = 4
+	results := make([]*JobResult, n)
+	for i := 0; i < n; i++ {
+		r, jerr := submitWait(t, s, &JobRequest{Source: remoteListSrc, Nodes: 4})
+		if jerr != nil {
+			t.Fatalf("job %d: %v", i, jerr)
+		}
+		results[i] = r
+	}
+	if got := counterValue(s, "earthd_compiles_total"); got != 1 {
+		t.Errorf("earthd_compiles_total = %d after %d identical jobs, want 1", got, n)
+	}
+	if got := counterValue(s, "earth_cache_hits_total"); got != n-1 {
+		t.Errorf("earth_cache_hits_total = %d, want %d", got, n-1)
+	}
+	if got := counterValue(s, "earth_cache_misses_total"); got != 1 {
+		t.Errorf("earth_cache_misses_total = %d, want 1", got)
+	}
+	for i := 1; i < n; i++ {
+		if a, b := canonical(t, results[0]), canonical(t, results[i]); a != b {
+			t.Errorf("cached job %d payload differs:\n%s\nvs\n%s", i, a, b)
+		}
+	}
+
+	// A bypass job against the warm cache compiles cold.
+	if _, jerr := submitWait(t, s, &JobRequest{Source: remoteListSrc, Nodes: 4, Cache: "bypass"}); jerr != nil {
+		t.Fatal(jerr)
+	}
+	if got := counterValue(s, "earthd_compiles_total"); got != 2 {
+		t.Errorf("earthd_compiles_total = %d after bypass job, want 2", got)
+	}
+}
+
+// TestCacheDisabled: CacheSize < 0 turns the shared cache off; every
+// sequential duplicate compiles.
+func TestCacheDisabled(t *testing.T) {
+	s := New(Config{Shards: 1, QueueDepth: 4, CacheSize: -1})
+	defer drainServer(t, s)
+
+	for i := 0; i < 2; i++ {
+		if _, jerr := submitWait(t, s, &JobRequest{Source: remoteListSrc, Nodes: 2}); jerr != nil {
+			t.Fatal(jerr)
+		}
+	}
+	if got := counterValue(s, "earthd_compiles_total"); got != 2 {
+		t.Errorf("earthd_compiles_total = %d with caching disabled, want 2", got)
 	}
 }
 

@@ -12,7 +12,7 @@
 #   go test -run '^$' -bench ... -benchmem . | go run ./cmd/benchdiff -baseline BENCH_pr5.json
 # is the full gate.
 #
-# Usage: scripts/bench.sh [output.json [faultsweep-output.json [load-output.json]]]
+# Usage: scripts/bench.sh [output.json [faultsweep-output.json [load-output.json [warmcold-output.json]]]]
 # BENCHTIME=2s scripts/bench.sh   # longer runs for quieter numbers
 # LOADJOBS=80 scripts/bench.sh    # more jobs per earthload sweep point
 set -euo pipefail
@@ -21,6 +21,7 @@ cd "$(dirname "$0")/.."
 out="${1:-BENCH_pr5.json}"
 fault_out="${2:-BENCH_fault_pr5.json}"
 load_out="${3:-BENCH_pr6.json}"
+warm_out="${4:-BENCH_pr7.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
@@ -46,3 +47,14 @@ go run ./cmd/earthload -sweep 1,2,4,8 -c 8 -n "${LOADJOBS:-40}" -bench \
     2> >(sed 's/^/  /' >&2) > "$raw"
 go run ./cmd/benchdiff -emit < "$raw" > "$load_out"
 echo "bench: wrote $load_out"
+
+# Warm/cold compile sweep: the compile-cache contract. BenchmarkCompileWarm
+# recompiles unchanged source against a warm cache (one hash + one lookup);
+# paired with the cold BenchmarkCompile it pins warm-recompile cost at well
+# under 10% of cold. scripts/check.sh diffs a short rerun against this
+# artifact, and TestWarmRecompileUnderTenPercentOfCold enforces the ratio
+# directly in the test suite.
+go test -run '^$' -bench '^(BenchmarkCompile|BenchmarkCompileWarm)$' \
+    -benchmem -benchtime "${BENCHTIME:-1s}" . | tee "$raw"
+go run ./cmd/benchdiff -emit < "$raw" > "$warm_out"
+echo "bench: wrote $warm_out"
