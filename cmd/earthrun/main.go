@@ -78,6 +78,7 @@ func main() {
 	fuel := flag.Int64("fuel", 0, "abort after N simulated EU instructions (0 = unlimited)")
 	deadline := flag.Duration("deadline", 0, "abort after this much host wall-clock time (0 = none)")
 	workers := flag.Int("j", 0, "analysis worker count (0 = all CPUs); output is identical for any value")
+	simJ := flag.Int("sim-j", 0, "simulator worker count: shard the event loop per node and drive it with up to N goroutines (0 = classic sequential loop); output is identical for any value")
 	httpAddr := flag.String("http", "", "serve live telemetry on this address during the run")
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -131,13 +132,13 @@ func main() {
 
 	if *compare {
 		simple, err := run(name, src, runOpts{nodes: *nodes, seq: *seq, machine: machine,
-			workers: *workers, fuel: *fuel, deadline: *deadline})
+			workers: *workers, simWorkers: *simJ, fuel: *fuel, deadline: *deadline})
 		if err != nil {
 			fatal(err)
 		}
 		opt, err := run(name, src, runOpts{optimize: true, nodes: *nodes, seq: *seq,
 			prof: prof, machine: machine, rec: rec, workers: *workers,
-			fuel: *fuel, deadline: *deadline, faults: faults,
+			simWorkers: *simJ, fuel: *fuel, deadline: *deadline, faults: faults,
 			reg: reg, sampler: sampler, httpAddr: *httpAddr})
 		if err != nil {
 			fatal(err)
@@ -157,7 +158,7 @@ func main() {
 		optimize: *optimize, nodes: *nodes, seq: *seq,
 		prof: prof, instrument: *profOut != "",
 		machine: machine, rec: rec, workers: *workers,
-		fuel: *fuel, deadline: *deadline, faults: faults,
+		simWorkers: *simJ, fuel: *fuel, deadline: *deadline, faults: faults,
 		reg: reg, sampler: sampler, httpAddr: *httpAddr,
 	})
 	if err != nil {
@@ -232,6 +233,7 @@ type runOpts struct {
 	machine    *earthsim.Config // cost-model override
 	rec        *trace.Recorder  // event sink (nil = no tracing)
 	workers    int              // analysis worker count (0 = all CPUs)
+	simWorkers int              // simulator event-loop workers (0 = sequential loop)
 	fuel       int64            // EU instruction budget (0 = unlimited)
 	deadline   time.Duration    // host wall-clock bound (0 = none)
 	faults     *earthsim.FaultConfig
@@ -278,7 +280,7 @@ func run(name, src string, ro runOpts) (*runResult, error) {
 		fmt.Fprintln(os.Stderr, "earthrun: warning:", w)
 	}
 	res, err := p.Run(u, core.RunConfig{Nodes: ro.nodes, Sequential: ro.seq,
-		Profile: ro.instrument, Machine: ro.machine,
+		Profile: ro.instrument, Machine: ro.machine, SimWorkers: ro.simWorkers,
 		Fuel: ro.fuel, Deadline: ro.deadline, Faults: ro.faults,
 		Sampler: ro.sampler})
 	if err != nil {

@@ -53,6 +53,11 @@ func DefaultThresholds() Thresholds {
 			// Service throughput (cmd/earthload sweeps): end-to-end jobs/sec
 			// over loopback HTTP is the noisiest metric in the trajectory.
 			"jobs_sec": {Limit: 0.60, Dir: Higher},
+			// Event-loop scalability sweep (BenchmarkSimNodes): the event
+			// count is deterministic for a given workload+node count, while
+			// events/sec is host throughput and swings with scheduler noise.
+			"events":     {Dir: Exact},
+			"events_sec": {Limit: 0.50, Dir: Higher},
 		},
 		Default: Rule{Limit: 0.25, Dir: Lower},
 	}

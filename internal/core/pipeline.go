@@ -300,6 +300,9 @@ func (p *Pipeline) Run(u *Unit, rc RunConfig) (*earthsim.Result, error) {
 	if rc.Fuel > 0 {
 		cfg.Fuel = rc.Fuel
 	}
+	if rc.SimWorkers > 0 {
+		cfg.SimWorkers = rc.SimWorkers
+	}
 	if rc.Faults != nil {
 		cfg.Faults = rc.Faults
 	}
@@ -336,6 +339,8 @@ func (p *Pipeline) Run(u *Unit, rc RunConfig) (*earthsim.Result, error) {
 	if res.Faults != nil {
 		reg.Counter("earth_fault_retries_total", "Reliable-messaging retransmissions across runs.").
 			Add(res.Faults.Retries)
+		reg.Counter("earth_fault_retries_spurious_total", "Retransmissions that were unnecessary in hindsight across runs.").
+			Add(res.Faults.SpuriousRetries)
 		reg.Counter("earth_fault_drops_total", "Wire drops injected across runs.").
 			Add(res.Faults.Drops)
 	}

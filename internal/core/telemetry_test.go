@@ -62,8 +62,18 @@ func TestTelemetryDeterministic(t *testing.T) {
 			if !bytes.Equal(a, b) {
 				t.Errorf("telemetry not byte-identical across runs:\n--- first ---\n%s\n--- second ---\n%s", a, b)
 			}
-			if tc.faults != nil && !bytes.Contains(a, []byte("earth_fault_retries_total")) {
-				t.Error("faulted run exposed no retry counter")
+			if tc.faults != nil {
+				// Pin the fault-layer counter names: downstream dashboards key
+				// on these strings, so renames must fail loudly here.
+				for _, want := range [][]byte{
+					[]byte("earth_fault_retries_total"),
+					[]byte("earth_fault_retries_spurious_total"),
+					[]byte("earthsim_retries_spurious_total"),
+				} {
+					if !bytes.Contains(a, want) {
+						t.Errorf("faulted run exposition missing %s", want)
+					}
+				}
 			}
 		})
 	}

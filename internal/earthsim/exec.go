@@ -10,7 +10,7 @@ import (
 
 // runEU is the EU event handler: when the EU is free and a fiber is ready,
 // run it until it suspends or completes.
-func (m *Machine) runEU(n *node, t int64) {
+func (m *shard) runEU(n *node, t int64) {
 	if t < n.euFree {
 		m.schedule(n.euFree, evEURun, n.id, nil)
 		return
@@ -25,7 +25,7 @@ func (m *Machine) runEU(n *node, t int64) {
 		m.execFiber(f, &t)
 		m.tr.EUSpan(n.id, fid, name, start, t)
 		if m.ms != nil {
-			m.ms.euBusy[n.id] += t - start
+			m.ms.euBusy[n.id-m.ms.base] += t - start
 		}
 	} else {
 		m.execFiber(f, &t)
@@ -38,7 +38,7 @@ func (m *Machine) runEU(n *node, t int64) {
 
 // execFiber interprets instructions until the fiber suspends, completes, or
 // traps. *t advances with each instruction's cost.
-func (m *Machine) execFiber(f *fiber, t *int64) {
+func (m *shard) execFiber(f *fiber, t *int64) {
 	n := f.node
 	cfg := &m.cfg
 	for m.trap == nil {
@@ -666,7 +666,7 @@ func (m *Machine) execFiber(f *fiber, t *int64) {
 }
 
 // localWord reads mem[p+off] which must reside on the executing node.
-func (m *Machine) localWord(f *fiber, p int64, off int) (int64, bool) {
+func (m *shard) localWord(f *fiber, p int64, off int) (int64, bool) {
 	if p == 0 {
 		m.trapf("%s: local access through null pointer", f.code.Name)
 		return 0, false
@@ -685,7 +685,7 @@ func (m *Machine) localWord(f *fiber, p int64, off int) (int64, bool) {
 	return f.node.mem[o], true
 }
 
-func (m *Machine) localWordStore(f *fiber, p int64, off int, v int64) bool {
+func (m *shard) localWordStore(f *fiber, p int64, off int, v int64) bool {
 	if p == 0 {
 		m.trapf("%s: local store through null pointer", f.code.Name)
 		return false
@@ -706,7 +706,7 @@ func (m *Machine) localWordStore(f *fiber, p int64, off int, v int64) bool {
 }
 
 // execCallAt handles OpCallAt; returns false when the fiber suspended.
-func (m *Machine) execCallAt(f *fiber, t *int64, in *threaded.Instr) bool {
+func (m *shard) execCallAt(f *fiber, t *int64, in *threaded.Instr) bool {
 	n := f.node
 	blocked := false
 	rd := func(slot int) int64 {
@@ -790,7 +790,7 @@ func (m *Machine) execCallAt(f *fiber, t *int64, in *threaded.Instr) bool {
 
 // execShared handles the atomic shared-variable operations; returns false
 // when the fiber suspended.
-func (m *Machine) execShared(f *fiber, t *int64, in *threaded.Instr) bool {
+func (m *shard) execShared(f *fiber, t *int64, in *threaded.Instr) bool {
 	n := f.node
 	blocked := false
 	rd := func(slot int) int64 {

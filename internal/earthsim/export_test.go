@@ -1,0 +1,6 @@
+package earthsim
+
+// SetFixedRTO flips the unexported retransmission-policy kill-switch so
+// external tests (package earthsim_test) can compare the adaptive EWMA
+// estimator against the historical fixed-timeout policy on real workloads.
+func (f *FaultConfig) SetFixedRTO(v bool) { f.fixedRTO = v }

@@ -67,7 +67,16 @@ type FaultConfig struct {
 	StallNs    int64 // stall window length in ns (0 = default 25µs)
 	Timeout    int64 // initial retransmit timeout in ns (0 = default 100µs)
 	MaxRetries int   // retransmissions before the run traps (0 = default 20)
-	Seed       uint64
+	// Window caps in-flight transactions per directed link (selective
+	// repeat): further sends queue until a slot frees. 0 = default 64,
+	// negative = unlimited.
+	Window int
+	Seed   uint64
+
+	// fixedRTO disables the per-link EWMA RTT estimator, pinning the
+	// retransmit timeout to the pre-estimator fixed Timeout policy. Test
+	// knob for measuring the estimator's spurious-retransmit reduction.
+	fixedRTO bool
 }
 
 // Fault-model defaults. The timeout is generous relative to the ~7µs
@@ -77,6 +86,7 @@ const (
 	defaultStallNs    = 25_000
 	defaultTimeout    = 100_000
 	defaultMaxRetries = 20
+	defaultWindow     = 64
 	backoffCapFactor  = 32
 )
 
@@ -99,6 +109,17 @@ func (f *FaultConfig) maxRetries() int {
 		return f.MaxRetries
 	}
 	return defaultMaxRetries
+}
+
+// window is the per-link in-flight cap; 0 means unlimited.
+func (f *FaultConfig) window() int {
+	if f.Window > 0 {
+		return f.Window
+	}
+	if f.Window < 0 {
+		return 0
+	}
+	return defaultWindow
 }
 
 // validate rejects out-of-range distributions.
@@ -149,6 +170,9 @@ func (f *FaultConfig) String() string {
 	if f.MaxRetries > 0 {
 		add(fmt.Sprintf("retries=%d", f.MaxRetries))
 	}
+	if f.Window != 0 {
+		add(fmt.Sprintf("window=%d", f.Window))
+	}
 	if f.Seed != 0 {
 		add(fmt.Sprintf("seed=%d", f.Seed))
 	}
@@ -161,8 +185,8 @@ func (f *FaultConfig) String() string {
 // ParseFaultSpec parses a comma-separated "key=value" fault specification,
 // the format of the earthrun/paperbench -faults flag. Keys: drop, dup,
 // stall (probabilities), delay (max extra NetLatency multiples per hop),
-// stallns, timeout (ns), retries, seed. An empty spec returns nil (faults
-// disabled).
+// stallns, timeout (ns), retries, window (per-link in-flight cap), seed.
+// An empty spec returns nil (faults disabled).
 func ParseFaultSpec(spec string) (*FaultConfig, error) {
 	if strings.TrimSpace(spec) == "" {
 		return nil, nil
@@ -192,7 +216,7 @@ func ParseFaultSpec(spec string) (*FaultConfig, error) {
 			case "stall":
 				f.Stall = p
 			}
-		case "delay", "stallns", "timeout", "retries", "seed":
+		case "delay", "stallns", "timeout", "retries", "window", "seed":
 			n, err := strconv.ParseInt(valStr, 10, 64)
 			if err != nil {
 				return nil, fmt.Errorf("earthsim: bad fault parameter %q: %v", kv, err)
@@ -206,11 +230,13 @@ func ParseFaultSpec(spec string) (*FaultConfig, error) {
 				f.Timeout = n
 			case "retries":
 				f.MaxRetries = int(n)
+			case "window":
+				f.Window = int(n)
 			case "seed":
 				f.Seed = uint64(n)
 			}
 		default:
-			return nil, fmt.Errorf("earthsim: unknown fault spec key %q (want drop/dup/delay/stall/stallns/timeout/retries/seed)", key)
+			return nil, fmt.Errorf("earthsim: unknown fault spec key %q (want drop/dup/delay/stall/stallns/timeout/retries/window/seed)", key)
 		}
 	}
 	if err := f.validate(); err != nil {
@@ -222,14 +248,21 @@ func ParseFaultSpec(spec string) (*FaultConfig, error) {
 // FaultStats counts the run's injected faults and reliable-messaging
 // reactions; Result.Faults carries it (nil when faults were disabled).
 type FaultStats struct {
-	Drops          int64 // wire hops dropped
-	Dups           int64 // wire hops duplicated
-	Delayed        int64 // wire hops given extra delay
-	Stalls         int64 // SU stall windows injected
-	Retries        int64 // sender retransmissions after timeout
-	DupSuppressed  int64 // duplicate copies discarded (receiver + sender side)
-	RetriesByClass [trace.NumClasses]int64
-	MaxAttempt     int // highest transmission count any transaction needed
+	Drops         int64 // wire hops dropped
+	Dups          int64 // wire hops duplicated
+	Delayed       int64 // wire hops given extra delay
+	Stalls        int64 // SU stall windows injected
+	Retries       int64 // sender retransmissions after timeout
+	DupSuppressed int64 // duplicate copies discarded (receiver + sender side)
+	// SpuriousRetries counts retransmissions that turned out unnecessary:
+	// at completion, the transmissions sent after the copy that actually
+	// completed the transaction (tx.attempt - completing copy's attempt).
+	// The per-link EWMA RTT estimator exists to keep this near zero under
+	// load; exported as earth_fault_retries_spurious_total.
+	SpuriousRetries int64
+	WindowQueued    int64 // sends held back by the per-link in-flight window
+	RetriesByClass  [trace.NumClasses]int64
+	MaxAttempt      int // highest transmission count any transaction needed
 }
 
 // String summarizes the counters on one line.
@@ -244,17 +277,19 @@ func (s *FaultStats) String() string {
 	if len(retr) > 0 {
 		per = " (" + strings.Join(retr, " ") + ")"
 	}
-	return fmt.Sprintf("drops=%d dups=%d delayed=%d stalls=%d retries=%d%s dup-suppressed=%d max-attempt=%d",
-		s.Drops, s.Dups, s.Delayed, s.Stalls, s.Retries, per, s.DupSuppressed, s.MaxAttempt)
+	return fmt.Sprintf("drops=%d dups=%d delayed=%d stalls=%d retries=%d%s spurious=%d dup-suppressed=%d max-attempt=%d",
+		s.Drops, s.Dups, s.Delayed, s.Stalls, s.Retries, per, s.SpuriousRetries, s.DupSuppressed, s.MaxAttempt)
 }
 
 // txn is one reliable-messaging transaction: the sender-side state of a
 // split-phase message from first transmission to acknowledged completion.
 type txn struct {
-	seq     uint64 // transaction sequence number (key of Machine.txns)
+	seq     uint64 // transaction sequence number (key of shard.txns)
 	proto   *msg   // prototype record, owned by the txn while live
 	svc     int64  // issuing SU cost, reapplied on every retransmission
-	attempt int    // transmissions so far
+	link    uint32 // directed link key (window accounting, RTT estimator)
+	start   int64  // first transmission time (RTT sampling; Karn's rule)
+	attempt int    // transmissions so far (0 while queued on the window)
 	timeout int64  // current retransmit timeout (doubles per retry, capped)
 	done    bool
 }
@@ -283,7 +318,7 @@ type linkPos struct {
 
 // rnd is the machine's splitmix64 PRNG, consulted only in event-loop order
 // so draws are deterministic for a given seed.
-func (m *Machine) rnd() uint64 {
+func (m *shard) rnd() uint64 {
 	m.rngState += 0x9E3779B97F4A7C15
 	z := m.rngState
 	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
@@ -293,13 +328,13 @@ func (m *Machine) rnd() uint64 {
 
 // chance draws a uniform [0,1) variate and compares it to p. Callers must
 // guard with p > 0 so disabled distributions consume no draws.
-func (m *Machine) chance(p float64) bool {
+func (m *shard) chance(p float64) bool {
 	return float64(m.rnd()>>11)/(1<<53) < p
 }
 
 // rndN draws a uniform integer in [0, n). The slight modulo bias is
 // irrelevant for fault modeling.
-func (m *Machine) rndN(n int64) int64 {
+func (m *shard) rndN(n int64) int64 {
 	return int64(m.rnd() % uint64(n))
 }
 
@@ -307,7 +342,7 @@ func (m *Machine) rndN(n int64) int64 {
 
 // cloneMsg copies a prototype into a fresh freelist record for one
 // transmission attempt.
-func (m *Machine) cloneMsg(g *msg) *msg {
+func (m *shard) cloneMsg(g *msg) *msg {
 	c := m.getMsg()
 	args, vals := c.args, c.vals
 	*c = *g
@@ -317,29 +352,117 @@ func (m *Machine) cloneMsg(g *msg) *msg {
 	return c
 }
 
+// ----------------------------------------------------- RTT estimation (RTO) ---
+
+// rttEst is one directed link's EWMA round-trip estimator, the classic TCP
+// srtt/rttvar pair (RFC 6298, integer shifts: srtt gain 1/8, rttvar gain
+// 1/4). A round trip here is transmission to transaction completion — the
+// full SU-queue + wire + service + reply path, which is exactly what the
+// retransmit timer races against.
+type rttEst struct {
+	srtt   int64 // smoothed RTT in ns; 0 = no samples yet
+	rttvar int64
+}
+
+// observe folds one unambiguous RTT sample into the link estimate.
+func (e *rttEst) observe(sample int64) {
+	if e.srtt == 0 {
+		e.srtt = sample
+		e.rttvar = sample / 2
+		return
+	}
+	err := sample - e.srtt
+	if err < 0 {
+		e.rttvar += (-err - e.rttvar) / 4
+	} else {
+		e.rttvar += (err - e.rttvar) / 4
+	}
+	e.srtt += err / 8
+}
+
+// rto is the link's current retransmit timeout: srtt + 4·rttvar, clamped to
+// [Timeout/2, Timeout·backoffCapFactor]. Before any sample — or with the
+// fixedRTO test knob set — it is the configured fixed Timeout, the
+// pre-estimator policy. The floor keeps a quiet link's aggressively small
+// estimate from firing on routine SU-stall jitter; the ceiling matches the
+// backoff cap.
+func (m *shard) rto(key uint32) int64 {
+	base := m.flt.timeout()
+	if m.flt.fixedRTO {
+		return base
+	}
+	e := m.rtt[key]
+	if e == nil || e.srtt == 0 {
+		return base
+	}
+	rto := e.srtt + 4*e.rttvar
+	return min(max(rto, base/2), base*backoffCapFactor)
+}
+
+// rttObserve records a completion's RTT against its link, per Karn's rule:
+// only transactions that completed without any retransmission give an
+// unambiguous sample.
+func (m *shard) rttObserve(key uint32, sample int64) {
+	e := m.rtt[key]
+	if e == nil {
+		e = &rttEst{}
+		m.rtt[key] = e
+	}
+	e.observe(sample)
+}
+
 // sendMsg starts a message's first transmission at the issuing SU. Without
 // a fault model this is exactly the pre-fault schedule (stage 1 on the SU);
-// with one, it opens a transaction around a cloned flight and arms the
-// retransmit timer.
-func (m *Machine) sendMsg(g *msg, t, svc int64) {
+// with one, it opens a transaction, assigns the link-order sequence number,
+// and either transmits immediately or queues behind the link's selective-
+// repeat window.
+func (m *shard) sendMsg(g *msg, t, svc int64) {
 	g.stage = 1
 	if m.flt == nil {
 		m.suSched(g.src, t, svc, g)
 		return
 	}
 	m.nextTxn++
-	g.seq = m.nextTxn
+	g.seq = m.txnSeq(m.nextTxn)
 	key := linkKey(g.src, g.dst)
 	g.lseq = m.linkNext[key]
 	m.linkNext[key]++
-	tx := &txn{seq: g.seq, proto: g, svc: svc, attempt: 1, timeout: m.flt.timeout()}
+	tx := &txn{seq: g.seq, proto: g, svc: svc, link: key}
 	m.txns[g.seq] = tx
-	m.suSched(g.src, t, svc, m.cloneMsg(g))
+	if w := m.flt.window(); w > 0 && m.winOpen[key] >= w {
+		m.fstats.WindowQueued++
+		m.winQ[key] = append(m.winQ[key], tx)
+		return
+	}
+	m.transmit(tx, t)
+}
+
+// txnSeq tags a transaction ordinal with the owning shard, keeping sequence
+// numbers unique machine-wide (the receiver's exactly-once cache is keyed by
+// them). Legacy mode keeps plain ordinals.
+func (m *shard) txnSeq(ordinal uint64) uint64 {
+	if m.single {
+		return ordinal
+	}
+	return uint64(m.id+1)<<40 | ordinal
+}
+
+// transmit performs a transaction's first transmission: claim the window
+// slot, queue the flight on the issuing SU, and arm the retransmit timer at
+// the link's current RTO.
+func (m *shard) transmit(tx *txn, t int64) {
+	m.winOpen[tx.link]++
+	tx.attempt = 1
+	tx.start = t
+	tx.timeout = m.rto(tx.link)
+	p := tx.proto
+	p.attempt = 1
+	m.suSched(p.src, t, tx.svc, m.cloneMsg(p))
 	m.scheduleRetry(tx, t+tx.timeout)
 }
 
 // scheduleRetry arms (or re-arms) a transaction's retransmit timer.
-func (m *Machine) scheduleRetry(tx *txn, at int64) {
+func (m *shard) scheduleRetry(tx *txn, at int64) {
 	m.seq++
 	m.events.push(event{time: at, seq: m.seq, kind: evRetry, node: tx.proto.src.id, tx: tx})
 }
@@ -347,7 +470,7 @@ func (m *Machine) scheduleRetry(tx *txn, at int64) {
 // retryFire handles a retransmit-timer expiry: if the transaction is still
 // open, clone and resend the prototype with a doubled (capped) timeout; a
 // transaction out of retry budget traps the run.
-func (m *Machine) retryFire(tx *txn, t int64) {
+func (m *shard) retryFire(tx *txn, t int64) {
 	if tx.done {
 		return
 	}
@@ -364,16 +487,36 @@ func (m *Machine) retryFire(tx *txn, t int64) {
 	m.fstats.Retries++
 	m.fstats.RetriesByClass[p.class]++
 	m.tr.Fault(trace.FaultRetry, p.class, p.mid, p.src.id, tx.attempt, t)
+	p.attempt = tx.attempt
 	m.suSched(p.src, t, tx.svc, m.cloneMsg(p))
 	tx.timeout = min(tx.timeout*2, m.flt.timeout()*backoffCapFactor)
 	m.scheduleRetry(tx, t+tx.timeout)
 }
 
-// finishTxn closes a transaction: the prototype returns to the freelist and
-// late timer fires or duplicate reply copies become no-ops.
-func (m *Machine) finishTxn(tx *txn) {
+// finishTxn closes a completed transaction: score the retransmit policy
+// (spurious count; RTT sample per Karn's rule), release the window slot —
+// transmitting the next queued transaction, if any — and return the
+// prototype to the freelist so late timer fires or duplicate reply copies
+// become no-ops. doneAttempt is the transmission attempt stamped on the
+// copy that completed the round trip.
+func (m *shard) finishTxn(tx *txn, t int64, doneAttempt int) {
 	tx.done = true
 	delete(m.txns, tx.seq)
 	m.putMsg(tx.proto)
 	tx.proto = nil
+	if sp := int64(tx.attempt - doneAttempt); sp > 0 {
+		m.fstats.SpuriousRetries += sp
+	}
+	if tx.attempt == 1 {
+		m.rttObserve(tx.link, t-tx.start)
+	}
+	if m.winOpen[tx.link]--; m.winOpen[tx.link] < 0 {
+		m.winOpen[tx.link] = 0
+	}
+	if q := m.winQ[tx.link]; len(q) > 0 {
+		next := q[0]
+		q[0] = nil
+		m.winQ[tx.link] = q[1:]
+		m.transmit(next, t)
+	}
 }

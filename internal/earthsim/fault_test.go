@@ -90,7 +90,7 @@ func TestWallDeadline(t *testing.T) {
 // pre-fault path (no transactions, no sequence numbers, no timers).
 func TestFaultFreeScheduleUnchanged(t *testing.T) {
 	prog := loopProg()
-	m := New(prog, DefaultConfig(2))
+	m := New(prog, DefaultConfig(2)).sh[0]
 	g := m.getMsg()
 	g.class, g.f, g.src, g.dst = 0, nil, m.nodes[0], m.nodes[1]
 	m.sendMsg(g, 0, 100)
@@ -110,7 +110,7 @@ func TestFaultFreeScheduleUnchanged(t *testing.T) {
 func TestRetryBackoffCap(t *testing.T) {
 	cfg := DefaultConfig(2)
 	cfg.Faults = &FaultConfig{Drop: 0.9999, MaxRetries: 6, Seed: 1}
-	m := New(loopProg(), cfg)
+	m := New(loopProg(), cfg).sh[0]
 	g := m.getMsg()
 	g.class, g.src, g.dst = 0, m.nodes[0], m.nodes[1]
 	m.sendMsg(g, 0, 100)

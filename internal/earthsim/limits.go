@@ -35,7 +35,7 @@ func (m *Machine) SetDeadline(d time.Duration) *Machine {
 }
 
 // trapw stops the simulation with an error wrapping a sentinel.
-func (m *Machine) trapw(sentinel error, format string, args ...any) {
+func (m *shard) trapw(sentinel error, format string, args ...any) {
 	if m.trap == nil {
 		m.trap = fmt.Errorf("earthsim: %w: %s", sentinel, fmt.Sprintf(format, args...))
 	}
@@ -44,11 +44,14 @@ func (m *Machine) trapw(sentinel error, format string, args ...any) {
 // limitCheck runs every limitCheckInterval instructions (from execFiber's
 // hot loop) and traps on an exhausted instruction budget or an expired
 // wall-clock deadline.
-func (m *Machine) limitCheck() {
+func (m *shard) limitCheck() {
 	m.nextLimitCheck += limitCheckInterval
-	if m.counts.Instructions > m.fuel {
+	// othersInstr is the rest of the machine's instruction count as of the
+	// last barrier (always zero in legacy mode), so the shared fuel budget
+	// is enforced machine-wide with at most one barrier of slack.
+	if m.othersInstr+m.counts.Instructions > m.fuel {
 		m.trapw(ErrFuelExhausted, "%d EU instructions executed (fuel %d) — raise Config.Fuel / -fuel if the program is genuinely long-running%s",
-			m.counts.Instructions, m.fuel, m.blockedReport())
+			m.othersInstr+m.counts.Instructions, m.fuel, m.blockedReport())
 		return
 	}
 	if m.wallLimit > 0 && time.Now().After(m.wallDeadline) {
@@ -61,7 +64,7 @@ func (m *Machine) limitCheck() {
 // it blocks. The list is an intrusive singly-linked stack with lazy
 // deletion — fibers are never removed, only skipped at report time — so
 // parking stays allocation-free on the simulator hot path.
-func (m *Machine) park(f *fiber) {
+func (m *shard) park(f *fiber) {
 	if f.parkListed {
 		return
 	}
@@ -73,7 +76,7 @@ func (m *Machine) park(f *fiber) {
 // blockedReport describes every currently-blocked fiber — which slot, fence
 // or join it waits on, and how many fills/acks it still expects — so
 // deadlocks and fault-induced stalls are debuggable from the error alone.
-func (m *Machine) blockedReport() string {
+func (m *shard) blockedReport() string {
 	const maxListed = 16
 	var b strings.Builder
 	count, omitted := 0, 0

@@ -20,6 +20,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/profile"
 	"repro/internal/threaded"
 	"repro/internal/trace"
@@ -71,6 +72,15 @@ type Config struct {
 	// Faults, when non-nil, switches the machine to the lossy transport +
 	// reliable-messaging protocol (see fault.go). Nil costs nothing.
 	Faults *FaultConfig
+
+	// SimWorkers selects the sharded event loop: one event-loop shard per
+	// simulated node, synchronized by conservative lookahead windows derived
+	// from NetLatency, driven by up to SimWorkers goroutines (1 = the
+	// sharded engine run sequentially). 0 keeps the historical single
+	// sequential loop. For a fixed seed + spec the sharded engine's Result,
+	// trace and telemetry series are bit-identical across worker counts,
+	// and Result.Visible() also matches the historical loop.
+	SimWorkers int
 }
 
 // DefaultConfig returns the calibrated EARTH-MANNA model.
@@ -133,6 +143,10 @@ type Result struct {
 	Counts  Counts
 	Output  string
 	MainRet int64 // main's return value (raw bits)
+	// Events counts dispatched simulator events — a host-side throughput
+	// diagnostic (events/sec in benchmarks), excluded from Visible because
+	// the exact count varies with the execution strategy.
+	Events int64
 	// Profile carries the per-site measurements of a profiled program
 	// (prog.Profiled; see internal/profile), nil otherwise.
 	Profile *profile.Data
@@ -240,14 +254,24 @@ func (q *eventQ) pop() event {
 
 // ------------------------------------------------------------------- nodes ---
 
+// frameClassMax bounds the dense per-size frame free-list table; frames are
+// function-frame sized (a handful of words), so nearly every free/alloc hits
+// the table and the map is a fallback for pathological frame sizes.
+const frameClassMax = 256
+
 type node struct {
 	id       int
 	maxWords int64
 	mem      []int64
 	heapTop  int64
-	free     map[int][]int64 // frame free lists by size
-	euFree   int64
-	suFree   int64
+	// Frame free lists, by exact size class. freeSmall is a dense table
+	// indexed by size (lazily allocated on the first free), freeBig catches
+	// sizes ≥ frameClassMax. Both recycle exact sizes only, so reuse keeps
+	// the bump allocator's zero-fill semantics.
+	freeSmall [][]int64
+	freeBig   map[int][]int64
+	euFree    int64
+	suFree    int64
 	// ready is the EU's fiber queue, consumed from readyAt so the backing
 	// array is reused instead of reallocated on every enqueue/dequeue pair.
 	ready   []*fiber
@@ -302,9 +326,19 @@ func (n *node) allocWords(size int) int64 {
 }
 
 func (n *node) allocFrame(size int) int64 {
-	if lst := n.free[size]; len(lst) > 0 {
+	var lst []int64
+	if size < len(n.freeSmall) {
+		lst = n.freeSmall[size]
+	} else {
+		lst = n.freeBig[size]
+	}
+	if len(lst) > 0 {
 		base := lst[len(lst)-1]
-		n.free[size] = lst[:len(lst)-1]
+		if size < len(n.freeSmall) {
+			n.freeSmall[size] = lst[:len(lst)-1]
+		} else {
+			n.freeBig[size] = lst[:len(lst)-1]
+		}
 		for i := 0; i < size; i++ {
 			n.mem[base+int64(i)] = 0
 		}
@@ -314,7 +348,17 @@ func (n *node) allocFrame(size int) int64 {
 }
 
 func (n *node) freeFrame(base int64, size int) {
-	n.free[size] = append(n.free[size], base)
+	if size < frameClassMax {
+		if n.freeSmall == nil {
+			n.freeSmall = make([][]int64, frameClassMax)
+		}
+		n.freeSmall[size] = append(n.freeSmall[size], base)
+		return
+	}
+	if n.freeBig == nil {
+		n.freeBig = make(map[int][]int64)
+	}
+	n.freeBig[size] = append(n.freeBig[size], base)
 }
 
 // ------------------------------------------------------------------ fibers ---
@@ -360,9 +404,15 @@ type fiber struct {
 	ninstr int64
 
 	// parkListed/parkNext thread the fiber onto the machine's intrusive
-	// blocked-fiber list the first time it blocks (see park).
+	// blocked-fiber list the first time it blocks (see park). The linkage
+	// survives recycling: a reused fiber record is already parked, which is
+	// exactly what lazy deletion expects.
 	parkListed bool
 	parkNext   *fiber
+
+	// freeNext links the record into its shard's fiber freelist between
+	// lives (see getFiber/recycleFiber).
+	freeNext *fiber
 }
 
 // addPending registers an outstanding fill for an absolute frame offset.
@@ -381,33 +431,85 @@ type outItem struct {
 	text string
 }
 
-// Machine is a loaded simulator instance.
-type Machine struct {
-	cfg           Config
-	prog          *threaded.Program
-	nodes         []*node
+// mail is a cross-shard message delivery: an evNetArrive that a shard's
+// event loop produced for a node another shard owns. Mail is buffered in
+// the sender's outbox during a window and delivered by the coordinator at
+// the next barrier, in (sender shard id, send order) — a total order that
+// does not depend on how many worker goroutines executed the window.
+type mail struct {
+	to   *shard
+	at   int64
+	node int
+	g    *msg
+}
+
+// doneRec defers a trace MsgDone whose message was issued on another shard
+// (the recorder that owns the id); applied before trace merge at Run end.
+type doneRec struct {
+	mid int64
+	at  int64
+}
+
+// shard owns the mutable per-run state of one or more simulated nodes: a
+// local event heap, the EU/SU/fiber state of its nodes, its side of the
+// reliable-messaging protocol, and its slice of the trace/telemetry
+// recorders. In legacy mode (Config.SimWorkers == 0) a single shard owns
+// every node and Machine.Run drives it exactly as the historical sequential
+// loop did; in sharded mode there is one shard per node and the coordinator
+// runs them in conservative-lookahead windows (see parallel.go).
+type shard struct {
+	id     int
+	single bool // legacy mode: this shard owns every node
+
+	// Read-only after New: shared program/topology. nodes is the full node
+	// table — a shard only mutates the state of nodes it owns, but message
+	// servicing needs the table to resolve destination ids.
+	cfg   Config
+	prog  *threaded.Program
+	nodes []*node
+	peers []*shard // owning shard per node id (all == the single shard in legacy mode)
+
 	events        eventQ
 	seq           int64
 	nextFiber     int64
 	counts        Counts
 	output        []outItem
 	outSeq        int64
-	mainFiber     *fiber
 	mainDone      bool
 	mainRet       int64
 	mainTime      int64
 	trap          error
 	nEvents       int64
+	maxEvents     int64 // per-shard backstop mirror of the global event budget
 	liveFibers    int64
 	maxFiberInstr int64
 	msgFree       *msg            // freelist of message records (see getMsg/putMsg)
+	fiberFree     *fiber          // freelist of fiber records (see getFiber/recycleFiber)
 	scratch       []int64         // EU scratch for call arguments / block payloads
 	prof          *profile.Data   // non-nil when prog.Profiled
 	tr            *trace.Recorder // nil: tracing disabled (the common case)
 	ms            *simMetrics     // nil: live telemetry disabled (see SetMetrics)
 
+	// Cross-shard buffers (sharded mode only; empty in legacy mode).
+	outbox       []mail
+	foreignDones []doneRec
+
+	// Coordinator bookkeeping (sharded mode only; see runSharded). head
+	// caches events[0].time while the shard sits in the coordinator's
+	// head-indexed heap at position hpos (-1 when absent); barInstr /
+	// barEvents / barLive snapshot the running totals a window started from,
+	// so the coordinator can fold post-window deltas into its incremental
+	// machine-wide sums; mailStamp dedupes the round's mail receivers.
+	head      int64
+	hpos      int
+	barInstr  int64
+	barEvents int64
+	barLive   int64
+	mailStamp int64
+
 	// Run limits (see limits.go).
-	fuel           int64 // total EU instruction budget
+	fuel           int64 // total EU instruction budget (shared across shards)
+	othersInstr    int64 // other shards' instruction counts as of the last barrier
 	nextLimitCheck int64 // next Instructions value at which to run limitCheck
 	wallLimit      time.Duration
 	wallDeadline   time.Time
@@ -424,7 +526,27 @@ type Machine struct {
 	linkNext   map[uint32]uint64   // sender-side next request lseq per directed link
 	linkExpect map[uint32]uint64   // receiver-side next lseq to service per directed link
 	linkHold   map[linkPos]*msg    // out-of-order requests parked until the gap fills
+	rtt        map[uint32]*rttEst  // per-link EWMA RTT estimator (see fault.go)
+	winOpen    map[uint32]int      // per-link in-flight transaction count
+	winQ       map[uint32][]*txn   // per-link transactions awaiting a window slot
 	fstats     *FaultStats
+}
+
+// Machine is a loaded simulator instance: the shared topology plus one
+// event-loop shard per node (or a single shard running the classic
+// sequential loop when Config.SimWorkers is zero).
+type Machine struct {
+	cfg       Config
+	prog      *threaded.Program
+	nodes     []*node
+	sh        []*shard
+	lookahead int64 // conservative lookahead L (sharded mode; = cfg.NetLatency)
+	workers   int   // worker goroutines driving shard windows (sharded mode)
+	wallLimit time.Duration
+	tr        *trace.Recorder  // user-facing recorder (nil: tracing off)
+	sampler   *metrics.Sampler // user-facing sampler (nil: telemetry off)
+	gNext     int64            // next merged sampling boundary (sharded mode)
+	gLast     int64            // time of the last merged sample (-1 before any)
 }
 
 // New loads a threaded program onto a fresh machine.
@@ -432,37 +554,14 @@ func New(prog *threaded.Program, cfg Config) *Machine {
 	if cfg.Nodes <= 0 {
 		cfg.Nodes = 1
 	}
-	m := &Machine{cfg: cfg, prog: prog, maxFiberInstr: cfg.MaxFiberInstr,
-		events: make(eventQ, 0, 256), scratch: make([]int64, 0, 64)}
-	if m.maxFiberInstr == 0 {
-		m.maxFiberInstr = 2_000_000_000
-	}
-	m.fuel = cfg.Fuel
-	if m.fuel <= 0 {
-		m.fuel = math.MaxInt64
-	}
-	m.nextLimitCheck = limitCheckInterval
-	if cfg.Faults != nil {
-		m.flt = cfg.Faults
-		// Mix the seed so Seed 0 still yields a well-distributed stream.
-		m.rngState = cfg.Faults.Seed ^ 0x6C62272E07BB0142
-		m.txns = make(map[uint64]*txn)
-		m.seen = make(map[uint64]svcCache)
-		m.linkNext = make(map[uint32]uint64)
-		m.linkExpect = make(map[uint32]uint64)
-		m.linkHold = make(map[linkPos]*msg)
-		m.fstats = &FaultStats{}
-	}
-	if prog.Profiled {
-		m.prof = profile.New()
-	}
+	m := &Machine{cfg: cfg, prog: prog, gLast: -1}
 	for i := 0; i < cfg.Nodes; i++ {
 		maxWords := cfg.MaxNodeWords
 		if maxWords == 0 {
 			maxWords = 16 << 20
 		}
 		n := &node{id: i, maxWords: maxWords,
-			free: make(map[int][]int64), netLast: make([]int64, cfg.Nodes),
+			netLast: make([]int64, cfg.Nodes),
 			ready:   make([]*fiber, 0, 16),
 			pending: make(map[int64]int), waiters: make(map[int64][]*fiber)}
 		m.nodes = append(m.nodes, n)
@@ -473,7 +572,79 @@ func New(prog *threaded.Program, cfg Config) *Machine {
 	for _, iv := range prog.GlobalInit {
 		m.nodes[0].mem[iv[0]] = iv[1]
 	}
+	// Sharded execution needs at least one nanosecond of wire latency for
+	// the conservative lookahead bound, and more than one node to shard;
+	// otherwise fall back to the sequential loop regardless of SimWorkers.
+	if cfg.SimWorkers > 0 && cfg.Nodes > 1 && cfg.NetLatency >= 1 {
+		m.lookahead = cfg.NetLatency
+		m.workers = min(cfg.SimWorkers, cfg.Nodes)
+		for i := 0; i < cfg.Nodes; i++ {
+			m.sh = append(m.sh, m.newShard(i, false))
+		}
+	} else {
+		m.sh = []*shard{m.newShard(0, true)}
+	}
+	for _, s := range m.sh {
+		if s.single {
+			s.peers = make([]*shard, cfg.Nodes)
+			for i := range s.peers {
+				s.peers[i] = s
+			}
+		} else {
+			s.peers = m.sh
+		}
+	}
 	return m
+}
+
+// newShard builds one event-loop shard. Shard 0's RNG stream matches the
+// historical single-loop stream exactly; other shards mix their id in.
+func (m *Machine) newShard(id int, single bool) *shard {
+	cfg := m.cfg
+	// A sharded loop holds one node's events (a handful at a time), a legacy
+	// loop the whole machine's — size the queue and scratch accordingly, or
+	// a 1024-shard machine pays ~12MB of empty queue capacity per run.
+	qcap, scap := 256, 64
+	if !single {
+		qcap, scap = 8, 16
+	}
+	s := &shard{id: id, single: single, cfg: cfg, prog: m.prog, nodes: m.nodes,
+		maxFiberInstr: cfg.MaxFiberInstr,
+		events:        make(eventQ, 0, qcap), scratch: make([]int64, 0, scap)}
+	if s.maxFiberInstr == 0 {
+		s.maxFiberInstr = 2_000_000_000
+	}
+	s.fuel = cfg.Fuel
+	if s.fuel <= 0 {
+		s.fuel = math.MaxInt64
+	}
+	s.nextLimitCheck = limitCheckInterval
+	if !single {
+		// Keep per-shard streams disjoint: (time, seq) ties and output
+		// ordering are resolved per shard, so each shard gets its own
+		// deterministic id space for fibers, output and txn sequences.
+		s.outSeq = int64(id) << 40
+	}
+	if cfg.Faults != nil {
+		s.flt = cfg.Faults
+		// Mix the seed so Seed 0 still yields a well-distributed stream.
+		// Sharded loops draw from per-shard streams (golden-ratio offset per
+		// id); shard 0 keeps the historical stream.
+		s.rngState = (cfg.Faults.Seed + uint64(id)*0x9E3779B97F4A7C15) ^ 0x6C62272E07BB0142
+		s.txns = make(map[uint64]*txn)
+		s.seen = make(map[uint64]svcCache)
+		s.linkNext = make(map[uint32]uint64)
+		s.linkExpect = make(map[uint32]uint64)
+		s.linkHold = make(map[linkPos]*msg)
+		s.rtt = make(map[uint32]*rttEst)
+		s.winOpen = make(map[uint32]int)
+		s.winQ = make(map[uint32][]*txn)
+		s.fstats = &FaultStats{}
+	}
+	if m.prog.Profiled {
+		s.prof = profile.New()
+	}
+	return s
 }
 
 // SetTrace attaches an event recorder to the machine (call before Run; nil
@@ -484,16 +655,30 @@ func New(prog *threaded.Program, cfg Config) *Machine {
 func (m *Machine) SetTrace(r *trace.Recorder) *Machine {
 	m.tr = r
 	r.SetNodes(len(m.nodes))
+	if len(m.sh) == 1 {
+		m.sh[0].tr = r
+		return m
+	}
+	// Sharded mode: each shard records into a private recorder whose content
+	// depends only on that shard's deterministic event sequence; the
+	// coordinator merges them in shard order after Run (see mergeTrace).
+	for _, s := range m.sh {
+		if r == nil {
+			s.tr = nil
+		} else {
+			s.tr = trace.NewRecorder(len(m.nodes))
+		}
+	}
 	return m
 }
 
-func (m *Machine) schedule(t int64, kind eventKind, nodeID int, g *msg) {
+func (m *shard) schedule(t int64, kind eventKind, nodeID int, g *msg) {
 	m.seq++
 	m.events.push(event{time: t, seq: m.seq, kind: kind, node: nodeID, g: g})
 }
 
 // dispatch executes one popped event.
-func (m *Machine) dispatch(ev event) {
+func (m *shard) dispatch(ev event) {
 	if ev.g != nil {
 		m.msgAdvance(ev.g, ev.time)
 		return
@@ -506,7 +691,7 @@ func (m *Machine) dispatch(ev event) {
 }
 
 // trapf stops the simulation with an error.
-func (m *Machine) trapf(format string, args ...any) {
+func (m *shard) trapf(format string, args ...any) {
 	if m.trap == nil {
 		m.trap = fmt.Errorf("earthsim: %s", fmt.Sprintf(format, args...))
 	}
@@ -519,77 +704,139 @@ func (m *Machine) Run() (*Result, error) {
 	if maxEvents == 0 {
 		maxEvents = 500_000_000
 	}
-	if m.wallLimit > 0 {
-		m.wallDeadline = time.Now().Add(m.wallLimit)
+	if len(m.sh) > 1 {
+		return m.runSharded(maxEvents)
 	}
-	main := m.newFiber(0, m.prog.Main, nil, replyRoute{kind: 0})
-	m.mainFiber = main
-	m.enqueueReady(m.nodes[0], main, 0)
+	return m.runLegacy(maxEvents)
+}
 
-	for len(m.events) > 0 {
-		if m.trap != nil {
-			return nil, m.trap
+// runLegacy is the historical sequential event loop: one shard owns every
+// node and events dispatch in global (time, seq) order. Byte-for-byte
+// behaviour (Result, trace, series, allocation profile) is pinned by the
+// zero-cost and golden tests, so this path changes only with great care.
+func (m *Machine) runLegacy(maxEvents int64) (*Result, error) {
+	s := m.sh[0]
+	s.wallLimit = m.wallLimit
+	if s.wallLimit > 0 {
+		s.wallDeadline = time.Now().Add(s.wallLimit)
+	}
+	main := s.newFiber(0, m.prog.Main, nil, replyRoute{kind: 0})
+	s.enqueueReady(m.nodes[0], main, 0)
+
+	for len(s.events) > 0 {
+		if s.trap != nil {
+			return nil, s.trap
 		}
-		m.nEvents++
-		if m.nEvents > maxEvents {
+		s.nEvents++
+		if s.nEvents > maxEvents {
 			return nil, fmt.Errorf("earthsim: %w: event budget exceeded (%d events, t=%dns) — livelock? %s%s",
-				ErrFuelExhausted, m.nEvents, m.lastTime, m.fiberStates(), m.blockedReport())
+				ErrFuelExhausted, s.nEvents, s.lastTime, s.fiberStates(), s.blockedReport())
 		}
-		if m.wallLimit > 0 && m.nEvents&4095 == 0 && time.Now().After(m.wallDeadline) {
+		if s.wallLimit > 0 && s.nEvents&4095 == 0 && time.Now().After(s.wallDeadline) {
 			return nil, fmt.Errorf("earthsim: %w: host wall clock exceeded %s (t=%dns, %d events)",
-				ErrDeadline, m.wallLimit, m.lastTime, m.nEvents)
+				ErrDeadline, s.wallLimit, s.lastTime, s.nEvents)
 		}
-		ev := m.events.pop()
-		if m.ms != nil {
-			m.sampleTick(ev.time)
+		ev := s.events.pop()
+		if s.ms != nil {
+			s.sampleTick(ev.time)
 		}
-		m.lastTime = ev.time
-		m.dispatch(ev)
-		if m.mainDone && m.liveFibers == 0 {
+		s.lastTime = ev.time
+		s.dispatch(ev)
+		if s.mainDone && s.liveFibers == 0 {
 			break
 		}
 	}
 	// Close the time series with one sample at the end of activity, so short
 	// runs (under one interval) still record something and the final state is
 	// always visible. Skipped when the last boundary sample already covers it.
-	if m.ms != nil && m.lastTime > m.ms.last {
-		m.takeSample(m.lastTime)
+	if s.ms != nil && s.lastTime > s.ms.last {
+		s.takeSample(s.lastTime)
 	}
-	if m.trap != nil {
-		return nil, m.trap
+	if s.trap != nil {
+		return nil, s.trap
 	}
-	if !m.mainDone {
+	if !s.mainDone {
 		return nil, fmt.Errorf("earthsim: %w — event queue drained with main incomplete (%d live fibers)%s",
-			ErrDeadlock, m.liveFibers, m.blockedReport())
+			ErrDeadlock, s.liveFibers, s.blockedReport())
 	}
-	res := &Result{Time: m.mainTime, Counts: m.counts, Output: m.renderOutput(), MainRet: m.mainRet}
-	if m.prof != nil {
-		m.prof.Runs = 1
-		res.Profile = m.prof
+	res := &Result{Time: s.mainTime, Counts: s.counts, Events: s.nEvents,
+		Output: renderOutput(s.output), MainRet: s.mainRet}
+	if s.prof != nil {
+		s.prof.Runs = 1
+		res.Profile = s.prof
 	}
-	if m.fstats != nil {
-		res.Faults = m.fstats
+	if s.fstats != nil {
+		res.Faults = s.fstats
 	}
 	return res, nil
 }
 
-func (m *Machine) renderOutput() string {
-	sort.Slice(m.output, func(i, j int) bool {
-		if m.output[i].time != m.output[j].time {
-			return m.output[i].time < m.output[j].time
+// renderOutput merges print records into the final program output. The sort
+// is stable across execution strategies: time first, then the sequence tag
+// (per-shard tags embed the shard id in the high bits, so equal-time prints
+// from different nodes order by owning shard).
+func renderOutput(items []outItem) string {
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].time != items[j].time {
+			return items[i].time < items[j].time
 		}
-		return m.output[i].seq < m.output[j].seq
+		return items[i].seq < items[j].seq
 	})
 	var b strings.Builder
-	for _, o := range m.output {
+	for _, o := range items {
 		b.WriteString(o.text)
 	}
 	return b.String()
 }
 
+// fiberID tags a fiber ordinal with the owning shard so ids stay unique
+// machine-wide. Legacy mode (shard 0, single) keeps the historical plain
+// ordinals.
+func (m *shard) fiberID(ordinal int64) int64 {
+	if m.single {
+		return ordinal
+	}
+	return int64(m.id)<<32 | ordinal
+}
+
+// getFiber takes a fiber record from the shard freelist (or allocates one)
+// and resets the state a previous life may have left behind. The park-list
+// linkage is deliberately preserved — see fiber.parkListed.
+func (m *shard) getFiber() *fiber {
+	f := m.fiberFree
+	if f == nil {
+		return &fiber{}
+	}
+	m.fiberFree = f.freeNext
+	f.freeNext = nil
+	f.pc = 0
+	f.stack = f.stack[:0]
+	f.waitFence = false
+	f.waitJoin = false
+	f.outstanding = 0
+	f.children = 0
+	f.done = false
+	f.ninstr = 0
+	return f
+}
+
+// recycleFiber returns a finished fiber's record to the freelist. Only safe
+// when nothing can reach the fiber again: it must be done, off the ready
+// queue (it just ran), with no outstanding fills or unacked writes (an
+// in-flight ack still references the record), no waiters (a done fiber is
+// never blocked), and no children still due to report completion into its
+// frame.
+func (m *shard) recycleFiber(f *fiber) {
+	if f.children != 0 || f.outstanding != 0 || len(f.pending) != 0 {
+		return
+	}
+	f.freeNext = m.fiberFree
+	m.fiberFree = f
+}
+
 // newFiber creates a fiber with a fresh frame and copies args into the
 // parameter slots.
-func (m *Machine) newFiber(nodeID int, code *threaded.FnCode, args []int64, route replyRoute) *fiber {
+func (m *shard) newFiber(nodeID int, code *threaded.FnCode, args []int64, route replyRoute) *fiber {
 	n := m.nodes[nodeID]
 	base := n.allocFrame(code.NSlots)
 	if base < 0 {
@@ -597,12 +844,11 @@ func (m *Machine) newFiber(nodeID int, code *threaded.FnCode, args []int64, rout
 			nodeID, code.NSlots, code.Name)
 		base = 0
 	}
-	f := &fiber{
-		node: n, code: code, base: base, size: code.NSlots,
-		waitSlot: -1, route: route,
-	}
+	f := m.getFiber()
+	f.node, f.code, f.base, f.size = n, code, base, code.NSlots
+	f.waitSlot, f.route = -1, route
 	m.nextFiber++
-	f.id = m.nextFiber
+	f.id = m.fiberID(m.nextFiber)
 	m.liveFibers++
 	for i, a := range args {
 		if i < len(code.Params) {
@@ -613,24 +859,23 @@ func (m *Machine) newFiber(nodeID int, code *threaded.FnCode, args []int64, rout
 }
 
 // newSharedFiber creates a fiber sharing an existing frame (parallel arm).
-func (m *Machine) newSharedFiber(nodeID int, code *threaded.FnCode, base int64, route replyRoute) *fiber {
-	f := &fiber{
-		node: m.nodes[nodeID], code: code, base: base, size: code.NSlots,
-		waitSlot: -1, route: route,
-	}
+func (m *shard) newSharedFiber(nodeID int, code *threaded.FnCode, base int64, route replyRoute) *fiber {
+	f := m.getFiber()
+	f.node, f.code, f.base, f.size = m.nodes[nodeID], code, base, code.NSlots
+	f.waitSlot, f.route = -1, route
 	m.nextFiber++
-	f.id = m.nextFiber
+	f.id = m.fiberID(m.nextFiber)
 	m.liveFibers++
 	return f
 }
 
-func (m *Machine) enqueueReady(n *node, f *fiber, t int64) {
+func (m *shard) enqueueReady(n *node, f *fiber, t int64) {
 	n.ready = append(n.ready, f)
 	m.schedule(t, evEURun, n.id, nil)
 }
 
 // fiberStates summarizes runnable fibers for livelock diagnostics.
-func (m *Machine) fiberStates() string {
+func (m *shard) fiberStates() string {
 	var b strings.Builder
 	for _, n := range m.nodes {
 		for _, f := range n.ready[n.readyAt:] {

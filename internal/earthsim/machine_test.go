@@ -10,7 +10,7 @@ import (
 )
 
 // drain processes every pending event regardless of main's state.
-func drain(m *Machine) {
+func drain(m *shard) {
 	for len(m.events) > 0 {
 		m.dispatch(m.events.pop())
 	}
@@ -43,7 +43,7 @@ func TestSUTaskSerialization(t *testing.T) {
 			Code: []threaded.Instr{{Op: threaded.OpRet, A: -1}}}},
 	}
 	prog.Main = prog.Funcs["main"]
-	m := New(prog, DefaultConfig(1))
+	m := New(prog, DefaultConfig(1)).sh[0]
 	n := m.nodes[0]
 	for i := 0; i < 3; i++ {
 		g := m.getMsg()
@@ -67,7 +67,7 @@ func TestNetFIFO(t *testing.T) {
 			Code: []threaded.Instr{{Op: threaded.OpRet, A: -1}}}},
 	}
 	prog.Main = prog.Funcs["main"]
-	m := New(prog, DefaultConfig(2))
+	m := New(prog, DefaultConfig(2)).sh[0]
 	src, dst := m.nodes[0], m.nodes[1]
 	// A large (slow) message sent first, then a zero-payload one.
 	g1, g2 := m.getMsg(), m.getMsg()

@@ -6,18 +6,24 @@ import (
 	"repro/internal/metrics"
 )
 
-// simMetrics is the machine-side accumulator behind SetMetrics: cheap
-// cumulative counters bumped from the EU/SU/network hooks, flushed into a
-// metrics.SimSample at each sampling boundary. All state is owned by the
-// event loop; only the final Sampler.Record crosses goroutines.
+// simMetrics is the shard-side accumulator behind SetMetrics: cheap
+// cumulative counters bumped from the EU/SU/network hooks, flushed at each
+// sampling boundary. In legacy mode the flush records straight into the
+// user's Sampler; in sharded mode it appends a shardSample contribution to
+// pend, and the coordinator merges contributions from every shard at the
+// next barrier (mergeSamples) — only the final Sampler.Record crosses
+// goroutines, at barrier time.
 type simMetrics struct {
 	s        *metrics.Sampler
 	interval int64
 	next     int64 // next simulated-time sampling boundary
 	last     int64 // time of the most recent sample (-1 before the first)
 
-	euBusy []int64 // per-node cumulative EU busy ns
-	suBusy []int64 // per-node cumulative SU busy ns
+	// base maps node ids onto the busy arrays: legacy mode covers all
+	// nodes (base 0), a sharded loop covers just its own (base = shard id).
+	base   int
+	euBusy []int64 // per owned node: cumulative EU busy ns
+	suBusy []int64 // per owned node: cumulative SU busy ns
 	// suDone[i] is a FIFO of node i's SU completion times. suSched pushes in
 	// acceptance order and n.suFree is monotone, so the queue is sorted:
 	// the sample drains completions ≤ t from suHead[i] and what remains is
@@ -26,12 +32,37 @@ type simMetrics struct {
 	suDone [][]int64
 	suHead []int
 	links  map[uint32]*linkAgg
+
+	// pend holds boundary contributions not yet merged (sharded mode only;
+	// nil in legacy mode, where samples record directly). pendAt is the
+	// consumer cursor so the backing array is reused.
+	pend   []shardSample
+	pendAt int
 }
 
 // linkAgg accumulates one directed link's traffic (keyed by linkKey).
 type linkAgg struct {
 	src, dst          int
 	busy, msgs, words int64
+}
+
+// shardSample is one shard's cumulative contribution to the machine-wide
+// sample at a boundary: counter totals as of that simulated time, plus the
+// shard's own node and out-link snapshots.
+type shardSample struct {
+	time         int64
+	instructions int64
+	remoteReads  int64
+	remoteWrites int64
+	blkMoves     int64
+	liveFibers   int64
+	retries      int64
+	spurious     int64
+	drops        int64
+	dups         int64
+	stalls       int64
+	node         metrics.NodeSample
+	links        []metrics.LinkSample
 }
 
 // SetMetrics attaches a time-series sampler to the machine (call before
@@ -41,29 +72,43 @@ type linkAgg struct {
 // bit-identical run to run. A machine without a sampler pays one nil check
 // per instrumentation point and allocates nothing. Returns m for chaining.
 func (m *Machine) SetMetrics(s *metrics.Sampler) *Machine {
+	m.sampler = s
 	if s == nil {
-		m.ms = nil
+		for _, sh := range m.sh {
+			sh.ms = nil
+		}
 		return m
 	}
-	n := len(m.nodes)
-	m.ms = &simMetrics{
-		s:        s,
-		interval: s.Interval(),
-		next:     s.Interval(),
-		last:     -1,
-		euBusy:   make([]int64, n),
-		suBusy:   make([]int64, n),
-		suDone:   make([][]int64, n),
-		suHead:   make([]int, n),
-		links:    make(map[uint32]*linkAgg),
+	m.gNext = s.Interval()
+	m.gLast = -1
+	for _, sh := range m.sh {
+		n, base := len(m.nodes), 0
+		if !sh.single {
+			n, base = 1, sh.id
+		}
+		sh.ms = &simMetrics{
+			s:        s,
+			interval: s.Interval(),
+			next:     s.Interval(),
+			last:     -1,
+			base:     base,
+			euBusy:   make([]int64, n),
+			suBusy:   make([]int64, n),
+			suDone:   make([][]int64, n),
+			suHead:   make([]int, n),
+			links:    make(map[uint32]*linkAgg),
+		}
+		if !sh.single {
+			sh.ms.pend = make([]shardSample, 0, 4)
+		}
 	}
 	return m
 }
 
 // suObserve records one SU service interval on a node (hook in suSched).
 func (ms *simMetrics) suObserve(nodeID int, busy, done int64) {
-	ms.suBusy[nodeID] += busy
-	ms.suDone[nodeID] = append(ms.suDone[nodeID], done)
+	ms.suBusy[nodeID-ms.base] += busy
+	ms.suDone[nodeID-ms.base] = append(ms.suDone[nodeID-ms.base], done)
 }
 
 // linkObserve records one wire hop on a directed link (hook in netSched).
@@ -79,18 +124,82 @@ func (ms *simMetrics) linkObserve(src, dst int, busy, words int64) {
 	la.words += words
 }
 
-// sampleTick takes every sample due at or before t (hook in the Run loop,
-// before each event dispatches).
-func (m *Machine) sampleTick(t int64) {
+// sampleTick takes every sample due at or before t (hook in the event loop,
+// before each event dispatches, so a sample at boundary B covers exactly the
+// events with time < B).
+func (m *shard) sampleTick(t int64) {
 	for m.ms.next <= t {
 		m.takeSample(m.ms.next)
 		m.ms.next += m.ms.interval
 	}
 }
 
-// takeSample snapshots the machine into the sampler at simulated time t.
-func (m *Machine) takeSample(t int64) {
+// drainSUQueue advances owned-node slot i's SU completion FIFO past t and
+// returns the remaining depth — the SU queue length at time t.
+func (ms *simMetrics) drainSUQueue(i int, t int64) int64 {
+	q, h := ms.suDone[i], ms.suHead[i]
+	for h < len(q) && q[h] <= t {
+		h++
+	}
+	if h == len(q) {
+		q, h = q[:0], 0
+		ms.suDone[i] = q
+	}
+	ms.suHead[i] = h
+	return int64(len(q) - h)
+}
+
+// sortedLinks snapshots the link aggregates in key order.
+func (ms *simMetrics) sortedLinks() []metrics.LinkSample {
+	if len(ms.links) == 0 {
+		return nil
+	}
+	keys := make([]uint32, 0, len(ms.links))
+	for k := range ms.links {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]metrics.LinkSample, len(keys))
+	for i, k := range keys {
+		la := ms.links[k]
+		out[i] = metrics.LinkSample{Src: la.src, Dst: la.dst,
+			BusyNs: la.busy, Msgs: la.msgs, Words: la.words}
+	}
+	return out
+}
+
+// takeSample snapshots the shard at simulated time t: straight into the
+// sampler in legacy mode, onto the pending-contribution list otherwise.
+func (m *shard) takeSample(t int64) {
 	ms := m.ms
+	if !m.single {
+		ss := shardSample{
+			time:         t,
+			instructions: m.counts.Instructions,
+			remoteReads:  m.counts.RemoteReads,
+			remoteWrites: m.counts.RemoteWrites,
+			blkMoves:     m.counts.RemoteBlk,
+			liveFibers:   m.liveFibers,
+		}
+		if m.fstats != nil {
+			ss.retries = m.fstats.Retries
+			ss.spurious = m.fstats.SpuriousRetries
+			ss.drops = m.fstats.Drops
+			ss.dups = m.fstats.Dups
+			ss.stalls = m.fstats.Stalls
+		}
+		n := m.nodes[m.id]
+		ss.node = metrics.NodeSample{
+			EUBusyNs: ms.euBusy[0],
+			SUBusyNs: ms.suBusy[0],
+			SUQueue:  ms.drainSUQueue(0, t),
+			Ready:    int64(n.readyLen()),
+		}
+		ss.links = ms.sortedLinks()
+		ms.pend = append(ms.pend, ss)
+		ms.last = t
+		return
+	}
 	sm := metrics.SimSample{
 		Time:         t,
 		Instructions: m.counts.Instructions,
@@ -101,41 +210,70 @@ func (m *Machine) takeSample(t int64) {
 	}
 	if m.fstats != nil {
 		sm.Retries = m.fstats.Retries
+		sm.Spurious = m.fstats.SpuriousRetries
 		sm.Drops = m.fstats.Drops
 		sm.Dups = m.fstats.Dups
 		sm.Stalls = m.fstats.Stalls
 	}
 	sm.Nodes = make([]metrics.NodeSample, len(m.nodes))
 	for i, n := range m.nodes {
-		q, h := ms.suDone[i], ms.suHead[i]
-		for h < len(q) && q[h] <= t {
-			h++
-		}
-		if h == len(q) {
-			q, h = q[:0], 0
-			ms.suDone[i] = q
-		}
-		ms.suHead[i] = h
 		sm.Nodes[i] = metrics.NodeSample{
 			EUBusyNs: ms.euBusy[i],
 			SUBusyNs: ms.suBusy[i],
-			SUQueue:  int64(len(q) - h),
+			SUQueue:  ms.drainSUQueue(i, t),
 			Ready:    int64(n.readyLen()),
 		}
 	}
-	if len(ms.links) > 0 {
-		keys := make([]uint32, 0, len(ms.links))
-		for k := range ms.links {
-			keys = append(keys, k)
-		}
-		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-		sm.Links = make([]metrics.LinkSample, len(keys))
-		for i, k := range keys {
-			la := ms.links[k]
-			sm.Links[i] = metrics.LinkSample{Src: la.src, Dst: la.dst,
-				BusyNs: la.busy, Msgs: la.msgs, Words: la.words}
-		}
-	}
+	sm.Links = ms.sortedLinks()
 	ms.last = t
 	ms.s.Record(sm)
+}
+
+// flushTicksTo takes any samples due at boundaries ≤ t that the shard's own
+// event flow has not reached (its next event lies beyond them, so its
+// cumulative state at those boundaries is exactly the current state).
+// Coordinator-side, at barriers.
+func (m *shard) flushTicksTo(t int64) {
+	for m.ms.next <= t {
+		m.takeSample(m.ms.next)
+		m.ms.next += m.ms.interval
+	}
+}
+
+// mergeSamples combines every shard's pending contributions for boundaries
+// ≤ horizon into machine-wide samples. Called at barriers with every shard
+// stopped and every event below horizon processed, so each shard either
+// already flushed a contribution for a boundary or flushes one now from its
+// settled state.
+func (m *Machine) mergeSamples(horizon int64) {
+	for m.gNext <= horizon {
+		b := m.gNext
+		sm := metrics.SimSample{Time: b, Nodes: make([]metrics.NodeSample, len(m.nodes))}
+		for _, sh := range m.sh {
+			sh.flushTicksTo(b)
+			ss := &sh.ms.pend[sh.ms.pendAt]
+			sh.ms.pendAt++
+			sm.Instructions += ss.instructions
+			sm.RemoteReads += ss.remoteReads
+			sm.RemoteWrites += ss.remoteWrites
+			sm.BlkMoves += ss.blkMoves
+			sm.LiveFibers += ss.liveFibers
+			sm.Retries += ss.retries
+			sm.Spurious += ss.spurious
+			sm.Drops += ss.drops
+			sm.Dups += ss.dups
+			sm.Stalls += ss.stalls
+			sm.Nodes[sh.id] = ss.node
+			// Shard i's out-links all carry key src=i, so appending in shard
+			// order yields the same key-sorted order the legacy loop emits.
+			sm.Links = append(sm.Links, ss.links...)
+			if sh.ms.pendAt == len(sh.ms.pend) {
+				sh.ms.pend = sh.ms.pend[:0]
+				sh.ms.pendAt = 0
+			}
+		}
+		m.gLast = b
+		m.sampler.Record(sm)
+		m.gNext += m.sampler.Interval()
+	}
 }

@@ -27,24 +27,25 @@ import (
 // order and every simulated Result — are bit-identical to the unpooled
 // implementation.
 type msg struct {
-	class trace.Class
-	stage int              // stage the next scheduled event will run
-	f     *fiber           // fiber to fill/ack on completion (RPC: the requester)
-	src   *node            // issuing node
-	dst   *node            // serviced node
-	off   int64            // serviced node's memory offset
-	abs   int64            // issuing fiber's absolute fill slot (RPC/Reply: ret slot, -1 void)
-	val   int64            // scalar payload (Put value, Get/Alloc/Shared result, Reply value)
-	op    int              // shared op: 0 read, 1 write, 2 add
-	flt   bool             // shared add on float bits
-	size  int              // block payload words / remote allocation size
-	mid   int64            // trace message id (0 when tracing is off)
-	seq   uint64           // reliable-messaging transaction number (fault mode)
-	lseq  uint64           // per-(src,dst)-link request order (fault mode)
-	fn    *threaded.FnCode // RPC callee
-	args  []int64          // RPC arguments (capacity retained across reuse)
-	vals  []int64          // block payload (capacity retained across reuse)
-	free  *msg             // freelist link
+	class   trace.Class
+	stage   int              // stage the next scheduled event will run
+	f       *fiber           // fiber to fill/ack on completion (RPC: the requester)
+	src     *node            // issuing node
+	dst     *node            // serviced node
+	off     int64            // serviced node's memory offset
+	abs     int64            // issuing fiber's absolute fill slot (RPC/Reply: ret slot, -1 void)
+	val     int64            // scalar payload (Put value, Get/Alloc/Shared result, Reply value)
+	op      int              // shared op: 0 read, 1 write, 2 add
+	flt     bool             // shared add on float bits
+	size    int              // block payload words / remote allocation size
+	mid     int64            // trace message id (0 when tracing is off)
+	seq     uint64           // reliable-messaging transaction number (fault mode)
+	lseq    uint64           // per-(src,dst)-link request order (fault mode)
+	attempt int              // transmission attempt this copy belongs to (fault mode)
+	fn      *threaded.FnCode // RPC callee
+	args    []int64          // RPC arguments (capacity retained across reuse)
+	vals    []int64          // block payload (capacity retained across reuse)
+	free    *msg             // freelist link
 }
 
 // msgLabels names each hop per class for the trace sink, indexed by the
@@ -63,7 +64,7 @@ var msgLabels = [trace.ClassShared + 1][5]string{
 
 // getMsg takes a message record off the freelist (or allocates one),
 // retaining the args/vals buffer capacity of its previous life.
-func (m *Machine) getMsg() *msg {
+func (m *shard) getMsg() *msg {
 	g := m.msgFree
 	if g == nil {
 		return &msg{}
@@ -76,7 +77,7 @@ func (m *Machine) getMsg() *msg {
 // putMsg clears a completed message and returns it to the freelist. Only
 // terminal lifecycle steps may call this — the record must not be reachable
 // from any scheduled event.
-func (m *Machine) putMsg(g *msg) {
+func (m *shard) putMsg(g *msg) {
 	args, vals := g.args[:0], g.vals[:0]
 	*g = msg{args: args, vals: vals, free: m.msgFree}
 	m.msgFree = g
@@ -86,7 +87,7 @@ func (m *Machine) putMsg(g *msg) {
 // resource, so the hop completes at max(suFree, t) + svc. The caller sets
 // g.stage to the hop being scheduled first. Trace spans never influence the
 // schedule. In fault mode the SU may first stall, pushing its free time.
-func (m *Machine) suSched(n *node, t, svc int64, g *msg) {
+func (m *shard) suSched(n *node, t, svc int64, g *msg) {
 	if m.flt != nil && m.flt.Stall > 0 && m.chance(m.flt.Stall) {
 		m.fstats.Stalls++
 		m.tr.Fault(trace.FaultStall, g.class, g.mid, n.id, 0, t)
@@ -112,7 +113,7 @@ func (m *Machine) suSched(n *node, t, svc int64, g *msg) {
 // disable a distribution). A dropped hop vanishes without advancing the
 // link's FIFO clock; a duplicated hop delivers a cloned copy one ns behind
 // the original on the same link.
-func (m *Machine) netSched(src, dst *node, t int64, words int, g *msg) {
+func (m *shard) netSched(src, dst *node, t int64, words int, g *msg) {
 	lat := m.cfg.NetLatency + m.cfg.NetPerWord*int64(words)
 	var dup *msg
 	if m.flt != nil {
@@ -144,7 +145,7 @@ func (m *Machine) netSched(src, dst *node, t int64, words int, g *msg) {
 	if m.ms != nil {
 		m.ms.linkObserve(src.id, dst.id, arrive-t, int64(words))
 	}
-	m.schedule(arrive, evNetArrive, dst.id, g)
+	m.deliver(arrive, dst, g)
 	if dup != nil {
 		arrive++
 		src.netLast[dst.id] = arrive
@@ -152,8 +153,23 @@ func (m *Machine) netSched(src, dst *node, t int64, words int, g *msg) {
 		if m.ms != nil {
 			m.ms.linkObserve(src.id, dst.id, arrive-t, int64(words))
 		}
-		m.schedule(arrive, evNetArrive, dst.id, dup)
+		m.deliver(arrive, dst, dup)
 	}
+}
+
+// deliver hands a network arrival to the destination node's owning shard:
+// scheduled locally when this shard owns it, buffered in the outbox for the
+// next barrier otherwise. Arrival times always carry at least NetLatency of
+// wire time beyond the sender's current event, which is exactly the
+// conservative lookahead bound the coordinator runs windows under — mail is
+// never delivered into a receiver's past.
+func (m *shard) deliver(at int64, dst *node, g *msg) {
+	to := m.peers[dst.id]
+	if to == m {
+		m.schedule(at, evNetArrive, dst.id, g)
+		return
+	}
+	m.outbox = append(m.outbox, mail{to: to, at: at, node: dst.id, g: g})
 }
 
 // netWords is the wire payload of the request (fwd) or reply (back) leg.
@@ -196,7 +212,7 @@ func (g *msg) netWords(back bool) int {
 }
 
 // svcRemote is the serviced node's SU cost (stage 3).
-func (m *Machine) svcRemote(g *msg) int64 {
+func (m *shard) svcRemote(g *msg) int64 {
 	switch g.class {
 	case trace.ClassPut:
 		return m.cfg.SUWriteSvc
@@ -209,7 +225,7 @@ func (m *Machine) svcRemote(g *msg) int64 {
 }
 
 // svcReply is the issuing node's SU cost for the reply/ack (stage 5).
-func (m *Machine) svcReply(g *msg) int64 {
+func (m *shard) svcReply(g *msg) int64 {
 	switch g.class {
 	case trace.ClassPut, trace.ClassBlkPut, trace.ClassShared:
 		return m.cfg.SUAck
@@ -222,7 +238,7 @@ func (m *Machine) svcReply(g *msg) int64 {
 }
 
 // msgAdvance runs the lifecycle step the popped event scheduled.
-func (m *Machine) msgAdvance(g *msg, t int64) {
+func (m *shard) msgAdvance(g *msg, t int64) {
 	switch g.stage {
 	case 1: // request left the issuing SU; forward over the wire
 		g.stage = 2
@@ -246,7 +262,7 @@ func (m *Machine) msgAdvance(g *msg, t int64) {
 // duplicate request copies skip the effect, replaying the cached reply
 // instead (exactly-once semantics for non-idempotent effects like
 // allocation, shared-add and fiber spawn).
-func (m *Machine) msgService(g *msg, t int64) {
+func (m *shard) msgService(g *msg, t int64) {
 	dstID := g.dst.id
 	if m.flt != nil {
 		if c, dup := m.seen[g.seq]; dup {
@@ -312,7 +328,7 @@ func (m *Machine) msgService(g *msg, t int64) {
 		})
 		m.enqueueReady(g.dst, child, t)
 		if m.flt == nil {
-			m.tr.MsgDone(g.mid, t)
+			m.msgDone(g.mid, t)
 			m.putMsg(g)
 			return
 		}
@@ -323,7 +339,7 @@ func (m *Machine) msgService(g *msg, t int64) {
 			m.ack(g.f, t)
 		}
 		if m.flt == nil {
-			m.tr.MsgDone(g.mid, t)
+			m.msgDone(g.mid, t)
 			m.putMsg(g)
 			return
 		}
@@ -352,7 +368,7 @@ func (m *Machine) msgService(g *msg, t int64) {
 // msgComplete delivers the reply into the issuing fiber (stage 5). In fault
 // mode this is the sender-side end of the transaction: the first reply copy
 // completes it (delivering exactly once) and later copies are discarded.
-func (m *Machine) msgComplete(g *msg, t int64) {
+func (m *shard) msgComplete(g *msg, t int64) {
 	if m.flt != nil {
 		tx := m.txns[g.seq]
 		if tx == nil || tx.done {
@@ -361,7 +377,7 @@ func (m *Machine) msgComplete(g *msg, t int64) {
 			m.putMsg(g)
 			return
 		}
-		m.finishTxn(tx)
+		m.finishTxn(tx, t, g.attempt)
 	}
 	switch g.class {
 	case trace.ClassGet, trace.ClassAlloc:
@@ -379,12 +395,12 @@ func (m *Machine) msgComplete(g *msg, t int64) {
 		// ClassRPC/ClassReply acks carry no payload: the semantic effect
 		// happened at stage 3, exactly once; completing the txn is all.
 	}
-	m.tr.MsgDone(g.mid, t)
+	m.msgDone(g.mid, t)
 	m.putMsg(g)
 }
 
 // memWord accesses a word of any node's memory (SU-side).
-func (m *Machine) memWord(nid int, off int64) int64 {
+func (m *shard) memWord(nid int, off int64) int64 {
 	n := m.nodes[nid]
 	if !n.ensure(off, 1) {
 		m.trapf("node %d access beyond its memory budget", nid)
@@ -393,7 +409,7 @@ func (m *Machine) memWord(nid int, off int64) int64 {
 	return n.mem[off]
 }
 
-func (m *Machine) memStore(nid int, off int64, v int64) {
+func (m *shard) memStore(nid int, off int64, v int64) {
 	n := m.nodes[nid]
 	if !n.ensure(off, 1) {
 		m.trapf("node %d store beyond its memory budget", nid)
@@ -403,7 +419,7 @@ func (m *Machine) memStore(nid int, off int64, v int64) {
 }
 
 // readBlock copies size words out of a node's memory into a reused buffer.
-func (m *Machine) readBlock(n *node, off int64, size int, into []int64) []int64 {
+func (m *shard) readBlock(n *node, off int64, size int, into []int64) []int64 {
 	if !n.ensure(off, size) {
 		m.trapf("node %d block read beyond its memory budget", n.id)
 		for i := 0; i < size; i++ {
@@ -414,7 +430,7 @@ func (m *Machine) readBlock(n *node, off int64, size int, into []int64) []int64 
 	return append(into, n.mem[off:off+int64(size)]...)
 }
 
-func (m *Machine) writeBlock(n *node, off int64, vals []int64) {
+func (m *shard) writeBlock(n *node, off int64, vals []int64) {
 	if !n.ensure(off, len(vals)) {
 		m.trapf("node %d block write beyond its memory budget", n.id)
 		return
@@ -424,7 +440,7 @@ func (m *Machine) writeBlock(n *node, off int64, vals []int64) {
 
 // block parks a fiber on a pending memory word; it resumes when the word's
 // fill arrives.
-func (m *Machine) block(f *fiber, abs int64) {
+func (m *shard) block(f *fiber, abs int64) {
 	f.waitSlot = abs
 	m.park(f)
 	n := f.node
@@ -438,7 +454,7 @@ func (m *Machine) block(f *fiber, abs int64) {
 
 // fill delivers a value into a pending frame slot and, once no fills
 // remain outstanding for the word, wakes every fiber blocked on it.
-func (m *Machine) fill(f *fiber, abs int64, v int64, t int64) {
+func (m *shard) fill(f *fiber, abs int64, v int64, t int64) {
 	f.node.mem[abs] = v
 	decPending(f.pending, abs)
 	if decPending(f.node.pending, abs) {
@@ -446,7 +462,7 @@ func (m *Machine) fill(f *fiber, abs int64, v int64, t int64) {
 	}
 }
 
-func (m *Machine) fillBlock(f *fiber, abs int64, vals []int64, t int64) {
+func (m *shard) fillBlock(f *fiber, abs int64, vals []int64, t int64) {
 	for i, v := range vals {
 		f.node.mem[abs+int64(i)] = v
 		decPending(f.pending, abs+int64(i))
@@ -469,7 +485,7 @@ func decPending(m map[int64]int, abs int64) bool {
 }
 
 // wakeWaiters resumes fibers blocked on a just-filled word.
-func (m *Machine) wakeWaiters(n *node, abs int64, t int64) {
+func (m *shard) wakeWaiters(n *node, abs int64, t int64) {
 	ws := n.waiters[abs]
 	if len(ws) == 0 {
 		return
@@ -485,7 +501,7 @@ func (m *Machine) wakeWaiters(n *node, abs int64, t int64) {
 }
 
 // ack resolves one outstanding write/void-RPC and wakes a fenced fiber.
-func (m *Machine) ack(f *fiber, t int64) {
+func (m *shard) ack(f *fiber, t int64) {
 	f.outstanding--
 	if f.waitFence && f.outstanding == 0 {
 		f.waitFence = false
@@ -498,7 +514,7 @@ func (m *Machine) ack(f *fiber, t int64) {
 // issueGet starts a split-phase scalar read of mem[addr] into frame slot
 // abs of fiber f. site is the issuing instruction's SIMPLE site key (trace
 // attribution only).
-func (m *Machine) issueGet(f *fiber, t int64, addr, abs int64, site string) {
+func (m *shard) issueGet(f *fiber, t int64, addr, abs int64, site string) {
 	src := f.node
 	dstID := threaded.AddrNode(addr)
 	if dstID < 0 || dstID >= len(m.nodes) {
@@ -520,12 +536,12 @@ func (m *Machine) issueGet(f *fiber, t int64, addr, abs int64, site string) {
 	g := m.getMsg()
 	g.class, g.f, g.src, g.dst = trace.ClassGet, f, src, m.nodes[dstID]
 	g.off, g.abs = threaded.AddrOff(addr), abs
-	g.mid = m.tr.MsgIssue(trace.ClassGet, site, src.id, dstID, f.id, 1, t)
+	g.mid = m.encMid(m.tr.MsgIssue(trace.ClassGet, site, src.id, dstID, f.id, 1, t))
 	m.sendMsg(g, t, m.cfg.SUService)
 }
 
 // issuePut starts a split-phase scalar write.
-func (m *Machine) issuePut(f *fiber, t int64, addr, val int64, site string) {
+func (m *shard) issuePut(f *fiber, t int64, addr, val int64, site string) {
 	src := f.node
 	dstID := threaded.AddrNode(addr)
 	if dstID < 0 || dstID >= len(m.nodes) {
@@ -543,12 +559,12 @@ func (m *Machine) issuePut(f *fiber, t int64, addr, val int64, site string) {
 	g := m.getMsg()
 	g.class, g.f, g.src, g.dst = trace.ClassPut, f, src, m.nodes[dstID]
 	g.off, g.val = threaded.AddrOff(addr), val
-	g.mid = m.tr.MsgIssue(trace.ClassPut, site, src.id, dstID, f.id, 1, t)
+	g.mid = m.encMid(m.tr.MsgIssue(trace.ClassPut, site, src.id, dstID, f.id, 1, t))
 	m.sendMsg(g, t, m.cfg.SUService)
 }
 
 // issueBlkGet starts a split-phase block read of size words.
-func (m *Machine) issueBlkGet(f *fiber, t int64, addr, abs int64, size int, site string) {
+func (m *shard) issueBlkGet(f *fiber, t int64, addr, abs int64, size int, site string) {
 	src := f.node
 	dstID := threaded.AddrNode(addr)
 	if dstID < 0 || dstID >= len(m.nodes) {
@@ -571,13 +587,13 @@ func (m *Machine) issueBlkGet(f *fiber, t int64, addr, abs int64, size int, site
 	g := m.getMsg()
 	g.class, g.f, g.src, g.dst = trace.ClassBlkGet, f, src, m.nodes[dstID]
 	g.off, g.abs, g.size = threaded.AddrOff(addr), abs, size
-	g.mid = m.tr.MsgIssue(trace.ClassBlkGet, site, src.id, dstID, f.id, size, t)
+	g.mid = m.encMid(m.tr.MsgIssue(trace.ClassBlkGet, site, src.id, dstID, f.id, size, t))
 	m.sendMsg(g, t, m.cfg.SUBlock)
 }
 
 // issueBlkPut starts a split-phase block write. vals may be a scratch
 // buffer: its contents are consumed (copied) before issueBlkPut returns.
-func (m *Machine) issueBlkPut(f *fiber, t int64, addr int64, vals []int64, site string) {
+func (m *shard) issueBlkPut(f *fiber, t int64, addr int64, vals []int64, site string) {
 	src := f.node
 	dstID := threaded.AddrNode(addr)
 	if dstID < 0 || dstID >= len(m.nodes) {
@@ -597,20 +613,20 @@ func (m *Machine) issueBlkPut(f *fiber, t int64, addr int64, vals []int64, site 
 	g.class, g.f, g.src, g.dst = trace.ClassBlkPut, f, src, m.nodes[dstID]
 	g.off, g.size = threaded.AddrOff(addr), size
 	g.vals = append(g.vals[:0], vals...)
-	g.mid = m.tr.MsgIssue(trace.ClassBlkPut, site, src.id, dstID, f.id, size, t)
+	g.mid = m.encMid(m.tr.MsgIssue(trace.ClassBlkPut, site, src.id, dstID, f.id, size, t))
 	m.sendMsg(g, t, m.cfg.SUBlock+m.cfg.SUBlockWord*int64(size-1))
 }
 
 // issueAlloc performs a remote allocation, delivering the address into a
 // pending slot.
-func (m *Machine) issueAlloc(f *fiber, t int64, nodeID, size int, abs int64, site string) {
+func (m *shard) issueAlloc(f *fiber, t int64, nodeID, size int, abs int64, site string) {
 	src := f.node
 	f.addPending(abs)
 	src.pending[abs]++
 	g := m.getMsg()
 	g.class, g.f, g.src, g.dst = trace.ClassAlloc, f, src, m.nodes[nodeID]
 	g.abs, g.size = abs, size
-	g.mid = m.tr.MsgIssue(trace.ClassAlloc, site, src.id, nodeID, f.id, 1, t)
+	g.mid = m.encMid(m.tr.MsgIssue(trace.ClassAlloc, site, src.id, nodeID, f.id, 1, t))
 	m.sendMsg(g, t, m.cfg.SUService)
 }
 
@@ -619,20 +635,20 @@ func (m *Machine) issueAlloc(f *fiber, t int64, nodeID, size int, abs int64, sit
 // fiber has been placed on the remote node's ready queue; the reply to the
 // requester is a separate ClassReply message (see finishFiber). args may be
 // a scratch buffer: its contents are copied before issueInvoke returns.
-func (m *Machine) issueInvoke(f *fiber, t int64, nodeID int, fn *threaded.FnCode,
+func (m *shard) issueInvoke(f *fiber, t int64, nodeID int, fn *threaded.FnCode,
 	args []int64, retAbs int64, site string) {
 	src := f.node
 	g := m.getMsg()
 	g.class, g.f, g.src, g.dst = trace.ClassRPC, f, src, m.nodes[nodeID]
 	g.fn, g.abs = fn, retAbs
 	g.args = append(g.args[:0], args...)
-	g.mid = m.tr.MsgIssue(trace.ClassRPC, site, src.id, nodeID, f.id, len(args), t)
+	g.mid = m.encMid(m.tr.MsgIssue(trace.ClassRPC, site, src.id, nodeID, f.id, len(args), t))
 	m.sendMsg(g, t, m.cfg.SUService)
 }
 
 // issueShared performs a remote atomic shared-variable operation.
 // op: 0 read, 1 write, 2 add.
-func (m *Machine) issueShared(f *fiber, t int64, addr int64, op int, val int64,
+func (m *shard) issueShared(f *fiber, t int64, addr int64, op int, val int64,
 	replyAbs int64, flt bool, site string) {
 	src := f.node
 	dstID := threaded.AddrNode(addr)
@@ -643,13 +659,13 @@ func (m *Machine) issueShared(f *fiber, t int64, addr int64, op int, val int64,
 	g := m.getMsg()
 	g.class, g.f, g.src, g.dst = trace.ClassShared, f, src, m.nodes[dstID]
 	g.off, g.abs, g.op, g.val, g.flt = threaded.AddrOff(addr), replyAbs, op, val, flt
-	g.mid = m.tr.MsgIssue(trace.ClassShared, site, src.id, dstID, f.id, 1, t)
+	g.mid = m.encMid(m.tr.MsgIssue(trace.ClassShared, site, src.id, dstID, f.id, 1, t))
 	m.sendMsg(g, t, m.cfg.SUService)
 }
 
 // finishFiber completes a fiber: frees its frame (unless shared) and
 // reports to its waiter.
-func (m *Machine) finishFiber(f *fiber, t int64, val int64) {
+func (m *shard) finishFiber(f *fiber, t int64, val int64) {
 	f.done = true
 	m.liveFibers--
 	n := f.node
@@ -674,7 +690,8 @@ func (m *Machine) finishFiber(f *fiber, t int64, val int64) {
 		g := m.getMsg()
 		g.class, g.f, g.src, g.dst = trace.ClassReply, f.route.rpcFiber, n, m.nodes[f.route.rpcNode]
 		g.abs, g.val = int64(f.route.rpcSlot), val
-		g.mid = m.tr.MsgIssue(trace.ClassReply, f.code.Name, n.id, g.dst.id, f.id, 1, t+m.cfg.EUIssue)
+		g.mid = m.encMid(m.tr.MsgIssue(trace.ClassReply, f.code.Name, n.id, g.dst.id, f.id, 1, t+m.cfg.EUIssue))
 		m.sendMsg(g, t+m.cfg.EUIssue, m.cfg.SUService)
 	}
+	m.recycleFiber(f)
 }

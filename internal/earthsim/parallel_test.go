@@ -1,0 +1,151 @@
+package earthsim_test
+
+// The PR 8 determinism matrix: the sharded event loop must be externally
+// indistinguishable from itself at every worker count — not just the
+// program-visible result, but the full observability surface (Chrome trace
+// export and telemetry series JSON), with the fault layer both off and on.
+// The classic sequential loop (SimWorkers=0) is held to the program-visible
+// contract only: its event interleaving differs from the sharded engine, so
+// timing-derived surfaces legitimately diverge, but Visible() may not.
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/earthsim"
+	"repro/internal/metrics"
+	"repro/internal/olden"
+	"repro/internal/trace"
+)
+
+// matrixRun compiles bm at quick size and executes it once, returning the
+// result plus the rendered trace and telemetry-series bytes.
+func matrixRun(t *testing.T, bm *olden.Benchmark, nodes, workers int, faultSpec string) (*earthsim.Result, string, string) {
+	t.Helper()
+	rec := trace.NewRecorder(nodes)
+	sampler := metrics.NewSampler(50_000, 0)
+	p := core.NewPipeline(core.Options{Optimize: true, Trace: rec})
+	u, err := p.Compile(bm.Name+".ec", bm.Source(olden.QuickParams(bm)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var faults *earthsim.FaultConfig
+	if faultSpec != "" {
+		faults, err = earthsim.ParseFaultSpec(faultSpec)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := p.Run(u, core.RunConfig{
+		Nodes: nodes, SimWorkers: workers, Faults: faults, Sampler: sampler,
+	})
+	if err != nil {
+		t.Fatalf("%s nodes=%d workers=%d faults=%q: %v", bm.Name, nodes, workers, faultSpec, err)
+	}
+	var tr, se bytes.Buffer
+	if err := rec.WriteChrome(&tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := sampler.WriteSeriesJSON(&se); err != nil {
+		t.Fatal(err)
+	}
+	return res, tr.String(), se.String()
+}
+
+// TestShardedEquivalenceMatrix sweeps {Olden benchmark} x {faults off/on} x
+// {SimWorkers 1, 2, 8} and asserts byte-identical Visible(), trace export,
+// and series JSON, plus Visible() agreement with the SimWorkers=0 loop.
+func TestShardedEquivalenceMatrix(t *testing.T) {
+	const nodes = 4
+	for _, bm := range append(olden.All(), olden.Halo()) {
+		for _, faultSpec := range []string{"", "drop=0.01,dup=0.005,stall=0.02,delay=2,seed=11"} {
+			name := bm.Name
+			if faultSpec != "" {
+				name += "/faults"
+			}
+			bm, faultSpec := bm, faultSpec
+			t.Run(name, func(t *testing.T) {
+				legacy, _, _ := matrixRun(t, bm, nodes, 0, faultSpec)
+				ref, refTrace, refSeries := matrixRun(t, bm, nodes, 1, faultSpec)
+				if ref.Visible() != legacy.Visible() {
+					t.Errorf("sharded Visible diverges from sequential loop:\n--- workers=1 ---\n%s\n--- workers=0 ---\n%s",
+						ref.Visible(), legacy.Visible())
+				}
+				for _, w := range []int{2, 8} {
+					res, tr, se := matrixRun(t, bm, nodes, w, faultSpec)
+					if res.Visible() != ref.Visible() {
+						t.Errorf("workers=%d Visible diverges:\n%s\nvs workers=1:\n%s", w, res.Visible(), ref.Visible())
+					}
+					if res.Time != ref.Time || res.Counts != ref.Counts || res.Events != ref.Events {
+						t.Errorf("workers=%d timing/counts diverge: time %d vs %d, events %d vs %d",
+							w, res.Time, ref.Time, res.Events, ref.Events)
+					}
+					if tr != refTrace {
+						t.Errorf("workers=%d trace export not byte-identical (%d vs %d bytes)", w, len(tr), len(refTrace))
+					}
+					if se != refSeries {
+						t.Errorf("workers=%d series JSON not byte-identical (%d vs %d bytes)", w, len(se), len(refSeries))
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSharded256Nodes: a quick benchmark on a 256-node machine completes
+// under the sharded engine and stays program-visibly equal to the
+// sequential loop (the ISSUE's scale acceptance gate).
+func TestSharded256Nodes(t *testing.T) {
+	bm := olden.ByName("power")
+	legacy, _, _ := matrixRun(t, bm, 256, 0, "")
+	sharded, _, _ := matrixRun(t, bm, 256, 2, "")
+	if sharded.Visible() != legacy.Visible() {
+		t.Errorf("256-node Visible diverges:\n--- sharded ---\n%s\n--- sequential ---\n%s",
+			sharded.Visible(), legacy.Visible())
+	}
+}
+
+// ewmaRun executes bm under an aggressive retransmission timeout with the
+// chosen RTO policy and returns the fault statistics.
+func ewmaRun(t *testing.T, bm *olden.Benchmark, fixed bool) earthsim.FaultStats {
+	t.Helper()
+	p := core.NewPipeline(core.Options{Optimize: true})
+	u, err := p.Compile(bm.Name+".ec", bm.Source(olden.QuickParams(bm)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No loss, no reordering: every retransmission under this config is
+	// spurious by construction. Timeout sits just above the unloaded
+	// round-trip, so any queueing pushes the fixed policy into needless
+	// retransmits while the EWMA estimator adapts its RTO upward.
+	faults := &earthsim.FaultConfig{Timeout: 8_000, MaxRetries: 50, Seed: 1}
+	faults.SetFixedRTO(fixed)
+	res, err := p.Run(u, core.RunConfig{Nodes: 4, Faults: faults})
+	if err != nil {
+		t.Fatalf("%s fixed=%v: %v", bm.Name, fixed, err)
+	}
+	if res.Faults == nil {
+		t.Fatalf("%s fixed=%v: no fault stats", bm.Name, fixed)
+	}
+	return *res.Faults
+}
+
+// TestEWMAReducesSpuriousRetransmits: the adaptive srtt/rttvar estimator
+// must cut spurious retransmissions versus the historical fixed-timeout
+// policy on a real workload (ISSUE satellite: EWMA RTT estimation).
+func TestEWMAReducesSpuriousRetransmits(t *testing.T) {
+	bm := olden.ByName("power")
+	fixed := ewmaRun(t, bm, true)
+	ewma := ewmaRun(t, bm, false)
+	if fixed.SpuriousRetries == 0 {
+		t.Fatalf("fixed-RTO baseline produced no spurious retransmits (stats %+v); timeout too lax for the comparison", fixed)
+	}
+	if ewma.SpuriousRetries >= fixed.SpuriousRetries {
+		t.Errorf("EWMA did not reduce spurious retransmits: ewma=%d fixed=%d",
+			ewma.SpuriousRetries, fixed.SpuriousRetries)
+	}
+	t.Logf("spurious retransmits: fixed=%d ewma=%d (%.1fx reduction)",
+		fixed.SpuriousRetries, ewma.SpuriousRetries,
+		float64(fixed.SpuriousRetries)/float64(max(ewma.SpuriousRetries, 1)))
+}

@@ -72,7 +72,8 @@ func MeasureFaultSweep(nodes int, specs []string, seed uint64, paramsFor func(*o
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", bm.Name, err)
 		}
-		base, err := p.Run(u, core.RunConfig{Nodes: nodes, Fuel: defaultFuel, Deadline: defaultDeadline})
+		base, err := p.Run(u, core.RunConfig{Nodes: nodes, SimWorkers: SimWorkers,
+			Fuel: defaultFuel, Deadline: defaultDeadline})
 		if err != nil {
 			return nil, fmt.Errorf("%s fault-free: %w", bm.Name, err)
 		}
@@ -87,7 +88,7 @@ func MeasureFaultSweep(nodes int, specs []string, seed uint64, paramsFor func(*o
 			}
 			e := FaultSweepEntry{Spec: spec}
 			r, err := p.Run(u, core.RunConfig{Nodes: nodes, Faults: fc,
-				Fuel: defaultFuel, Deadline: defaultDeadline})
+				SimWorkers: SimWorkers, Fuel: defaultFuel, Deadline: defaultDeadline})
 			if err != nil {
 				e.Err = err.Error()
 			} else {

@@ -40,11 +40,11 @@ func MeasurePGO(nodes int, paramsFor func(*olden.Benchmark) olden.Params) (*PGOR
 		}
 		src := bm.Source(params)
 		p := core.NewPipeline(core.Options{Optimize: true})
-		u, _, err := p.ProfileCycle(bm.Name+".ec", src, core.RunConfig{Nodes: nodes})
+		u, _, err := p.ProfileCycle(bm.Name+".ec", src, core.RunConfig{Nodes: nodes, SimWorkers: SimWorkers})
 		if err != nil {
 			return nil, fmt.Errorf("%s pgo: %w", bm.Name, err)
 		}
-		pgo, err := p.Run(u, core.RunConfig{Nodes: nodes})
+		pgo, err := p.Run(u, core.RunConfig{Nodes: nodes, SimWorkers: SimWorkers})
 		if err != nil {
 			return nil, fmt.Errorf("%s pgo run: %w", bm.Name, err)
 		}

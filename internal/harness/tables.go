@@ -17,6 +17,13 @@ import (
 // keys on the options, so simple/optimized/stats builds never collide.
 var tableCache = cache.New(0, "")
 
+// SimWorkers, when positive, makes every harness simulator run use the
+// sharded event loop with that many workers (core.RunConfig.SimWorkers;
+// paperbench's -sim-j). All measurements are bit-identical either way — the
+// sharded engine's determinism contract — so this is purely a host-side
+// throughput knob for the sweeps.
+var SimWorkers int
+
 // compileUnit is the harness's one compile path: every table builds its
 // units through the same CompileRequest surface (and shared cache) that
 // earthcc, earthrun, and earthd use.
@@ -74,7 +81,7 @@ func runPair(bm *olden.Benchmark, params olden.Params, nodes int, stats bool) (s
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("%s simple: %w", bm.Name, err)
 	}
-	simple, err = sp.Run(su, core.RunConfig{Nodes: nodes})
+	simple, err = sp.Run(su, core.RunConfig{Nodes: nodes, SimWorkers: SimWorkers})
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("%s simple: %w", bm.Name, err)
 	}
@@ -83,7 +90,7 @@ func runPair(bm *olden.Benchmark, params olden.Params, nodes int, stats bool) (s
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("%s optimized: %w", bm.Name, err)
 	}
-	opt, err = op.Run(ou, core.RunConfig{Nodes: nodes})
+	opt, err = op.Run(ou, core.RunConfig{Nodes: nodes, SimWorkers: SimWorkers})
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("%s optimized: %w", bm.Name, err)
 	}

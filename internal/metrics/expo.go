@@ -210,6 +210,7 @@ func (s *Sampler) WritePrometheus(w io.Writer) error {
 	scalar("earthsim_blk_moves_total", "Block transfer operations issued.", "counter", sm.BlkMoves)
 	scalar("earthsim_live_fibers", "Fibers spawned and not yet finished.", "gauge", sm.LiveFibers)
 	scalar("earthsim_retries_total", "Reliable-messaging retransmissions.", "counter", sm.Retries)
+	scalar("earthsim_retries_spurious_total", "Retransmissions that were unnecessary in hindsight.", "counter", sm.Spurious)
 	scalar("earthsim_drops_total", "Messages dropped on the wire.", "counter", sm.Drops)
 	scalar("earthsim_dups_total", "Messages duplicated on the wire.", "counter", sm.Dups)
 	scalar("earthsim_stalls_total", "SU stall windows entered.", "counter", sm.Stalls)

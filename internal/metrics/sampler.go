@@ -35,8 +35,9 @@ type SimSample struct {
 	RemoteReads  int64        `json:"remote_reads"`
 	RemoteWrites int64        `json:"remote_writes"`
 	BlkMoves     int64        `json:"blk_moves"`
-	LiveFibers   int64        `json:"live_fibers"` // fibers spawned and not yet finished
-	Retries      int64        `json:"retries"`     // reliable-messaging retransmits (0 unless faults on)
+	LiveFibers   int64        `json:"live_fibers"`      // fibers spawned and not yet finished
+	Retries      int64        `json:"retries"`          // reliable-messaging retransmits (0 unless faults on)
+	Spurious     int64        `json:"retries_spurious"` // retransmits that were unnecessary in hindsight
 	Drops        int64        `json:"drops"`
 	Dups         int64        `json:"dups"`
 	Stalls       int64        `json:"stalls"`

@@ -66,6 +66,10 @@ type Config struct {
 	MaxFuel int64
 	// JobDeadline bounds host wall-clock time per job run (default 60s).
 	JobDeadline time.Duration
+	// SimWorkers selects the simulator's sharded event loop for every job
+	// (earthsim.Config.SimWorkers; 0 = the classic sequential loop). Results
+	// are bit-identical either way, so this is purely a throughput knob.
+	SimWorkers int
 	// RetryAfter is the hint returned with 429/503 responses (default 1s).
 	RetryAfter time.Duration
 	// CacheSize caps the shared compile cache (units; default
@@ -423,6 +427,7 @@ func (s *Server) execute(sh *shard, j *job) jobOutcome {
 		Nodes:      nodes,
 		Sequential: req.Sequential,
 		Machine:    machine,
+		SimWorkers: s.cfg.SimWorkers,
 		Fuel:       fuel,
 		Deadline:   s.cfg.JobDeadline,
 		Faults:     faults,

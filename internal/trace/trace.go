@@ -265,6 +265,49 @@ func (r *Recorder) NetSpan(src, dst int, name string, msgID int64, words int, st
 	})
 }
 
+// MsgCount returns the number of messages recorded so far (0 for nil).
+func (r *Recorder) MsgCount() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.msgs)
+}
+
+// Absorb appends every event of part into r: messages are renumbered to
+// follow r's existing ids, and every message reference carried by a span or
+// fault event is rewritten through mapRef (which must map part-relative
+// references onto the renumbered id space; 0 stays "no message"). The
+// sharded simulator uses this to fold per-shard recorders into the user's
+// recorder in shard order — each shard's internal order is preserved, so the
+// merged recording is deterministic for a deterministic run.
+func (r *Recorder) Absorb(part *Recorder, mapRef func(int64) int64) {
+	if r == nil || part == nil {
+		return
+	}
+	part.mu.Lock()
+	defer part.mu.Unlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	base := int64(len(r.msgs))
+	for _, mg := range part.msgs {
+		mg.ID += base
+		r.msgs = append(r.msgs, mg)
+	}
+	for _, sp := range part.spans {
+		sp.MsgID = mapRef(sp.MsgID)
+		r.spans = append(r.spans, sp)
+	}
+	for _, fe := range part.faults {
+		fe.MsgID = mapRef(fe.MsgID)
+		r.faults = append(r.faults, fe)
+	}
+	if part.horizon > r.horizon {
+		r.horizon = part.horizon
+	}
+}
+
 // Horizon returns the latest event timestamp recorded (ns).
 func (r *Recorder) Horizon() int64 {
 	if r == nil {

@@ -12,7 +12,7 @@
 #   go test -run '^$' -bench ... -benchmem . | go run ./cmd/benchdiff -baseline BENCH_pr5.json
 # is the full gate.
 #
-# Usage: scripts/bench.sh [output.json [faultsweep-output.json [load-output.json [warmcold-output.json]]]]
+# Usage: scripts/bench.sh [output.json [faultsweep-output.json [load-output.json [warmcold-output.json [simnodes-output.json]]]]]
 # BENCHTIME=2s scripts/bench.sh   # longer runs for quieter numbers
 # LOADJOBS=80 scripts/bench.sh    # more jobs per earthload sweep point
 set -euo pipefail
@@ -22,6 +22,7 @@ out="${1:-BENCH_pr5.json}"
 fault_out="${2:-BENCH_fault_pr5.json}"
 load_out="${3:-BENCH_pr6.json}"
 warm_out="${4:-BENCH_pr7.json}"
+sim_out="${5:-BENCH_pr8.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
@@ -58,3 +59,13 @@ go test -run '^$' -bench '^(BenchmarkCompile|BenchmarkCompileWarm)$' \
     -benchmem -benchtime "${BENCHTIME:-1s}" . | tee "$raw"
 go run ./cmd/benchdiff -emit < "$raw" > "$warm_out"
 echo "bench: wrote $warm_out"
+
+# Event-loop scalability sweep: the halo ring exchange at 4/64/256/1024
+# simulated nodes on both the sequential loop (seq) and the sharded engine
+# at SimWorkers=GOMAXPROCS (par). events is deterministic (Exact-gated);
+# events_sec is the throughput trajectory. scripts/check.sh diffs a short
+# rerun against this artifact.
+go test -run '^$' -bench '^BenchmarkSimNodes$' \
+    -benchmem -benchtime "${BENCHTIME:-1s}" . | tee "$raw"
+go run ./cmd/benchdiff -emit < "$raw" > "$sim_out"
+echo "bench: wrote $sim_out"

@@ -2,8 +2,9 @@
 # Tier-1 gate: formatting, vet, build, tests. Run before every commit.
 # Performance is gated separately: scripts/bench.sh regenerates the
 # checked-in perf trajectory (BENCH_pr5.json, BENCH_pr6.json,
-# BENCH_pr7.json) — run it after touching the compiler pipeline, the
-# simulator hot path, the compile cache, or the earthd service.
+# BENCH_pr7.json, BENCH_pr8.json) — run it after touching the compiler
+# pipeline, the simulator hot path, the compile cache, the sharded event
+# loop, or the earthd service.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -31,6 +32,13 @@ go test -race ./...
 # the fault layer. (Also part of `go test ./...` above; rerun by name so a
 # perf-pin failure is unmistakable in CI logs.)
 go test -run 'ZeroCostWhenDisabled|RegistryRunOverheadBounded' -count=1 .
+# Sharded-engine determinism pin: the {benchmark x faults x SimWorkers}
+# equivalence matrix — byte-identical Visible(), trace export, and telemetry
+# series across worker counts — must hold under the race detector, where the
+# worker pool's scheduling is at its most adversarial. (Also part of
+# `go test -race ./...` above; rerun by name so a determinism failure is
+# unmistakable in CI logs.)
+go test -race -count=1 -run 'TestShardedEquivalenceMatrix|TestSharded256Nodes' ./internal/earthsim
 # Perf-regression smoke leg: a short benchmark run diffed against the
 # committed trajectory with benchdiff's quick thresholds (directional
 # tolerances ×4; deterministic simulated quantities like guest_instructions
@@ -92,6 +100,16 @@ if [ -f BENCH_pr7.json ]; then
     go test -run '^$' -bench '^(BenchmarkCompile|BenchmarkCompileWarm)$' \
         -benchmem -benchtime 50ms . \
       | go run ./cmd/benchdiff -baseline BENCH_pr7.json -quick
+fi
+# Event-loop scalability gate: short BenchmarkSimNodes rerun diffed against
+# the committed BENCH_pr8.json sweep. events is deterministic and must match
+# exactly even under -quick; events_sec (Higher-is-better) gets the widened
+# quick tolerances.
+if [ -f BENCH_pr8.json ]; then
+    go test -run '^$' -bench '^BenchmarkSimNodes$' \
+        -benchmem -benchtime 1x . \
+      | go run ./cmd/benchdiff -baseline BENCH_pr8.json -quick \
+            -tol 'ns_per_op=3.0,events_sec=0.80'
 fi
 # Service smoke leg: boot a real earthd on an ephemeral port, submit one
 # good job and one malformed job over HTTP, then verify SIGTERM produces a
