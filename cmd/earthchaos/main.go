@@ -1,0 +1,339 @@
+// Command earthchaos is the crash-safety harness for earthd: it proves the
+// durable-journal contract by killing the daemon (SIGKILL — no drain, no
+// goodbye) in the middle of a seeded load mix, restarting it against the
+// same journal, and asserting that every job the dead process acknowledged
+// completes exactly once with a payload byte-identical to a clean run.
+//
+// Usage:
+//
+//	earthchaos -earthd path/to/earthd [flags]
+//
+//	-earthd path  the earthd binary to torture (required)
+//	-dir path     journal directory (default: a temp dir, removed on success)
+//	-n N          jobs per cycle (default 12)
+//	-cycles N     kill/restart cycles (default 2)
+//	-seed N       seed for the load mix and kill points (default 1)
+//	-v            log each job's fate
+//
+// Protocol per cycle: submit N async jobs (ids "chaos-<seed>-<cycle>-<i>"),
+// SIGKILL the daemon after a seed-derived number of 202s, restart it on the
+// same journal, re-submit every id (idempotent: journaled-complete ids are
+// answered from their records, pending ids coalesce onto their replay, lost
+// ids run fresh), and compare each payload against the reference run. A
+// final sweep re-submits every id once more and requires replayed=true —
+// the exactly-once check: nothing runs twice.
+//
+// The reference payloads come from a journal-less earthd started first with
+// the same mix; determinism (same spec + seed => byte-identical canonical
+// payload) is what makes "completed exactly once" checkable at all.
+//
+// Exit status: 0 on success, 1 on any lost job, payload divergence, or
+// double execution.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	bin := flag.String("earthd", "", "earthd binary to run (required)")
+	dir := flag.String("dir", "", "journal directory (default: temp dir)")
+	n := flag.Int("n", 12, "jobs per cycle")
+	cycles := flag.Int("cycles", 2, "kill/restart cycles")
+	seed := flag.Int64("seed", 1, "load-mix and kill-point seed")
+	verbose := flag.Bool("v", false, "log each job's fate")
+	flag.Parse()
+	if *bin == "" || flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: earthchaos -earthd path/to/earthd [flags]")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *dir == "" {
+		d, err := os.MkdirTemp("", "earthchaos-*")
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer os.RemoveAll(d)
+		*dir = d
+	}
+
+	h := &harness{bin: *bin, dir: *dir, verbose: *verbose,
+		rng: rand.New(rand.NewSource(*seed)), client: &http.Client{Timeout: 5 * time.Minute}}
+
+	// Reference pass: a journal-less daemon runs the whole mix cleanly.
+	specs := make([][]server.JobRequest, *cycles)
+	refs := make([]map[string]string, *cycles)
+	ref := h.start()
+	for c := 0; c < *cycles; c++ {
+		specs[c] = h.mix(c, *n, *seed)
+		refs[c] = map[string]string{}
+		for i := range specs[c] {
+			req := specs[c][i] // copy; the reference run has no idempotency key
+			req.ID, req.Async = "", false
+			r, err := h.submitSync(ref.url, &req)
+			if err != nil {
+				fatal("reference job %d/%d: %v", c, i, err)
+			}
+			refs[c][specs[c][i].ID] = canonical(r)
+		}
+	}
+	ref.stop()
+
+	// Chaos passes: journaled daemon, killed mid-mix each cycle.
+	lost, diverged, reran := 0, 0, 0
+	d := h.start("-journal-dir", h.dir)
+	for c := 0; c < *cycles; c++ {
+		kill := 1 + h.rng.Intn(*n) // SIGKILL after this many 202s
+		acked := 0
+		for i := range specs[c] {
+			req := specs[c][i]
+			if err := h.submitAsync(d.url, &req); err != nil {
+				// The daemon died under us (or a race with the kill below) —
+				// this submission holds no acknowledgement to honor.
+				h.logf("cycle %d: job %s not acknowledged: %v", c, req.ID, err)
+				continue
+			}
+			acked++
+			if acked == kill {
+				h.logf("cycle %d: SIGKILL after %d of %d accepts", c, acked, *n)
+				d.kill()
+				d = h.start("-journal-dir", h.dir)
+			}
+		}
+
+		// Recovery: every id must resolve — journaled completions answer from
+		// their records, pending ones coalesce onto their replay, never-acked
+		// ones run fresh. Identical payloads either way.
+		for i := range specs[c] {
+			req := specs[c][i]
+			req.Async = false
+			r, err := h.submitSync(d.url, &req)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "earthchaos: cycle %d: job %s lost: %v\n", c, req.ID, err)
+				lost++
+				continue
+			}
+			if got, want := canonical(r), refs[c][req.ID]; got != want {
+				fmt.Fprintf(os.Stderr, "earthchaos: cycle %d: job %s payload diverged from clean run:\n  got  %s\n  want %s\n",
+					c, req.ID, got, want)
+				diverged++
+			}
+		}
+
+		// Exactly-once: a second submission of every id must be served from
+		// the completion record, not re-run.
+		for i := range specs[c] {
+			req := specs[c][i]
+			req.Async = false
+			r, err := h.submitSync(d.url, &req)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "earthchaos: cycle %d: job %s vanished after completing: %v\n", c, req.ID, err)
+				lost++
+				continue
+			}
+			if !r.Replayed {
+				fmt.Fprintf(os.Stderr, "earthchaos: cycle %d: job %s ran again instead of replaying its record\n", c, req.ID)
+				reran++
+			}
+		}
+		fmt.Fprintf(os.Stderr, "earthchaos: cycle %d: %d jobs, kill point %d: all completed exactly once\n", c, *n, kill)
+	}
+	d.stop()
+
+	if lost+diverged+reran > 0 {
+		fatal("%d lost, %d diverged, %d re-ran", lost, diverged, reran)
+	}
+	fmt.Fprintf(os.Stderr, "earthchaos: PASS: %d cycles x %d jobs, every acknowledged job completed exactly once, payloads byte-identical to the clean run\n",
+		*cycles, *n)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "earthchaos: FAIL: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+type harness struct {
+	bin, dir string
+	verbose  bool
+	rng      *rand.Rand
+	client   *http.Client
+}
+
+func (h *harness) logf(format string, args ...any) {
+	if h.verbose {
+		fmt.Fprintf(os.Stderr, "earthchaos: "+format+"\n", args...)
+	}
+}
+
+// mix builds one cycle's seeded job list: quick Olden benchmarks crossed
+// with machine sizes, plus an inline source. Ids are stable across the
+// reference and chaos passes of one invocation.
+func (h *harness) mix(cycle, n int, seed int64) []server.JobRequest {
+	benches := []string{"power", "perimeter", "voronoi", "tsp", "health"}
+	reqs := make([]server.JobRequest, n)
+	for i := range reqs {
+		reqs[i] = server.JobRequest{
+			V:         server.SchemaVersion,
+			ID:        fmt.Sprintf("chaos-%d-%d-%d", seed, cycle, i),
+			Benchmark: benches[i%len(benches)],
+			Quick:     true,
+			Nodes:     2 + 2*(i%2),
+			Async:     true,
+		}
+	}
+	return reqs
+}
+
+// daemon is one child earthd process.
+type daemon struct {
+	cmd *exec.Cmd
+	url string
+}
+
+// start launches the earthd binary on a random loopback port and waits for
+// its "listening on" line.
+func (h *harness) start(extra ...string) *daemon {
+	args := append([]string{"-addr", "127.0.0.1:0", "-shards", "2", "-queue", "64"}, extra...)
+	cmd := exec.Command(h.bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		fatal("%v", err)
+	}
+	cmd.Stdout = os.Stdout
+	if err := cmd.Start(); err != nil {
+		fatal("start %s: %v", h.bin, err)
+	}
+	sc := bufio.NewScanner(stderr)
+	addr := ""
+	for sc.Scan() {
+		line := sc.Text()
+		h.logf("earthd: %s", line)
+		if _, rest, ok := strings.Cut(line, "listening on "); ok {
+			addr = strings.Fields(rest)[0]
+			break
+		}
+	}
+	if addr == "" {
+		cmd.Process.Kill()
+		fatal("earthd never reported its address")
+	}
+	go func() { // keep draining so the child never blocks on stderr
+		for sc.Scan() {
+			h.logf("earthd: %s", sc.Text())
+		}
+	}()
+	d := &daemon{cmd: cmd, url: "http://" + addr}
+	// The port is up before the log line, but be deliberate: health-check it.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := h.client.Get(d.url + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			return d
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			fatal("earthd never became healthy: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// kill is the chaos move: SIGKILL, no drain, no journal close.
+func (d *daemon) kill() {
+	d.cmd.Process.Kill()
+	d.cmd.Wait()
+}
+
+// stop shuts the daemon down gracefully (SIGTERM -> drain).
+func (d *daemon) stop() {
+	d.cmd.Process.Signal(os.Interrupt)
+	d.cmd.Wait()
+}
+
+// submitAsync POSTs one async job; any 2xx acknowledgement counts as
+// accepted (202 queued, or 200 when the id was already completed). 429/503
+// back off and retry — backpressure is not chaos.
+func (h *harness) submitAsync(base string, req *server.JobRequest) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	for attempt := 0; ; attempt++ {
+		resp, err := h.client.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == 202 || resp.StatusCode == 200:
+			return nil
+		case resp.StatusCode == 429 || resp.StatusCode == 503:
+			if attempt > 100 {
+				return fmt.Errorf("status %d after %d retries", resp.StatusCode, attempt)
+			}
+			time.Sleep(50 * time.Millisecond)
+		default:
+			return fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+		}
+	}
+}
+
+// submitSync POSTs one job and blocks for its result, retrying through
+// backpressure.
+func (h *harness) submitSync(base string, req *server.JobRequest) (*server.JobResult, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	for attempt := 0; ; attempt++ {
+		resp, err := h.client.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case resp.StatusCode == 200:
+			var r server.JobResult
+			if err := json.Unmarshal(data, &r); err != nil {
+				return nil, err
+			}
+			return &r, nil
+		case resp.StatusCode == 429 || resp.StatusCode == 503:
+			if attempt > 200 {
+				return nil, fmt.Errorf("status %d after %d retries", resp.StatusCode, attempt)
+			}
+			time.Sleep(50 * time.Millisecond)
+		default:
+			return nil, fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+		}
+	}
+}
+
+// canonical is the byte form equality is stated over: the deterministic
+// portion of the payload (bookkeeping and host latency zeroed).
+func canonical(r *server.JobResult) string {
+	b, err := r.CanonicalPayload()
+	if err != nil {
+		return fmt.Sprintf("unmarshalable: %v", err)
+	}
+	return string(b)
+}

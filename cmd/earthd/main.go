@@ -21,15 +21,27 @@
 //	-cache-size N     shared compile cache capacity in units (default 64;
 //	                  negative disables caching)
 //	-cache-dir dir    persist compile artifacts under dir across restarts
+//	-journal-dir dir  durable job journal: accepted jobs are fsynced before
+//	                  acknowledgement; on restart unfinished jobs replay and
+//	                  completed ones answer re-submissions exactly once
+//	-job-wall-deadline d  per-job wall-clock budget from acceptance to
+//	                  completion (queue wait included); exceeding it aborts
+//	                  the job with 504 (0 = off)
+//	-brownout-after d shed trace-enabled jobs with 429 once measured queue
+//	                  wait exceeds d (0 = off)
 //
 // Submit a job:
 //
 //	curl -s localhost:8080/jobs -d '{"benchmark":"power","nodes":4,"quick":true}'
 //	curl -s localhost:8080/jobs -d '{"source":"int main() { return 42; }","nodes":1}'
 //
+// Abort a job: DELETE /jobs/{id}; poll one: GET /jobs/{id} (ids come from
+// the "id" request field or the result's job_id).
+//
 // On SIGINT/SIGTERM the daemon stops intake (new submissions get 503),
 // finishes every accepted job, flushes in-flight responses, and exits 0;
-// jobs accepted before the signal are never lost.
+// jobs accepted before the signal are never lost. With -journal-dir, jobs
+// survive even a SIGKILL: the journal replays them on the next start.
 package main
 
 import (
@@ -56,6 +68,9 @@ func main() {
 	drain := flag.Duration("drain", 30*time.Second, "drain timeout on SIGINT/SIGTERM")
 	cacheSize := flag.Int("cache-size", 0, "compile cache capacity in units (0 = default 64, negative = disabled)")
 	cacheDir := flag.String("cache-dir", "", "persist compile artifacts here across restarts")
+	journalDir := flag.String("journal-dir", "", "durable job journal directory (empty = journaling off)")
+	wallDeadline := flag.Duration("job-wall-deadline", 0, "per-job wall-clock budget, acceptance to completion (0 = off)")
+	brownout := flag.Duration("brownout-after", 0, "shed trace-enabled jobs once measured queue wait exceeds this (0 = off)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: earthd [flags]")
@@ -63,17 +78,24 @@ func main() {
 		os.Exit(2)
 	}
 
-	d := server.New(server.Config{
-		Shards:       *shards,
-		QueueDepth:   *queue,
-		Workers:      *workers,
-		DefaultNodes: *nodes,
-		MaxFuel:      *maxFuel,
-		JobDeadline:  *jobDeadline,
-		SimWorkers:   *simJ,
-		CacheSize:    *cacheSize,
-		CacheDir:     *cacheDir,
+	d, err := server.Open(server.Config{
+		Shards:          *shards,
+		QueueDepth:      *queue,
+		Workers:         *workers,
+		DefaultNodes:    *nodes,
+		MaxFuel:         *maxFuel,
+		JobDeadline:     *jobDeadline,
+		SimWorkers:      *simJ,
+		CacheSize:       *cacheSize,
+		CacheDir:        *cacheDir,
+		JournalDir:      *journalDir,
+		JobWallDeadline: *wallDeadline,
+		BrownoutAfter:   *brownout,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "earthd:", err)
+		os.Exit(1)
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "earthd:", err)
@@ -83,6 +105,9 @@ func main() {
 	cfg := d.Config()
 	fmt.Fprintf(os.Stderr, "earthd: listening on %s (%d shards, queue %d)\n",
 		ln.Addr(), cfg.Shards, cfg.QueueDepth)
+	if cfg.JournalDir != "" {
+		fmt.Fprintf(os.Stderr, "earthd: journaling jobs to %s\n", cfg.JournalDir)
+	}
 
 	done := server.ShutdownOnSignal(*drain, func(ctx context.Context) error {
 		fmt.Fprintln(os.Stderr, "earthd: draining (intake stopped, finishing accepted jobs)")

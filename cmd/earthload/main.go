@@ -22,7 +22,10 @@
 //	              (BenchmarkEarthload/shards=N ... jobs/sec) for
 //	              benchdiff -emit; human-readable stats go to stderr
 //
-// The exit status is 1 if any job failed.
+// The exit status is 1 if any job failed. On SIGINT the run stops issuing
+// new jobs, reports the partial throughput/latency summary for the jobs
+// that did complete, and exits 130 — an interrupted run never vanishes
+// without its numbers.
 package main
 
 import (
@@ -35,11 +38,13 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/olden"
@@ -85,6 +90,20 @@ func main() {
 		}
 	}
 
+	// A SIGINT mid-run used to kill the process before any summary was
+	// printed — minutes of load numbers lost. Trap it: stop issuing new
+	// jobs, let in-flight ones finish, report the partial stats, exit 130.
+	// A second SIGINT falls through to the default handler (hard kill).
+	var interrupted atomic.Bool
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		interrupted.Store(true)
+		signal.Stop(sig)
+		fmt.Fprintln(os.Stderr, "earthload: interrupted — finishing in-flight jobs, reporting partial results")
+	}()
+
 	failed := false
 	for _, sc := range counts {
 		url := *addr
@@ -97,20 +116,28 @@ func main() {
 				os.Exit(1)
 			}
 		}
-		st := drive(url, names, *conc, *total, *nodes, !*full)
+		st := drive(url, names, *conc, *total, *nodes, !*full, &interrupted)
 		if stop != nil {
 			stop()
 		}
+		if interrupted.Load() {
+			fmt.Fprintf(os.Stderr, "earthload: partial run: %d of %d jobs completed before interrupt\n",
+				st.ok+st.failed, *total)
+		}
 		st.report(os.Stderr, sc)
-		if *bench {
+		if *bench && !interrupted.Load() {
 			// One line per shard count in `go test -bench` format so
 			// benchdiff -emit folds the sweep into the BENCH_*.json perf
-			// trajectory.
+			// trajectory. Partial runs are not comparable, so they emit
+			// nothing rather than a misleading point.
 			fmt.Printf("BenchmarkEarthload/shards=%d \t%8d\t%12.0f ns/op\t%12.2f jobs/sec\n",
 				sc, st.ok, st.meanNs(), st.jobsPerSec())
 		}
 		if st.failed > 0 {
 			failed = true
+		}
+		if interrupted.Load() {
+			os.Exit(130)
 		}
 	}
 	if failed {
@@ -216,8 +243,9 @@ func (s *stats) report(w io.Writer, shards int) {
 
 // drive fires total jobs at the service from conc concurrent clients,
 // round-robining the benchmark mix, honoring 429/503 backpressure with the
-// server's Retry-After hint.
-func drive(base string, names []string, conc, total, nodes int, quick bool) *stats {
+// server's Retry-After hint. Once stop flips, workers finish their current
+// job and issue no more.
+func drive(base string, names []string, conc, total, nodes int, quick bool, stop *atomic.Bool) *stats {
 	st := &stats{perShard: make(map[int]int)}
 	var mu sync.Mutex
 	var next atomic.Int64
@@ -230,7 +258,7 @@ func drive(base string, names []string, conc, total, nodes int, quick bool) *sta
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= total {
+				if i >= total || stop.Load() {
 					return
 				}
 				body, _ := json.Marshal(server.JobRequest{

@@ -310,6 +310,14 @@ func (p *Pipeline) Run(u *Unit, rc RunConfig) (*earthsim.Result, error) {
 	if rc.Deadline > 0 {
 		m.SetDeadline(rc.Deadline)
 	}
+	if rc.Context != nil {
+		// Fail fast if the job was cancelled while queued — don't charge a
+		// run start for work that will trap on the first poll anyway.
+		if err := rc.Context.Err(); err != nil {
+			return nil, fmt.Errorf("earthsim: %w: %v before run start", earthsim.ErrCanceled, err)
+		}
+		m.SetContext(rc.Context)
+	}
 	if p.opt.Trace != nil {
 		m.SetTrace(p.opt.Trace)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -54,6 +55,12 @@ type CompileRequest struct {
 	Profile *profile.Data
 	// Cache is the per-request cache policy.
 	Cache CachePolicy
+	// Context, when non-nil, aborts the compile cooperatively: Do checks it
+	// between phases and fails with the context's error once cancelled.
+	// Callers sharing one compile across requests (earthd's single-flight
+	// batching) should leave this nil and cancel only their own Run — a
+	// shared compile must not die with the first client that loses interest.
+	Context context.Context
 }
 
 // CompileResult is a compile plus its cache outcome.
@@ -152,6 +159,11 @@ func (p *Pipeline) Do(req CompileRequest) (*CompileResult, error) {
 		}
 		reg.Counter("earth_cache_misses_total", "Compiles not served whole from the unit cache.").Inc()
 	}
+	if req.Context != nil {
+		if err := req.Context.Err(); err != nil {
+			return nil, fmt.Errorf("core: compile canceled: %w", err)
+		}
+	}
 	file := req.AST
 	if file == nil {
 		t0 := time.Now()
@@ -161,6 +173,11 @@ func (p *Pipeline) Do(req CompileRequest) (*CompileResult, error) {
 		}
 		file = f
 		st.AddPhase("parse", time.Since(t0))
+	}
+	if req.Context != nil {
+		if err := req.Context.Err(); err != nil {
+			return nil, fmt.Errorf("core: compile canceled: %w", err)
+		}
 	}
 	var inc *incCtx
 	if c != nil && !req.Cache.Bypass && !req.Cache.NoIncremental &&

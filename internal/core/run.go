@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/earthsim"
@@ -56,6 +57,12 @@ type RunConfig struct {
 	// Deadline bounds host wall-clock time (0 = none); exceeding it fails
 	// with an error wrapping earthsim.ErrDeadline.
 	Deadline time.Duration
+	// Context, when non-nil, cancels the run cooperatively: the simulator
+	// polls it on the wall-clock cadence and fails with an error wrapping
+	// earthsim.ErrCanceled once it is done. This is how a serving layer
+	// aborts a run on client disconnect, explicit DELETE, or a per-job wall
+	// deadline; nil (the default) costs nothing.
+	Context context.Context
 	// Faults attaches a fault-injection model + reliable-messaging protocol
 	// to the simulated transport (see earthsim.FaultConfig and
 	// earthsim.ParseFaultSpec); nil runs the idealized reliable machine.

@@ -1,6 +1,7 @@
 package earthsim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -21,6 +22,10 @@ var (
 	ErrDeadline = errors.New("deadline exceeded")
 	// ErrDeadlock reports that the event queue drained with main incomplete.
 	ErrDeadlock = errors.New("deadlock")
+	// ErrCanceled reports that the run's context (Machine.SetContext) was
+	// cancelled — a client disconnect, a DELETE /jobs/{id} abort, or a
+	// per-job wall deadline, as opposed to the simulated-time limits above.
+	ErrCanceled = errors.New("run canceled")
 )
 
 // limitCheckInterval is how many EU instructions pass between fuel/deadline
@@ -31,6 +36,19 @@ const limitCheckInterval = 16384
 // before Run. Returns m for chaining.
 func (m *Machine) SetDeadline(d time.Duration) *Machine {
 	m.wallLimit = d
+	return m
+}
+
+// SetContext attaches a cancellation context to the run (nil detaches, the
+// default). The simulator polls it on the same cadence as the wall-clock
+// deadline — every limitCheckInterval EU instructions and every 4096 events
+// per shard, plus once per coordinator round in sharded mode — and stops
+// with an error wrapping ErrCanceled. Unlike Fuel/SetDeadline this limit is
+// external to simulated time: a client disconnect or a DELETE /jobs/{id}
+// aborts a run that is making perfectly good simulated-time progress. Call
+// before Run. Returns m for chaining.
+func (m *Machine) SetContext(ctx context.Context) *Machine {
+	m.ctx = ctx
 	return m
 }
 
@@ -57,6 +75,22 @@ func (m *shard) limitCheck() {
 	if m.wallLimit > 0 && time.Now().After(m.wallDeadline) {
 		m.trapw(ErrDeadline, "host wall clock exceeded %s (t=%dns, %d instructions)",
 			m.wallLimit, m.lastTime, m.counts.Instructions)
+		return
+	}
+	m.ctxCheck()
+}
+
+// ctxCheck traps if the run's context has been cancelled. Free when no
+// context is attached (the common case): one nil compare.
+func (m *shard) ctxCheck() {
+	if m.ctx == nil {
+		return
+	}
+	select {
+	case <-m.ctx.Done():
+		m.trapw(ErrCanceled, "%v (t=%dns, %d instructions)",
+			m.ctx.Err(), m.lastTime, m.counts.Instructions)
+	default:
 	}
 }
 

@@ -14,6 +14,7 @@
 package earthsim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -513,8 +514,9 @@ type shard struct {
 	nextLimitCheck int64 // next Instructions value at which to run limitCheck
 	wallLimit      time.Duration
 	wallDeadline   time.Time
-	lastTime       int64  // last dispatched event time (for limit messages)
-	parkedHead     *fiber // intrusive list of fibers that have blocked
+	ctx            context.Context // nil: cancellation disabled (see SetContext)
+	lastTime       int64           // last dispatched event time (for limit messages)
+	parkedHead     *fiber          // intrusive list of fibers that have blocked
 
 	// Fault injection + reliable messaging (see fault.go); all nil/zero
 	// when cfg.Faults is nil.
@@ -543,6 +545,7 @@ type Machine struct {
 	lookahead int64 // conservative lookahead L (sharded mode; = cfg.NetLatency)
 	workers   int   // worker goroutines driving shard windows (sharded mode)
 	wallLimit time.Duration
+	ctx       context.Context  // nil: cancellation disabled
 	tr        *trace.Recorder  // user-facing recorder (nil: tracing off)
 	sampler   *metrics.Sampler // user-facing sampler (nil: telemetry off)
 	gNext     int64            // next merged sampling boundary (sharded mode)
@@ -720,6 +723,7 @@ func (m *Machine) runLegacy(maxEvents int64) (*Result, error) {
 	if s.wallLimit > 0 {
 		s.wallDeadline = time.Now().Add(s.wallLimit)
 	}
+	s.ctx = m.ctx
 	main := s.newFiber(0, m.prog.Main, nil, replyRoute{kind: 0})
 	s.enqueueReady(m.nodes[0], main, 0)
 
@@ -735,6 +739,11 @@ func (m *Machine) runLegacy(maxEvents int64) (*Result, error) {
 		if s.wallLimit > 0 && s.nEvents&4095 == 0 && time.Now().After(s.wallDeadline) {
 			return nil, fmt.Errorf("earthsim: %w: host wall clock exceeded %s (t=%dns, %d events)",
 				ErrDeadline, s.wallLimit, s.lastTime, s.nEvents)
+		}
+		if s.ctx != nil && s.nEvents&4095 == 0 {
+			if s.ctxCheck(); s.trap != nil {
+				return nil, s.trap
+			}
 		}
 		ev := s.events.pop()
 		if s.ms != nil {

@@ -99,6 +99,11 @@ func (s *shard) runWindow(bound int64) {
 				s.wallLimit, s.lastTime, s.id)
 			return
 		}
+		if s.ctx != nil && s.nEvents&4095 == 0 {
+			if s.ctxCheck(); s.trap != nil {
+				return
+			}
+		}
 		ev := s.events.pop()
 		if s.ms != nil {
 			s.sampleTick(ev.time)
@@ -223,6 +228,7 @@ func (m *Machine) runSharded(maxEvents int64) (*Result, error) {
 		s.maxEvents = maxEvents
 		s.wallLimit = m.wallLimit
 		s.wallDeadline = deadline
+		s.ctx = m.ctx
 		s.hpos = -1
 	}
 	s0 := m.sh[0]
@@ -283,6 +289,14 @@ func (m *Machine) runSharded(maxEvents int64) (*Result, error) {
 		if m.wallLimit > 0 && time.Now().After(deadline) {
 			return m.fail(fmt.Errorf("earthsim: %w: host wall clock exceeded %s (t=%dns, %d events)",
 				ErrDeadline, m.wallLimit, t1, totalEvents))
+		}
+		if m.ctx != nil {
+			select {
+			case <-m.ctx.Done():
+				return m.fail(fmt.Errorf("earthsim: %w: %v (t=%dns, %d events)",
+					ErrCanceled, m.ctx.Err(), t1, totalEvents))
+			default:
+			}
 		}
 		if m.sampler != nil {
 			m.mergeSamples(t1)

@@ -10,18 +10,24 @@ import (
 
 // Handler returns the service's HTTP mux:
 //
-//	POST /jobs        submit one JobRequest, respond with its JobResult
-//	POST /jobs/batch  submit a JSON array of JobRequests; the response
-//	                  streams one NDJSON line per job as it completes
-//	GET  /metrics     Prometheus text: service + all shards + process,
-//	                  merged into one exposition
-//	GET  /metrics.json  the same merged registry as JSON
-//	GET  /healthz     liveness, queue occupancy, per-shard job counts
-//	GET  /series.json?shard=N  the shard's current-run simulator time series
+//	POST   /jobs        submit one JobRequest, respond with its JobResult
+//	                    (or, with "async": true, 202 + the job id at once)
+//	POST   /jobs/batch  submit a JSON array of JobRequests; the response
+//	                    streams one NDJSON line per job as it completes
+//	GET    /jobs/{id}   the job's lifecycle state; terminal states carry
+//	                    the result or recorded error
+//	DELETE /jobs/{id}   request a cooperative abort of a queued/running job
+//	GET    /metrics     Prometheus text: service + all shards + process,
+//	                    merged into one exposition
+//	GET    /metrics.json  the same merged registry as JSON
+//	GET    /healthz     liveness, queue occupancy, shard + journal status
+//	GET    /series.json?shard=N  the shard's current-run simulator time series
 //
-// Submission status codes: 200 success; 400 malformed or invalid request;
-// 422 well-formed but uncompilable/unrunnable program; 429 queue full
-// (with Retry-After); 503 draining (with Retry-After).
+// Submission status codes: 200 success; 202 accepted (async) or cancelling;
+// 400 malformed or invalid request; 422 well-formed but
+// uncompilable/unrunnable program; 429 queue full or brownout (with
+// Retry-After); 499 cancelled; 503 draining or journal failure (with
+// Retry-After); 504 wall deadline exceeded.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
@@ -30,15 +36,21 @@ func (s *Server) Handler() http.Handler {
 			return
 		}
 		fmt.Fprint(w, "earthd compile-and-simulate service\n\n"+
-			"POST /jobs         submit one job (JSON)\n"+
-			"POST /jobs/batch   submit an array of jobs; NDJSON results stream back\n"+
-			"GET  /metrics      aggregated Prometheus exposition\n"+
-			"GET  /metrics.json aggregated registry as JSON\n"+
-			"GET  /healthz      liveness + queue + shard status\n"+
-			"GET  /series.json  per-shard simulator time series (?shard=N)\n")
+			"POST   /jobs         submit one job (JSON; \"async\": true for 202 + poll)\n"+
+			"POST   /jobs/batch   submit an array of jobs; NDJSON results stream back\n"+
+			"GET    /jobs/{id}    job status (queued/running/done/cancelled)\n"+
+			"DELETE /jobs/{id}    abort a queued or running job\n"+
+			"GET    /metrics      aggregated Prometheus exposition\n"+
+			"GET    /metrics.json aggregated registry as JSON\n"+
+			"GET    /healthz      liveness + queue + shard + journal status\n"+
+			"GET    /series.json  per-shard simulator time series (?shard=N)\n")
 	})
 	mux.HandleFunc("/jobs", s.handleJob)
-	mux.HandleFunc("/jobs/batch", s.handleBatch)
+	// POST-only: a method-less registration would conflict with the
+	// GET /jobs/{id} wildcard below (neither pattern is more specific).
+	mux.HandleFunc("POST /jobs/batch", s.handleBatch)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJobStatus)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleJobDelete)
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		s.MergedRegistry().WritePrometheus(w)
@@ -52,13 +64,32 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// retryAfter stamps the backpressure hint on 429/503 responses.
+// retryAfter stamps the backpressure hint on 429/503 responses, computed
+// from the measured drain rate: the queue's current depth times the per-job
+// service-time EWMA, divided across the shard workers. Before any job has
+// completed (EWMA empty) the configured static hint applies.
 func (s *Server) retryAfter(w http.ResponseWriter) {
-	secs := int(s.cfg.RetryAfter / time.Second)
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSecs()))
+}
+
+func (s *Server) retryAfterSecs() int {
+	svc := s.svcEwmaNs.Load()
+	if svc <= 0 {
+		secs := int(s.cfg.RetryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		return secs
+	}
+	est := int64(len(s.queue)+1) * svc / int64(len(s.shards))
+	secs := int((est + int64(time.Second) - 1) / int64(time.Second))
 	if secs < 1 {
 		secs = 1
 	}
-	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
 }
 
 // writeJobError renders a job-level failure as JSON with its status code.
@@ -87,24 +118,92 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		s.writeJobError(w, errf(400, "bad request body: %v", err))
 		return
 	}
-	res, jerr := s.Submit(&req)
+	sub, jerr := s.SubmitEx(&req)
 	if jerr != nil {
 		s.writeJobError(w, jerr)
 		return
 	}
-	// The job is accepted: it will run to completion even if the client
-	// departs, and the drain path guarantees the outcome arrives.
-	select {
-	case out := <-res:
-		if out.err != nil {
-			s.writeJobError(w, out.err)
+	if req.Async {
+		if sub.Served {
+			// Already completed (exactly-once re-submission): the recorded
+			// outcome is buffered, so "async" degenerates to the sync answer.
+			s.respondOutcome(w, <-sub.Res)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(out.result)
-	case <-r.Context().Done():
-		// Client gone; the worker's buffered send still completes.
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(struct {
+			JobID  string `json:"job_id"`
+			Status string `json:"status"`
+		}{sub.JobID, StatusQueued})
+		return
 	}
+	select {
+	case out := <-sub.Res:
+		s.respondOutcome(w, out)
+	case <-r.Context().Done():
+		// Client gone. If this submission owns the job (it wasn't coalesced
+		// onto another client's in-flight one), fire its cancellation so the
+		// simulator stops promptly; the worker's buffered send still
+		// completes and the 499 outcome is journaled like any other.
+		if sub.Owner {
+			_ = s.Cancel(sub.JobID, "client disconnected")
+		}
+	}
+}
+
+// respondOutcome renders a job outcome as the HTTP response.
+func (s *Server) respondOutcome(w http.ResponseWriter, out jobOutcome) {
+	if out.err != nil {
+		s.writeJobError(w, out.err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out.result)
+}
+
+// handleJobStatus reports a submission's lifecycle state; terminal states
+// include the stored result (or the recorded error and its status code).
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	jid := r.PathValue("id")
+	status, out, terminal, ok := s.JobStatus(jid)
+	if !ok {
+		s.writeJobError(w, errf(404, "unknown job %q", jid))
+		return
+	}
+	resp := struct {
+		JobID  string     `json:"job_id"`
+		Status string     `json:"status"`
+		Code   int        `json:"code,omitempty"`
+		Error  string     `json:"error,omitempty"`
+		Result *JobResult `json:"result,omitempty"`
+	}{JobID: jid, Status: status}
+	if terminal {
+		if out.err != nil {
+			resp.Code, resp.Error = out.err.status, out.err.msg
+		} else {
+			resp.Result = out.result
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// handleJobDelete requests a cooperative abort. 202: the cancellation fired
+// and the job's 499 outcome will flow through the normal completion (and
+// journaling) path; 404 unknown id; 409 already finished.
+func (s *Server) handleJobDelete(w http.ResponseWriter, r *http.Request) {
+	jid := r.PathValue("id")
+	if jerr := s.Cancel(jid, "client request"); jerr != nil {
+		s.writeJobError(w, jerr)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(struct {
+		JobID  string `json:"job_id"`
+		Status string `json:"status"`
+	}{jid, "cancelling"})
 }
 
 // handleBatch accepts a JSON array of JobRequests and streams one NDJSON
@@ -184,15 +283,24 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		Shard int   `json:"shard"`
 		Jobs  int64 `json:"jobs"`
 	}
+	type journalHealth struct {
+		// Lag counts records appended but not yet fsynced — the journal's
+		// durability debt at this instant.
+		Lag         int   `json:"lag"`
+		Segments    int   `json:"segments"`
+		PendingJobs int   `json:"pending_jobs"`
+		Compactions int64 `json:"compactions"`
+	}
 	h := struct {
-		Status    string        `json:"status"`
-		Draining  bool          `json:"draining"`
-		UptimeMs  int64         `json:"uptime_ms"`
-		QueueLen  int           `json:"queue_len"`
-		QueueCap  int           `json:"queue_cap"`
-		Accepted  int64         `json:"accepted"`
-		Completed int64         `json:"completed"`
-		Shards    []shardHealth `json:"shards"`
+		Status    string         `json:"status"`
+		Draining  bool           `json:"draining"`
+		UptimeMs  int64          `json:"uptime_ms"`
+		QueueLen  int            `json:"queue_len"`
+		QueueCap  int            `json:"queue_cap"`
+		Accepted  int64          `json:"accepted"`
+		Completed int64          `json:"completed"`
+		Journal   *journalHealth `json:"journal,omitempty"`
+		Shards    []shardHealth  `json:"shards"`
 	}{
 		Status:    "ok",
 		Draining:  s.Draining(),
@@ -205,10 +313,24 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	if h.Draining {
 		h.Status = "draining"
 	}
+	if s.jr != nil {
+		st := s.jr.Stats()
+		h.Journal = &journalHealth{
+			Lag:         st.Lag,
+			Segments:    st.Segments,
+			PendingJobs: st.PendingJobs,
+			Compactions: st.Compactions,
+		}
+	}
 	for _, sh := range s.shards {
 		h.Shards = append(h.Shards, shardHealth{Shard: sh.id, Jobs: sh.jobs.Load()})
 	}
 	w.Header().Set("Content-Type", "application/json")
+	if h.Draining {
+		// A draining server is about to go away: load balancers should stop
+		// routing to it, but the body still reports progress for operators.
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
 	json.NewEncoder(w).Encode(h)
 }
 

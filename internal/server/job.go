@@ -1,6 +1,8 @@
 package server
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"time"
 
@@ -19,6 +21,16 @@ type JobRequest struct {
 	// server never silently misreads a newer client's job. Unknown fields
 	// are likewise rejected at the HTTP layer (SchemaVersion).
 	V int `json:"v,omitempty"`
+	// ID is an optional client-supplied idempotency key. With journaling
+	// enabled, re-submitting a completed job's ID is answered from its
+	// journaled completion record without re-running; without an ID the
+	// journal keys the job by the content hash of the request itself. IDs
+	// are printable non-space ASCII, at most 200 bytes.
+	ID string `json:"id,omitempty"`
+	// Async makes submission return 202 + the job id immediately instead of
+	// blocking for the result; poll GET /jobs/{id} (or re-submit the same
+	// id) to collect it. Aborts go to DELETE /jobs/{id}.
+	Async bool `json:"async,omitempty"`
 	// Name labels the unit in results and diagnostics (default "job.ec", or
 	// "<benchmark>.ec" for benchmark jobs).
 	Name string `json:"name,omitempty"`
@@ -94,7 +106,14 @@ func (r *JobRequest) validateVersion() *jobError {
 // the request: identical requests produce byte-identical payloads, which is
 // what lets the service share one compile across concurrent duplicates.
 type JobResult struct {
-	ID         uint64 `json:"id"`
+	ID uint64 `json:"id"`
+	// JobID is the submission's idempotency key (client-supplied or derived
+	// from the request's content hash) — the handle for GET/DELETE
+	// /jobs/{id} and exactly-once re-submission.
+	JobID string `json:"job_id,omitempty"`
+	// Replayed reports that this payload was served from a completed job's
+	// record (journal or in-memory index) rather than a fresh run.
+	Replayed   bool   `json:"replayed,omitempty"`
 	Name       string `json:"name"`
 	Benchmark  string `json:"benchmark,omitempty"`
 	SourceHash string `json:"source_hash"`
@@ -120,6 +139,20 @@ type JobResult struct {
 	Trace        *trace.Brief `json:"trace,omitempty"`
 }
 
+// CanonicalPayload renders the deterministic portion of the result: the
+// submission bookkeeping (ID, JobID, Shard, Batched, Replayed) and host-side
+// latency fields are zeroed, so identical requests — batched, cached,
+// replayed from the journal, or run cold on different servers — compare
+// byte-identical. The chaos harness and the batching tests are stated over
+// these bytes.
+func (r *JobResult) CanonicalPayload() ([]byte, error) {
+	c := *r
+	c.ID, c.JobID, c.Shard = 0, "", 0
+	c.Batched, c.Replayed = false, false
+	c.QueueNs, c.CompileNs, c.RunNs = 0, 0, 0
+	return json.Marshal(&c)
+}
+
 // jobError is a job-level failure with the HTTP status it maps to.
 type jobError struct {
 	status int
@@ -136,14 +169,35 @@ func errf(status int, format string, args ...any) *jobError {
 // source and the channel its worker reports on.
 type job struct {
 	id   uint64
+	jid  string // submission id (idempotency key); see dedupKey
 	req  *JobRequest
 	name string
 	src  string
 	key  string // single-flight compile key (source hash + compile options)
 	enq  time.Time
+	// ctx carries the job's cancellation signal (DELETE, client disconnect,
+	// wall deadline) into the simulator; cancel fires it with a cause and
+	// stopTimer releases the wall-deadline timer.
+	ctx       context.Context
+	cancel    context.CancelCauseFunc
+	stopTimer context.CancelFunc
+	// replayed marks a job rebuilt from the journal on restart: it is
+	// already durably accepted, so Submit-side journaling is skipped.
+	replayed bool
 	// res receives exactly one outcome; buffered so a worker never blocks on
 	// a departed client.
 	res chan jobOutcome
+}
+
+// discard releases the job's context resources (the cancel cause and the
+// wall-deadline timer). Safe to call more than once.
+func (j *job) discard() {
+	if j.cancel != nil {
+		j.cancel(nil)
+	}
+	if j.stopTimer != nil {
+		j.stopTimer()
+	}
 }
 
 type jobOutcome struct {

@@ -31,6 +31,8 @@ package server
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -39,6 +41,8 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/earthsim"
+	"repro/internal/journal"
 	"repro/internal/metrics"
 	"repro/internal/profile"
 	"repro/internal/trace"
@@ -78,6 +82,25 @@ type Config struct {
 	// CacheDir, when set, persists compile artifacts on disk across
 	// restarts (core cache's -cache-dir store).
 	CacheDir string
+	// JournalDir, when set, enables the crash-safety layer: every accepted
+	// job is journaled (fsynced) before its acceptance is acknowledged, and
+	// on restart unfinished jobs replay through the queue while completed
+	// ones answer re-submissions from their journaled payloads. Empty
+	// disables journaling entirely (zero hot-path cost).
+	JournalDir string
+	// JobWallDeadline bounds a job's wall-clock time from acceptance to
+	// completion (queue wait included); exceeding it aborts the run via its
+	// cancellation context and answers 504. 0 disables. Distinct from
+	// JobDeadline, which bounds only the simulator run.
+	JobWallDeadline time.Duration
+	// BrownoutAfter sheds trace-enabled jobs (the most expensive class) with
+	// 429 once the measured queue-wait EWMA exceeds this threshold, keeping
+	// latency bounded for plain jobs. 0 disables.
+	BrownoutAfter time.Duration
+	// RetainResults caps the terminal-job index serving GET /jobs/{id} and
+	// exactly-once re-submission (default 4096, oldest evicted first; also
+	// the journal's completion-retention window).
+	RetainResults int
 }
 
 func (c Config) withDefaults() Config {
@@ -101,6 +124,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
+	}
+	if c.RetainResults <= 0 {
+		c.RetainResults = 4096
 	}
 	return c
 }
@@ -149,6 +175,21 @@ type Server struct {
 	fmu     sync.Mutex
 	flights map[string]*flight
 
+	// jr is the durability journal (nil when Config.JournalDir is empty);
+	// jmu guards the submission index (jobs + jobOrder), and replayWg
+	// tracks the restart-replay feeder so Drain can wait for it before
+	// closing the queue.
+	jr       *journal.Journal
+	jmu      sync.Mutex
+	jobs     map[string]*jobState
+	jobOrder []string
+	replayWg sync.WaitGroup
+
+	// svcEwmaNs estimates per-job service time (drives Retry-After);
+	// waitEwmaNs estimates queue wait (drives the brownout knob).
+	svcEwmaNs  atomic.Int64
+	waitEwmaNs atomic.Int64
+
 	nextID    atomic.Uint64
 	accepted  atomic.Int64
 	completed atomic.Int64
@@ -156,8 +197,23 @@ type Server struct {
 	wg sync.WaitGroup
 }
 
-// New builds a server and starts its shard workers.
+// New builds a server and starts its shard workers. It panics if the
+// configuration cannot be realized, which is only possible with JournalDir
+// set (an unopenable journal directory); journaled deployments should use
+// Open and handle the error.
 func New(cfg Config) *Server {
+	s, err := Open(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("server.New: %v", err))
+	}
+	return s
+}
+
+// Open builds a server, recovers its journal (when Config.JournalDir is
+// set), and starts its shard workers. Journaled jobs left unfinished by the
+// previous process re-enter the queue in the background; completed ones
+// answer re-submissions from their journaled payloads.
+func Open(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:     cfg,
@@ -165,10 +221,19 @@ func New(cfg Config) *Server {
 		proc:    metrics.NewProcessCollector(),
 		queue:   make(chan *job, cfg.QueueDepth),
 		flights: make(map[string]*flight),
+		jobs:    make(map[string]*jobState),
 		start:   time.Now(),
 	}
 	if cfg.CacheSize >= 0 {
 		s.cache = cache.New(cfg.CacheSize, cfg.CacheDir)
+	}
+	var rec *journal.Recovery
+	if cfg.JournalDir != "" {
+		jr, r, err := journal.Open(cfg.JournalDir, journal.Options{Retain: cfg.RetainResults})
+		if err != nil {
+			return nil, fmt.Errorf("journal: %w", err)
+		}
+		s.jr, rec = jr, r
 	}
 	s.reg.Gauge("earthd_shards", "Pipeline shards serving the job queue.").Set(int64(cfg.Shards))
 	for i := 0; i < cfg.Shards; i++ {
@@ -182,18 +247,55 @@ func New(cfg Config) *Server {
 		s.wg.Add(1)
 		go s.worker(sh)
 	}
-	return s
+	if rec != nil {
+		s.recover(rec)
+	}
+	return s, nil
 }
 
 // Config returns the effective (defaulted) configuration.
 func (s *Server) Config() Config { return s.cfg }
 
+// Submission describes one accepted (or deduplicated) submission.
+type Submission struct {
+	// JobID is the submission's idempotency key — the handle for
+	// GET/DELETE /jobs/{id}.
+	JobID string
+	// Res receives the job's outcome exactly once.
+	Res <-chan jobOutcome
+	// Served reports that the outcome was answered from a completed job's
+	// record (already buffered on Res) without running anything.
+	Served bool
+	// Owner reports that this submission enqueued the job (as opposed to
+	// coalescing onto an identical in-flight one); only the owner's client
+	// disconnect should cancel it.
+	Owner bool
+}
+
 // Submit validates req and places it on the queue, returning the channel
 // the job's outcome arrives on. A *jobError return means the job was NOT
-// accepted: 400 for validation failures, 429 when the queue is full, 503
-// when the server is draining. Once accepted, a job always produces exactly
-// one outcome, even through a drain.
+// accepted: 400 for validation failures, 429 when the queue is full (or
+// shed by brownout), 503 when the server is draining. Once accepted, a job
+// always produces exactly one outcome, even through a drain.
 func (s *Server) Submit(req *JobRequest) (<-chan jobOutcome, *jobError) {
+	sub, jerr := s.SubmitEx(req)
+	if jerr != nil {
+		return nil, jerr
+	}
+	return sub.Res, nil
+}
+
+// SubmitEx is Submit with the submission's identity attached. The flow:
+//
+//  1. validate (400s happen before any state is touched);
+//  2. consult the index: a completed id answers from its record (journaled
+//     payloads survive restarts), an in-flight id coalesces, a cancelled id
+//     re-runs;
+//  3. backpressure: brownout (trace-enabled jobs shed first under queue
+//     latency), drain (503), queue full (429 with a measured Retry-After);
+//  4. with journaling on, fsync the acceptance record — only then is the
+//     job visible to workers and its acceptance acknowledged.
+func (s *Server) SubmitEx(req *JobRequest) (*Submission, *jobError) {
 	if jerr := req.validateVersion(); jerr != nil {
 		s.reject("invalid")
 		return nil, jerr
@@ -211,15 +313,44 @@ func (s *Server) Submit(req *JobRequest) (<-chan jobOutcome, *jobError) {
 		s.reject("invalid")
 		return nil, jerr
 	}
-	j := &job{
-		id:   s.nextID.Add(1),
-		req:  req,
-		name: name,
-		src:  src,
-		key:  compileKey(profile.HashSource(src), req.optimize(), req.Cache),
-		enq:  time.Now(),
-		res:  make(chan jobOutcome, 1),
+	jid, jerr := dedupKey(req, s.jr != nil, s.nextID.Add(1))
+	if jerr != nil {
+		s.reject("invalid")
+		return nil, jerr
 	}
+
+	s.jmu.Lock()
+	if st := s.jobs[jid]; st != nil {
+		switch st.status {
+		case StatusDone:
+			out := st.servedOutcome(jid)
+			s.jmu.Unlock()
+			ch := make(chan jobOutcome, 1)
+			ch <- out
+			s.reg.Counter("earthd_jobs_deduped_total", "Re-submissions answered from a completed job's record without running.").Inc()
+			return &Submission{JobID: jid, Res: ch, Served: true}, nil
+		case StatusQueued, StatusRunning:
+			ch := make(chan jobOutcome, 1)
+			st.followers = append(st.followers, ch)
+			s.jmu.Unlock()
+			s.reg.Counter("earthd_jobs_coalesced_total", "Submissions coalesced onto an identical in-flight job.").Inc()
+			return &Submission{JobID: jid, Res: ch}, nil
+		case StatusCancelled:
+			// An explicit re-submission of a cancelled job runs fresh: the
+			// cancellation closed that attempt, not the id.
+			delete(s.jobs, jid)
+		}
+	}
+	s.jmu.Unlock()
+
+	if s.cfg.BrownoutAfter > 0 && req.TraceSummary && len(s.queue) > 0 &&
+		time.Duration(s.waitEwmaNs.Load()) > s.cfg.BrownoutAfter {
+		s.reject("brownout")
+		return nil, errf(429, "brownout: queue wait %s exceeds %s; trace-enabled jobs are shed first — retry later or drop trace_summary",
+			time.Duration(s.waitEwmaNs.Load()).Round(time.Millisecond), s.cfg.BrownoutAfter)
+	}
+
+	j := s.newJob(req, jid, name, src)
 	// Attach to the compile flight before enqueueing so a worker can never
 	// dequeue the job ahead of its flight registration.
 	s.attach(j.key)
@@ -227,21 +358,45 @@ func (s *Server) Submit(req *JobRequest) (<-chan jobOutcome, *jobError) {
 	if s.draining {
 		s.mu.Unlock()
 		s.release(j.key)
+		j.discard()
 		s.reject("draining")
 		return nil, errf(503, "server is draining")
 	}
-	select {
-	case s.queue <- j:
-		s.mu.Unlock()
-		s.accepted.Add(1)
-		s.reg.Counter("earthd_jobs_accepted_total", "Jobs accepted into the queue.").Inc()
-		return j.res, nil
-	default:
+	if len(s.queue) == cap(s.queue) {
 		s.mu.Unlock()
 		s.release(j.key)
+		j.discard()
 		s.reject("queue_full")
 		return nil, errf(429, "queue full (%d jobs deep); retry later", s.cfg.QueueDepth)
 	}
+	if s.jr != nil {
+		// The durability point: the acceptance record is on disk before the
+		// client hears 200/202. A journal that cannot write cannot promise,
+		// so the job is refused rather than accepted volatile.
+		b, err := json.Marshal(req)
+		if err == nil {
+			err = s.jr.Accepted(jid, b)
+		}
+		if err != nil {
+			s.mu.Unlock()
+			s.release(j.key)
+			j.discard()
+			s.reject("journal")
+			return nil, errf(503, "journal write failed: %v", err)
+		}
+		s.journalRecord(journal.KindAccepted)
+	}
+	// Register the index entry before the job becomes visible to a worker.
+	s.jmu.Lock()
+	s.jobs[jid] = &jobState{jid: jid, status: StatusQueued, cancel: j.cancel}
+	s.jmu.Unlock()
+	// Space was checked above and every non-replay sender holds s.mu, so
+	// this send can block only momentarily behind the restart replayer.
+	s.queue <- j
+	s.mu.Unlock()
+	s.accepted.Add(1)
+	s.reg.Counter("earthd_jobs_accepted_total", "Jobs accepted into the queue.").Inc()
+	return &Submission{JobID: jid, Res: j.res, Owner: true}, nil
 }
 
 func (s *Server) reject(reason string) {
@@ -250,16 +405,25 @@ func (s *Server) reject(reason string) {
 }
 
 // Drain stops intake and waits (bounded by ctx) for the workers to finish
-// every accepted job. Idempotent; concurrent calls all wait.
+// every accepted job — including journaled jobs still being replayed after
+// a restart. Idempotent; concurrent calls all wait. On a complete drain the
+// journal is synced and closed.
 func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
-	if !s.draining {
-		s.draining = true
+	first := !s.draining
+	s.draining = true
+	s.mu.Unlock()
+	if first {
+		// The replayer's jobs are journaled acceptances from the previous
+		// process — as binding as any 202 this process issued — so they must
+		// all be queued before the queue can close.
+		s.replayWg.Wait()
+		s.mu.Lock()
 		// Closing the queue still delivers every buffered job to the
 		// workers; they exit when it is empty.
 		close(s.queue)
+		s.mu.Unlock()
 	}
-	s.mu.Unlock()
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
@@ -267,6 +431,11 @@ func (s *Server) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		if s.jr != nil {
+			if err := s.jr.Close(); err != nil {
+				return fmt.Errorf("drain: journal close: %w", err)
+			}
+		}
 		return nil
 	case <-ctx.Done():
 		return fmt.Errorf("drain: %w (%d of %d accepted jobs completed)",
@@ -282,18 +451,24 @@ func (s *Server) Draining() bool {
 }
 
 // worker drains the shared queue into one shard until drain closes it.
+// Jobs whose context fired while they were still queued (DELETE before a
+// worker reached them, or a wall deadline consumed by queue wait) resolve
+// without executing.
 func (s *Server) worker(sh *shard) {
 	defer s.wg.Done()
 	for j := range s.queue {
-		out := s.execute(sh, j)
-		s.release(j.key)
-		if out.err != nil {
-			s.reg.Counter("earthd_jobs_failed_total", "Accepted jobs that failed to compile or run.").Inc()
+		var out jobOutcome
+		var svcNs int64
+		if j.ctx.Err() != nil {
+			out = cancelOutcome(j)
+		} else {
+			s.setRunning(j.jid)
+			t0 := time.Now()
+			out = s.execute(sh, j)
+			svcNs = time.Since(t0).Nanoseconds()
 		}
-		s.completed.Add(1)
-		sh.jobs.Add(1)
-		s.reg.Counter("earthd_jobs_completed_total", "Jobs completed (success or failure).").Inc()
-		j.res <- out
+		s.release(j.key)
+		s.finish(sh, j, out, svcNs)
 	}
 }
 
@@ -303,6 +478,12 @@ func (s *Server) worker(sh *shard) {
 // piggybacks on (or feeds) a cached flight.
 func compileKey(hash string, optimize bool, policy string) string {
 	return fmt.Sprintf("%s|opt=%t|cache=%s", hash, optimize, policy)
+}
+
+// compileKeyFor derives a request's single-flight key from its resolved
+// source.
+func compileKeyFor(req *JobRequest, src string) string {
+	return compileKey(profile.HashSource(src), req.optimize(), req.Cache)
 }
 
 // attach joins (creating if needed) the compile flight for key.
@@ -390,6 +571,7 @@ func (s *Server) compileShared(sh *shard, j *job) (*core.Unit, bool, error) {
 func (s *Server) execute(sh *shard, j *job) jobOutcome {
 	queueNs := time.Since(j.enq).Nanoseconds()
 	s.reg.Histogram("earthd_queue_wait_ns", "Host time jobs spent queued.").Observe(queueNs)
+	ewmaUpdate(&s.waitEwmaNs, queueNs)
 
 	req := j.req
 	machine, faults, jerr := runSpec(req) // re-parse; validated at submit
@@ -432,14 +614,22 @@ func (s *Server) execute(sh *shard, j *job) jobOutcome {
 		Deadline:   s.cfg.JobDeadline,
 		Faults:     faults,
 		Sampler:    sh.sampler,
+		// The job's own context only — never the shared compile flight's:
+		// a batched compile must not die with the first client that loses
+		// interest, but this run serves exactly this job.
+		Context: j.ctx,
 	})
 	runNs := time.Since(t0).Nanoseconds()
 	if err != nil {
+		if errors.Is(err, earthsim.ErrCanceled) {
+			return cancelOutcome(j)
+		}
 		return jobOutcome{err: errf(422, "run: %v", err)}
 	}
 
 	r := &JobResult{
 		ID:         j.id,
+		JobID:      j.jid,
 		Name:       j.name,
 		Benchmark:  req.Benchmark,
 		SourceHash: u.SourceHash,
@@ -471,6 +661,14 @@ func (s *Server) execute(sh *shard, j *job) jobOutcome {
 // body of a /metrics scrape.
 func (s *Server) MergedRegistry() *Registry {
 	s.reg.Gauge("earthd_queue_depth", "Jobs currently queued.").Set(int64(len(s.queue)))
+	if s.jr != nil {
+		st := s.jr.Stats()
+		s.reg.Gauge("earthd_journal_lag", "Journal records appended but not yet fsynced.").Set(int64(st.Lag))
+		s.reg.Gauge("earthd_journal_segments", "Live journal segment files.").Set(int64(st.Segments))
+		s.reg.Gauge("earthd_journal_pending_jobs", "Journaled jobs with no outcome record yet.").Set(int64(st.PendingJobs))
+		s.reg.Gauge("earthd_journal_compactions", "Journal snapshot compactions since open.").Set(st.Compactions)
+		s.reg.Gauge("earthd_journal_corrupt_records", "Journal records dropped by checksum validation on open.").Set(st.CorruptRecords)
+	}
 	s.proc.Collect()
 	regs := make([]*metrics.Registry, 0, len(s.shards)+2)
 	regs = append(regs, s.reg, s.proc.Registry())

@@ -3,7 +3,6 @@ package server
 import (
 	"bytes"
 	"context"
-	"encoding/json"
 	"fmt"
 	"strings"
 	"sync"
@@ -123,10 +122,7 @@ func submitWait(t *testing.T, s *Server, req *JobRequest) (*JobResult, *jobError
 // so two results can be compared for deterministic-payload equality.
 func canonical(t *testing.T, r *JobResult) string {
 	t.Helper()
-	c := *r
-	c.ID, c.Shard, c.Batched = 0, 0, false
-	c.QueueNs, c.CompileNs, c.RunNs = 0, 0, 0
-	b, err := json.Marshal(&c)
+	b, err := r.CanonicalPayload()
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -153,6 +153,22 @@ grep -q 'drained cleanly' "$earthd_log" || {
     exit 1
 }
 echo "earthd smoke: 200/400/clean drain ok"
+# Journal-recovery unit leg: the durability contract's unit surface —
+# corruption matrix, restart recovery, exactly-once re-submission,
+# cancellation — rerun by name under the race detector so a recovery
+# regression is unmistakable in CI logs. (Also part of `go test -race ./...`
+# above.)
+go test -race -count=1 -run 'TestCorruptionMatrix|TestJournalRecovery|TestCancel' \
+    ./internal/journal ./internal/server
+# Chaos smoke leg: one seeded SIGKILL/restart cycle against a real earthd
+# with a journal. The harness asserts zero lost accepted jobs and that every
+# replayed payload is byte-identical to a clean run — the crash-safety
+# contract, end to end through the real binary and real fsyncs.
+chaos_bin="$(mktemp)"
+trap 'rm -f "$earthd_bin" "$earthd_log" "$chaos_bin"; rm -rf "$cache_dir" "$cache_src" "$cold_out" "$warm_out" "$warm_log"' EXIT
+go build -o "$chaos_bin" ./cmd/earthchaos
+"$chaos_bin" -earthd "$earthd_bin" -n 8 -cycles 1 -seed 7
+echo "chaos smoke: kill/restart cycle ok"
 # Service throughput smoke: a short earthload sweep diffed against the
 # committed BENCH_pr6.json trajectory. Loopback jobs/sec is the noisiest
 # metric in the trajectory, so the quick tolerances are wide; the full
