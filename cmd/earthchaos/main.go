@@ -13,7 +13,8 @@
 //	-n N          jobs per cycle (default 12)
 //	-cycles N     kill/restart cycles (default 2)
 //	-seed N       seed for the load mix and kill points (default 1)
-//	-v            log each job's fate
+//	-v            log each job's fate (debug level)
+//	-log-format f diagnostics encoding: text or json (default text)
 //
 // Protocol per cycle: submit N async jobs (ids "chaos-<seed>-<cycle>-<i>"),
 // SIGKILL the daemon after a seed-derived number of 202s, restart it on the
@@ -38,6 +39,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"os"
@@ -45,8 +47,13 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 )
+
+// log carries the harness's structured diagnostics; fatal routes through it
+// before exiting so failures keep their encoding under -log-format json.
+var log *slog.Logger = obs.Discard()
 
 func main() {
 	bin := flag.String("earthd", "", "earthd binary to run (required)")
@@ -54,11 +61,21 @@ func main() {
 	n := flag.Int("n", 12, "jobs per cycle")
 	cycles := flag.Int("cycles", 2, "kill/restart cycles")
 	seed := flag.Int64("seed", 1, "load-mix and kill-point seed")
-	verbose := flag.Bool("v", false, "log each job's fate")
+	verbose := flag.Bool("v", false, "log each job's fate (debug level)")
+	logFormat := flag.String("log-format", "text", "diagnostics encoding: text or json")
 	flag.Parse()
 	if *bin == "" || flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: earthchaos -earthd path/to/earthd [flags]")
 		flag.Usage()
+		os.Exit(2)
+	}
+	level := "info"
+	if *verbose {
+		level = "debug"
+	}
+	var err error
+	if log, err = obs.NewLogger(os.Stderr, *logFormat, level); err != nil {
+		fmt.Fprintln(os.Stderr, "earthchaos:", err)
 		os.Exit(2)
 	}
 	if *dir == "" {
@@ -70,7 +87,7 @@ func main() {
 		*dir = d
 	}
 
-	h := &harness{bin: *bin, dir: *dir, verbose: *verbose,
+	h := &harness{bin: *bin, dir: *dir,
 		rng: rand.New(rand.NewSource(*seed)), client: &http.Client{Timeout: 5 * time.Minute}}
 
 	// Reference pass: a journal-less daemon runs the whole mix cleanly.
@@ -122,13 +139,13 @@ func main() {
 			req.Async = false
 			r, err := h.submitSync(d.url, &req)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "earthchaos: cycle %d: job %s lost: %v\n", c, req.ID, err)
+				log.Error("job lost", "cycle", c, "job", req.ID, "err", err)
 				lost++
 				continue
 			}
 			if got, want := canonical(r), refs[c][req.ID]; got != want {
-				fmt.Fprintf(os.Stderr, "earthchaos: cycle %d: job %s payload diverged from clean run:\n  got  %s\n  want %s\n",
-					c, req.ID, got, want)
+				log.Error("payload diverged from clean run",
+					"cycle", c, "job", req.ID, "got", got, "want", want)
 				diverged++
 			}
 		}
@@ -140,42 +157,42 @@ func main() {
 			req.Async = false
 			r, err := h.submitSync(d.url, &req)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "earthchaos: cycle %d: job %s vanished after completing: %v\n", c, req.ID, err)
+				log.Error("job vanished after completing", "cycle", c, "job", req.ID, "err", err)
 				lost++
 				continue
 			}
 			if !r.Replayed {
-				fmt.Fprintf(os.Stderr, "earthchaos: cycle %d: job %s ran again instead of replaying its record\n", c, req.ID)
+				log.Error("job ran again instead of replaying its record", "cycle", c, "job", req.ID)
 				reran++
 			}
 		}
-		fmt.Fprintf(os.Stderr, "earthchaos: cycle %d: %d jobs, kill point %d: all completed exactly once\n", c, *n, kill)
+		log.Info("cycle complete: every acknowledged job completed exactly once",
+			"cycle", c, "jobs", *n, "kill_point", kill)
 	}
 	d.stop()
 
 	if lost+diverged+reran > 0 {
 		fatal("%d lost, %d diverged, %d re-ran", lost, diverged, reran)
 	}
-	fmt.Fprintf(os.Stderr, "earthchaos: PASS: %d cycles x %d jobs, every acknowledged job completed exactly once, payloads byte-identical to the clean run\n",
-		*cycles, *n)
+	log.Info(fmt.Sprintf("PASS: %d cycles x %d jobs, every acknowledged job completed exactly once, payloads byte-identical to the clean run",
+		*cycles, *n))
 }
 
 func fatal(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "earthchaos: FAIL: "+format+"\n", args...)
+	log.Error("FAIL: " + fmt.Sprintf(format, args...))
 	os.Exit(1)
 }
 
 type harness struct {
 	bin, dir string
-	verbose  bool
 	rng      *rand.Rand
 	client   *http.Client
 }
 
+// logf emits a debug-level diagnostic; -v lowers the logger to debug so
+// these show up.
 func (h *harness) logf(format string, args ...any) {
-	if h.verbose {
-		fmt.Fprintf(os.Stderr, "earthchaos: "+format+"\n", args...)
-	}
+	log.Debug(fmt.Sprintf(format, args...))
 }
 
 // mix builds one cycle's seeded job list: quick Olden benchmarks crossed

@@ -29,6 +29,17 @@
 //	                  the job with 504 (0 = off)
 //	-brownout-after d shed trace-enabled jobs with 429 once measured queue
 //	                  wait exceeds d (0 = off)
+//	-obs              record per-job host-side timelines: span trees served
+//	                  by GET /jobs/{id}/timeline and /debug/jobs, per-stage
+//	                  latency histograms in /metrics (default true)
+//	-obs-recent N     completed timelines retained in the ring (default 64)
+//	-obs-slowest N    slowest timelines retained alongside it (default 16)
+//	-slow-job d       dump the timeline of any job slower than d into the
+//	                  log (0 = off)
+//	-log-format f     structured log encoding: text or json (default text)
+//	-log-level l      log verbosity: debug, info, warn, error (default info;
+//	                  debug adds a line per job, info an access-log line per
+//	                  request)
 //
 // Submit a job:
 //
@@ -36,7 +47,8 @@
 //	curl -s localhost:8080/jobs -d '{"source":"int main() { return 42; }","nodes":1}'
 //
 // Abort a job: DELETE /jobs/{id}; poll one: GET /jobs/{id} (ids come from
-// the "id" request field or the result's job_id).
+// the "id" request field or the result's job_id). Debug a slow one:
+// GET /jobs/{id}/timeline?format=text.
 //
 // On SIGINT/SIGTERM the daemon stops intake (new submissions get 503),
 // finishes every accepted job, flushes in-flight responses, and exits 0;
@@ -53,6 +65,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -71,10 +84,22 @@ func main() {
 	journalDir := flag.String("journal-dir", "", "durable job journal directory (empty = journaling off)")
 	wallDeadline := flag.Duration("job-wall-deadline", 0, "per-job wall-clock budget, acceptance to completion (0 = off)")
 	brownout := flag.Duration("brownout-after", 0, "shed trace-enabled jobs once measured queue wait exceeds this (0 = off)")
+	obsOn := flag.Bool("obs", true, "record per-job host-side timelines (GET /jobs/{id}/timeline, /debug/jobs)")
+	obsRecent := flag.Int("obs-recent", 0, "completed timelines retained in the ring (0 = default 64)")
+	obsSlowest := flag.Int("obs-slowest", 0, "slowest completed timelines retained (0 = default 16)")
+	slowJob := flag.Duration("slow-job", 0, "dump timelines of jobs slower than this into the log (0 = off)")
+	logFormat := flag.String("log-format", "text", "log encoding: text or json")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: earthd [flags]")
 		flag.Usage()
+		os.Exit(2)
+	}
+
+	log, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "earthd:", err)
 		os.Exit(2)
 	}
 
@@ -91,26 +116,36 @@ func main() {
 		JournalDir:      *journalDir,
 		JobWallDeadline: *wallDeadline,
 		BrownoutAfter:   *brownout,
+		Obs: obs.Options{
+			Enabled: *obsOn,
+			Recent:  *obsRecent,
+			Slowest: *obsSlowest,
+			SlowJob: *slowJob,
+		},
+		Logger: log,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "earthd:", err)
+		log.Error("startup failed", "err", err)
 		os.Exit(1)
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "earthd:", err)
+		log.Error("listen failed", "addr", *addr, "err", err)
 		os.Exit(1)
 	}
 	srv := &http.Server{Handler: d.Handler()}
 	cfg := d.Config()
-	fmt.Fprintf(os.Stderr, "earthd: listening on %s (%d shards, queue %d)\n",
-		ln.Addr(), cfg.Shards, cfg.QueueDepth)
+	// The bound address stays inside the message text: the boot smoke in
+	// check.sh and the chaos harness both scan for "listening on <addr>".
+	build := obs.Info()
+	log.Info(fmt.Sprintf("listening on %s (%d shards, queue %d)", ln.Addr(), cfg.Shards, cfg.QueueDepth),
+		"revision", build.ShortRevision(), "go", build.GoVersion, "obs", *obsOn)
 	if cfg.JournalDir != "" {
-		fmt.Fprintf(os.Stderr, "earthd: journaling jobs to %s\n", cfg.JournalDir)
+		log.Info("journaling jobs", "dir", cfg.JournalDir)
 	}
 
 	done := server.ShutdownOnSignal(*drain, func(ctx context.Context) error {
-		fmt.Fprintln(os.Stderr, "earthd: draining (intake stopped, finishing accepted jobs)")
+		log.Info("draining (intake stopped, finishing accepted jobs)")
 		// Drain first so every accepted job completes and its waiting
 		// handler gets the outcome, then let the HTTP server retire those
 		// in-flight responses.
@@ -122,12 +157,12 @@ func main() {
 	})
 
 	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
-		fmt.Fprintln(os.Stderr, "earthd:", err)
+		log.Error("serve failed", "err", err)
 		os.Exit(1)
 	}
 	if err := <-done; err != nil {
-		fmt.Fprintln(os.Stderr, "earthd: drain failed:", err)
+		log.Error("drain failed", "err", err)
 		os.Exit(1)
 	}
-	fmt.Fprintln(os.Stderr, "earthd: drained cleanly")
+	log.Info("drained cleanly")
 }

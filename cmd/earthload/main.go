@@ -21,6 +21,10 @@
 //	-bench        emit Go-benchmark-formatted result lines on stdout
 //	              (BenchmarkEarthload/shards=N ... jobs/sec) for
 //	              benchdiff -emit; human-readable stats go to stderr
+//	-attrib       after the run, fetch the server's per-stage latency
+//	              histograms (/metrics.json) and print the tail-latency
+//	              attribution table — which stage dominates p99
+//	-log-format f diagnostics encoding: text or json (default text)
 //
 // The exit status is 1 if any job failed. On SIGINT the run stops issuing
 // new jobs, reports the partial throughput/latency summary for the jobs
@@ -35,6 +39,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -47,6 +52,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/olden"
 	"repro/internal/server"
 )
@@ -62,18 +68,25 @@ func main() {
 	nodes := flag.Int("nodes", 4, "simulated machine size per job")
 	full := flag.Bool("full", false, "use full benchmark sizes instead of quick parameters")
 	bench := flag.Bool("bench", false, "emit Go-benchmark-formatted lines for benchdiff")
+	attrib := flag.Bool("attrib", false, "print the server's per-stage tail-latency attribution after the run")
+	logFormat := flag.String("log-format", "text", "diagnostics encoding: text or json")
 	flag.Parse()
 
+	log, err := obs.NewLogger(os.Stderr, *logFormat, "info")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "earthload:", err)
+		os.Exit(2)
+	}
 	names := benchMix(*mix)
 	if names == nil {
-		fmt.Fprintf(os.Stderr, "earthload: unknown benchmark in -mix %q\n", *mix)
+		log.Error("unknown benchmark in -mix", "mix", *mix)
 		os.Exit(2)
 	}
 	if *sweep != "" {
 		*selfhost = true
 	}
 	if !*selfhost && *addr == "" {
-		fmt.Fprintln(os.Stderr, "earthload: need -addr URL or -selfhost")
+		log.Error("need -addr URL or -selfhost")
 		os.Exit(2)
 	}
 
@@ -83,7 +96,7 @@ func main() {
 		for _, f := range strings.Split(*sweep, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(f))
 			if err != nil || n < 1 {
-				fmt.Fprintf(os.Stderr, "earthload: bad -sweep entry %q\n", f)
+				log.Error("bad -sweep entry", "entry", f)
 				os.Exit(2)
 			}
 			counts = append(counts, n)
@@ -101,7 +114,7 @@ func main() {
 		<-sig
 		interrupted.Store(true)
 		signal.Stop(sig)
-		fmt.Fprintln(os.Stderr, "earthload: interrupted — finishing in-flight jobs, reporting partial results")
+		log.Warn("interrupted — finishing in-flight jobs, reporting partial results")
 	}()
 
 	failed := false
@@ -110,19 +123,29 @@ func main() {
 		var stop func()
 		if *selfhost {
 			var err error
-			url, stop, err = selfhostServer(sc)
+			url, stop, err = selfhostServer(sc, *attrib)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "earthload:", err)
+				log.Error("selfhost start failed", "err", err)
 				os.Exit(1)
 			}
 		}
-		st := drive(url, names, *conc, *total, *nodes, !*full, &interrupted)
+		st := drive(url, names, *conc, *total, *nodes, !*full, &interrupted, log)
+		if *attrib {
+			// Fetch before stopping the selfhost server: the histograms live
+			// in the server's registry.
+			rows, err := fetchAttribution(url)
+			if err != nil {
+				log.Error("attribution fetch failed", "err", err)
+			} else {
+				st.attrib = rows
+			}
+		}
 		if stop != nil {
 			stop()
 		}
 		if interrupted.Load() {
-			fmt.Fprintf(os.Stderr, "earthload: partial run: %d of %d jobs completed before interrupt\n",
-				st.ok+st.failed, *total)
+			log.Warn("partial run: interrupted before all jobs completed",
+				"completed", st.ok+st.failed, "total", *total)
 		}
 		st.report(os.Stderr, sc)
 		if *bench && !interrupted.Load() {
@@ -167,9 +190,11 @@ func benchMix(spec string) []string {
 }
 
 // selfhostServer starts an in-process earthd on a loopback port and returns
-// its base URL plus a stop function that drains it.
-func selfhostServer(shards int) (string, func(), error) {
-	d := server.New(server.Config{Shards: shards})
+// its base URL plus a stop function that drains it. Host-side tracing is on
+// only when the run wants the attribution table — the benchmarked
+// configuration stays identical to earlier revisions otherwise.
+func selfhostServer(shards int, withObs bool) (string, func(), error) {
+	d := server.New(server.Config{Shards: shards, Obs: obs.Options{Enabled: withObs}})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return "", nil, err
@@ -192,6 +217,57 @@ type stats struct {
 	latencies           []time.Duration // successful jobs only
 	wall                time.Duration
 	perShard            map[int]int
+	attrib              []stageRow // per-stage tail latency, when -attrib
+}
+
+// stageRow is one stage of the server's tail-latency attribution report,
+// decoded from the earthd_stage_ns histograms in /metrics.json.
+type stageRow struct {
+	stage         string
+	count         int64
+	p50, p95, p99 int64
+}
+
+// fetchAttribution pulls the server's merged registry and extracts the
+// per-stage host-latency histograms recorded by its span timelines.
+func fetchAttribution(base string) ([]stageRow, error) {
+	client := &http.Client{Timeout: 30 * time.Second}
+	resp, err := client.Get(base + "/metrics.json")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics.json: status %d", resp.StatusCode)
+	}
+	var m struct {
+		Histograms []struct {
+			Name  string `json:"name"`
+			Count int64  `json:"count"`
+			P50   int64  `json:"p50"`
+			P95   int64  `json:"p95"`
+			P99   int64  `json:"p99"`
+		} `json:"histograms"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return nil, err
+	}
+	const prefix = `earthd_stage_ns{stage="`
+	var rows []stageRow
+	for _, h := range m.Histograms {
+		if !strings.HasPrefix(h.Name, prefix) || h.Count == 0 {
+			continue
+		}
+		stage := strings.TrimSuffix(strings.TrimPrefix(h.Name, prefix), `"}`)
+		rows = append(rows, stageRow{stage: stage, count: h.Count, p50: h.P50, p95: h.P95, p99: h.P99})
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("no earthd_stage_ns histograms (is the server running with -obs?)")
+	}
+	// Order by p99 contribution, dominant stage first — the question the
+	// table answers is "where does p99 go?".
+	sort.Slice(rows, func(i, j int) bool { return rows[i].p99 > rows[j].p99 })
+	return rows, nil
 }
 
 func (s *stats) jobsPerSec() float64 {
@@ -239,13 +315,23 @@ func (s *stats) report(w io.Writer, shards int) {
 		parts = append(parts, fmt.Sprintf("%d:%d", id, s.perShard[id]))
 	}
 	fmt.Fprintf(w, "  shard distribution: %s\n", strings.Join(parts, " "))
+	if len(s.attrib) > 0 {
+		fmt.Fprintf(w, "  attribution (server host time by stage, p99-dominant first):\n")
+		fmt.Fprintf(w, "    %-18s %8s %12s %12s %12s\n", "STAGE", "COUNT", "P50", "P95", "P99")
+		for _, a := range s.attrib {
+			fmt.Fprintf(w, "    %-18s %8d %12s %12s %12s\n", a.stage, a.count,
+				time.Duration(a.p50).Round(time.Microsecond),
+				time.Duration(a.p95).Round(time.Microsecond),
+				time.Duration(a.p99).Round(time.Microsecond))
+		}
+	}
 }
 
 // drive fires total jobs at the service from conc concurrent clients,
 // round-robining the benchmark mix, honoring 429/503 backpressure with the
 // server's Retry-After hint. Once stop flips, workers finish their current
 // job and issue no more.
-func drive(base string, names []string, conc, total, nodes int, quick bool, stop *atomic.Bool) *stats {
+func drive(base string, names []string, conc, total, nodes int, quick bool, stop *atomic.Bool, log *slog.Logger) *stats {
 	st := &stats{perShard: make(map[int]int)}
 	var mu sync.Mutex
 	var next atomic.Int64
@@ -274,7 +360,7 @@ func drive(base string, names []string, conc, total, nodes int, quick bool, stop
 				st.retried += retries
 				if err != nil {
 					st.failed++
-					fmt.Fprintf(os.Stderr, "earthload: job %d (%s): %v\n", i, names[i%len(names)], err)
+					log.Error("job failed", "job", i, "benchmark", names[i%len(names)], "err", err)
 				} else {
 					st.ok++
 					st.latencies = append(st.latencies, lat)

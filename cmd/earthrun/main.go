@@ -57,6 +57,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/earthsim"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/server"
 	"repro/internal/trace"
@@ -258,7 +259,8 @@ func run(name, src string, ro runOpts) (*runResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		fmt.Fprintf(os.Stderr, "earthrun: telemetry at http://%s/\n", d.Addr)
+		fmt.Fprintf(os.Stderr, "earthrun: telemetry at http://%s/ (revision %s, %s)\n",
+			d.Addr, obs.Info().ShortRevision(), obs.Info().GoVersion)
 		// SIGINT/SIGTERM drains the debug server (in-flight scrapes finish)
 		// before the process exits, instead of the runtime's hard kill —
 		// the same drain helper earthd uses for its job queue.

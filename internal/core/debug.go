@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // liveState is the pipeline-side slot the current run publishes through; the
@@ -36,6 +37,7 @@ type runRecord struct {
 //
 //	/               index (plain text, lists the endpoints)
 //	/healthz        JSON liveness + current-run status
+//	/buildinfo      binary identity (module version, VCS revision, Go)
 //	/metrics        Prometheus text: registry + latest simulator sample
 //	/metrics.json   registry as JSON
 //	/series.json    the current run's retained time series as JSON
@@ -60,6 +62,7 @@ func (p *Pipeline) DebugHandler() http.Handler {
 		}
 		fmt.Fprint(w, "earth pipeline debug server\n\n"+
 			"/healthz        liveness + current run\n"+
+			"/buildinfo      binary identity (version, VCS revision, Go)\n"+
 			"/metrics        Prometheus text exposition\n"+
 			"/metrics.json   registry as JSON\n"+
 			"/series.json    simulator time series (current run)\n"+
@@ -83,6 +86,12 @@ func (p *Pipeline) DebugHandler() http.Handler {
 			h.ElapsedMs = time.Since(rec.started).Milliseconds()
 		}
 		json.NewEncoder(w).Encode(h)
+	})
+	mux.HandleFunc("/buildinfo", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(obs.Info())
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// Build identifies the running binary: module version, VCS state, and the
+// toolchain that built it. Served by GET /buildinfo and stamped into the
+// daemons' startup log lines so "which build is this?" never requires a
+// shell on the box.
+type Build struct {
+	GoVersion string `json:"go_version"`
+	Module    string `json:"module,omitempty"`
+	Version   string `json:"version,omitempty"`
+	Revision  string `json:"revision,omitempty"`
+	Time      string `json:"time,omitempty"` // VCS commit time, RFC3339
+	Dirty     bool   `json:"dirty,omitempty"`
+}
+
+// Info reads the binary's build metadata via runtime/debug.ReadBuildInfo.
+// Fields missing from the build (e.g. no VCS stamping under `go test`) stay
+// empty; the call never fails.
+func Info() Build {
+	b := Build{GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	b.Module = bi.Main.Path
+	b.Version = bi.Main.Version
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			b.Revision = s.Value
+		case "vcs.time":
+			b.Time = s.Value
+		case "vcs.modified":
+			b.Dirty = s.Value == "true"
+		}
+	}
+	return b
+}
+
+// ShortRevision returns the revision truncated for log lines ("" when the
+// build carries no VCS stamp).
+func (b Build) ShortRevision() string {
+	if len(b.Revision) > 12 {
+		return b.Revision[:12]
+	}
+	return b.Revision
+}

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/contenthash"
 	"repro/internal/journal"
+	"repro/internal/obs"
 )
 
 // Job lifecycle states, as reported by GET /jobs/{id}.
@@ -70,8 +71,9 @@ func dedupKey(req *JobRequest, journaled bool, auto uint64) (string, *jobError) 
 }
 
 // newJob builds the queued form of one accepted submission, including its
-// cancellation context (wall deadline + explicit abort).
-func (s *Server) newJob(req *JobRequest, jid, name, src string) *job {
+// cancellation context (wall deadline + explicit abort) and its host-side
+// timeline anchored at t0 (submission entry).
+func (s *Server) newJob(req *JobRequest, jid, name, src string, t0 time.Time) *job {
 	ctx := context.Background()
 	var stopTimer context.CancelFunc
 	if s.cfg.JobWallDeadline > 0 {
@@ -89,6 +91,8 @@ func (s *Server) newJob(req *JobRequest, jid, name, src string) *job {
 		ctx:       cctx,
 		cancel:    cancel,
 		stopTimer: stopTimer,
+		tr:        s.obs.NewTrace(jid, t0),
+		qIx:       -1,
 		res:       make(chan jobOutcome, 1),
 	}
 }
@@ -190,6 +194,7 @@ func (s *Server) finish(sh *shard, j *job, out jobOutcome, svcNs int64) {
 	if s.jr != nil {
 		// Journal failures must not fail the job — the run already happened;
 		// the lag/error shows up in /healthz and /metrics instead.
+		jcIx := j.tr.Start(-1, obs.KindJournalComplete)
 		switch {
 		case cancelled:
 			_ = s.jr.Cancelled(j.jid, out.err.msg)
@@ -203,9 +208,11 @@ func (s *Server) finish(sh *shard, j *job, out jobOutcome, svcNs int64) {
 				s.journalRecord(journal.KindCompleted)
 			}
 		}
+		j.tr.End(jcIx)
 	}
 	j.discard()
 
+	rIx := j.tr.Start(-1, obs.KindRespond)
 	s.jmu.Lock()
 	st := s.jobs[j.jid]
 	if st == nil {
@@ -227,6 +234,7 @@ func (s *Server) finish(sh *shard, j *job, out jobOutcome, svcNs int64) {
 	for _, ch := range followers {
 		ch <- out // each follower channel is buffered 1
 	}
+	j.tr.End(rIx)
 
 	if svcNs > 0 {
 		ewmaUpdate(&s.svcEwmaNs, svcNs)
@@ -240,6 +248,14 @@ func (s *Server) finish(sh *shard, j *job, out jobOutcome, svcNs int64) {
 	s.completed.Add(1)
 	sh.jobs.Add(1)
 	s.reg.Counter("earthd_jobs_completed_total", "Jobs completed (success, failure, or cancellation).").Inc()
+	// Finalize the timeline (and observe its stage histograms) before the
+	// outcome is delivered, so a client that reads its result and
+	// immediately curls /jobs/{id}/timeline always finds the completed tree.
+	status := StatusDone
+	if cancelled {
+		status = StatusCancelled
+	}
+	s.completeTrace(j, out, status)
 	j.res <- out
 }
 
@@ -288,6 +304,8 @@ func (s *Server) recover(rec *journal.Recovery) {
 		defer s.replayWg.Done()
 		for _, j := range replay {
 			s.attach(j.key)
+			j.qIx = j.tr.Start(-1, obs.KindQueueWait)
+			s.obs.Track(j.tr)
 			s.queue <- j // blocking: the queue closes only after replayWg
 			s.accepted.Add(1)
 			s.reg.Counter("earthd_jobs_replayed_total", "Journaled jobs replayed through the queue after a restart.").Inc()
@@ -315,7 +333,7 @@ func (s *Server) rebuild(r journal.Record) (*job, error) {
 	if _, _, jerr := runSpec(&req); jerr != nil {
 		return nil, jerr
 	}
-	j := s.newJob(&req, r.ID, name, src)
+	j := s.newJob(&req, r.ID, name, src, time.Now())
 	j.replayed = true
 	return j, nil
 }

@@ -16,7 +16,11 @@ import (
 //	                    streams one NDJSON line per job as it completes
 //	GET    /jobs/{id}   the job's lifecycle state; terminal states carry
 //	                    the result or recorded error
+//	GET    /jobs/{id}/timeline  the job's host-side span tree
+//	                    (?format=json|text|chrome), live or retained
 //	DELETE /jobs/{id}   request a cooperative abort of a queued/running job
+//	GET    /debug/jobs  recent/slowest timelines + tail-latency attribution
+//	GET    /buildinfo   binary identity (version, VCS revision, Go version)
 //	GET    /metrics     Prometheus text: service + all shards + process,
 //	                    merged into one exposition
 //	GET    /metrics.json  the same merged registry as JSON
@@ -39,7 +43,10 @@ func (s *Server) Handler() http.Handler {
 			"POST   /jobs         submit one job (JSON; \"async\": true for 202 + poll)\n"+
 			"POST   /jobs/batch   submit an array of jobs; NDJSON results stream back\n"+
 			"GET    /jobs/{id}    job status (queued/running/done/cancelled)\n"+
+			"GET    /jobs/{id}/timeline  host-side span tree (?format=json|text|chrome)\n"+
 			"DELETE /jobs/{id}    abort a queued or running job\n"+
+			"GET    /debug/jobs   recent/slowest timelines + tail-latency attribution\n"+
+			"GET    /buildinfo    binary identity (version, VCS revision, Go) + config\n"+
 			"GET    /metrics      aggregated Prometheus exposition\n"+
 			"GET    /metrics.json aggregated registry as JSON\n"+
 			"GET    /healthz      liveness + queue + shard + journal status\n"+
@@ -50,7 +57,10 @@ func (s *Server) Handler() http.Handler {
 	// GET /jobs/{id} wildcard below (neither pattern is more specific).
 	mux.HandleFunc("POST /jobs/batch", s.handleBatch)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJobStatus)
+	mux.HandleFunc("GET /jobs/{id}/timeline", s.handleTimeline)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleJobDelete)
+	mux.HandleFunc("GET /debug/jobs", s.handleDebugJobs)
+	mux.HandleFunc("GET /buildinfo", s.handleBuildinfo)
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		s.MergedRegistry().WritePrometheus(w)
@@ -61,7 +71,7 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/series.json", s.handleSeries)
-	return mux
+	return s.accessLog(mux)
 }
 
 // retryAfter stamps the backpressure hint on 429/503 responses, computed
@@ -292,23 +302,31 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		Compactions int64 `json:"compactions"`
 	}
 	h := struct {
-		Status    string         `json:"status"`
-		Draining  bool           `json:"draining"`
-		UptimeMs  int64          `json:"uptime_ms"`
-		QueueLen  int            `json:"queue_len"`
-		QueueCap  int            `json:"queue_cap"`
-		Accepted  int64          `json:"accepted"`
-		Completed int64          `json:"completed"`
-		Journal   *journalHealth `json:"journal,omitempty"`
-		Shards    []shardHealth  `json:"shards"`
+		Status    string `json:"status"`
+		Draining  bool   `json:"draining"`
+		UptimeMs  int64  `json:"uptime_ms"`
+		QueueLen  int    `json:"queue_len"`
+		QueueCap  int    `json:"queue_cap"`
+		Accepted  int64  `json:"accepted"`
+		Completed int64  `json:"completed"`
+		// The measured EWMAs behind the backpressure decisions: service
+		// time drives Retry-After, queue wait drives brownout shedding.
+		SvcEwmaNs      int64          `json:"svc_ewma_ns"`
+		QueueWaitEwma  int64          `json:"queue_wait_ewma_ns"`
+		RetryAfterSecs int            `json:"retry_after_secs"`
+		Journal        *journalHealth `json:"journal,omitempty"`
+		Shards         []shardHealth  `json:"shards"`
 	}{
-		Status:    "ok",
-		Draining:  s.Draining(),
-		UptimeMs:  time.Since(s.start).Milliseconds(),
-		QueueLen:  len(s.queue),
-		QueueCap:  s.cfg.QueueDepth,
-		Accepted:  s.accepted.Load(),
-		Completed: s.completed.Load(),
+		Status:         "ok",
+		Draining:       s.Draining(),
+		UptimeMs:       time.Since(s.start).Milliseconds(),
+		QueueLen:       len(s.queue),
+		QueueCap:       s.cfg.QueueDepth,
+		Accepted:       s.accepted.Load(),
+		Completed:      s.completed.Load(),
+		SvcEwmaNs:      s.svcEwmaNs.Load(),
+		QueueWaitEwma:  s.waitEwmaNs.Load(),
+		RetryAfterSecs: s.retryAfterSecs(),
 	}
 	if h.Draining {
 		h.Status = "draining"

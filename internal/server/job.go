@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/earthsim"
+	"repro/internal/obs"
 	"repro/internal/olden"
 	"repro/internal/trace"
 )
@@ -184,6 +185,11 @@ type job struct {
 	// replayed marks a job rebuilt from the journal on restart: it is
 	// already durably accepted, so Submit-side journaling is skipped.
 	replayed bool
+	// tr is the job's host-side span timeline (nil when tracing is off);
+	// qIx is its queue.wait span, opened at enqueue and closed by the
+	// worker that dequeues the job.
+	tr  *obs.JobTrace
+	qIx int
 	// res receives exactly one outcome; buffered so a worker never blocks on
 	// a departed client.
 	res chan jobOutcome

@@ -34,6 +34,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -44,6 +45,7 @@ import (
 	"repro/internal/earthsim"
 	"repro/internal/journal"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/trace"
 )
@@ -101,6 +103,14 @@ type Config struct {
 	// exactly-once re-submission (default 4096, oldest evicted first; also
 	// the journal's completion-retention window).
 	RetainResults int
+	// Obs configures host-side job tracing (GET /jobs/{id}/timeline,
+	// /debug/jobs, per-stage latency histograms). Disabled by default — a
+	// disabled recorder is nil and costs one nil check per instrumentation
+	// point.
+	Obs obs.Options
+	// Logger receives the server's structured diagnostics (job lifecycle,
+	// slow-job timeline dumps, access log). Nil discards everything.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -156,6 +166,7 @@ type flight struct {
 	started bool // a worker has claimed the compile
 	done    chan struct{}
 	unit    *core.Unit
+	hit     bool // the compile was served whole from the unit cache
 	err     error
 }
 
@@ -167,6 +178,17 @@ type Server struct {
 	shards []*shard
 	cache  *cache.Cache // shared across shards; nil when CacheSize < 0
 	start  time.Time
+
+	// obs records per-job host-side span timelines (nil when disabled).
+	// Like proc, it lives outside the shard pipeline registries: host
+	// wall-clock quantities never reach the byte-deterministic telemetry.
+	obs *obs.Recorder
+	log *slog.Logger
+	// logDebug/logInfo cache the logger's level gates so hot paths skip
+	// slog's argument boxing entirely when a level is off (handler levels
+	// are fixed at construction).
+	logDebug bool
+	logInfo  bool
 
 	mu       sync.Mutex // guards draining + queue close
 	draining bool
@@ -223,6 +245,14 @@ func Open(cfg Config) (*Server, error) {
 		flights: make(map[string]*flight),
 		jobs:    make(map[string]*jobState),
 		start:   time.Now(),
+		obs:     obs.New(cfg.Obs),
+		log:     cfg.Logger,
+	}
+	if s.log == nil {
+		s.log = obs.Discard()
+	} else {
+		s.logDebug = s.log.Enabled(context.Background(), slog.LevelDebug)
+		s.logInfo = s.log.Enabled(context.Background(), slog.LevelInfo)
 	}
 	if cfg.CacheSize >= 0 {
 		s.cache = cache.New(cfg.CacheSize, cfg.CacheDir)
@@ -296,6 +326,7 @@ func (s *Server) Submit(req *JobRequest) (<-chan jobOutcome, *jobError) {
 //  4. with journaling on, fsync the acceptance record — only then is the
 //     job visible to workers and its acceptance acknowledged.
 func (s *Server) SubmitEx(req *JobRequest) (*Submission, *jobError) {
+	t0 := time.Now() // epoch of the job's host-side timeline
 	if jerr := req.validateVersion(); jerr != nil {
 		s.reject("invalid")
 		return nil, jerr
@@ -350,10 +381,15 @@ func (s *Server) SubmitEx(req *JobRequest) (*Submission, *jobError) {
 			time.Duration(s.waitEwmaNs.Load()).Round(time.Millisecond), s.cfg.BrownoutAfter)
 	}
 
-	j := s.newJob(req, jid, name, src)
+	j := s.newJob(req, jid, name, src, t0)
+	// The accept span starts at the timeline epoch: it covers the
+	// validation that ran before the trace object existed.
+	accIx := j.tr.StartAt(-1, obs.KindAccept, 0)
 	// Attach to the compile flight before enqueueing so a worker can never
 	// dequeue the job ahead of its flight registration.
+	aIx := j.tr.Start(accIx, obs.KindBatchAttach)
 	s.attach(j.key)
+	j.tr.End(aIx)
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
@@ -373,10 +409,12 @@ func (s *Server) SubmitEx(req *JobRequest) (*Submission, *jobError) {
 		// The durability point: the acceptance record is on disk before the
 		// client hears 200/202. A journal that cannot write cannot promise,
 		// so the job is refused rather than accepted volatile.
+		jIx := j.tr.Start(accIx, obs.KindJournalAppend)
 		b, err := json.Marshal(req)
 		if err == nil {
 			err = s.jr.Accepted(jid, b)
 		}
+		j.tr.End(jIx)
 		if err != nil {
 			s.mu.Unlock()
 			s.release(j.key)
@@ -390,12 +428,21 @@ func (s *Server) SubmitEx(req *JobRequest) (*Submission, *jobError) {
 	s.jmu.Lock()
 	s.jobs[jid] = &jobState{jid: jid, status: StatusQueued, cancel: j.cancel}
 	s.jmu.Unlock()
+	// The job is now accepted: close the accept stage, open queue.wait, and
+	// make the timeline visible to GET /jobs/{id}/timeline. Rejected paths
+	// above never Track, so their traces simply drop.
+	j.tr.End(accIx)
+	j.qIx = j.tr.Start(-1, obs.KindQueueWait)
+	s.obs.Track(j.tr)
 	// Space was checked above and every non-replay sender holds s.mu, so
 	// this send can block only momentarily behind the restart replayer.
 	s.queue <- j
 	s.mu.Unlock()
 	s.accepted.Add(1)
 	s.reg.Counter("earthd_jobs_accepted_total", "Jobs accepted into the queue.").Inc()
+	if s.logDebug {
+		s.log.Debug("job accepted", "job", jid, "name", name, "queue_len", len(s.queue))
+	}
 	return &Submission{JobID: jid, Res: j.res, Owner: true}, nil
 }
 
@@ -459,6 +506,7 @@ func (s *Server) worker(sh *shard) {
 	for j := range s.queue {
 		var out jobOutcome
 		var svcNs int64
+		j.tr.End(j.qIx)
 		if j.ctx.Err() != nil {
 			out = cancelOutcome(j)
 		} else {
@@ -515,11 +563,11 @@ func (s *Server) release(key string) {
 
 // compileShared resolves j's compile: the first worker to reach any job
 // attached to the flight performs it, and every other attached job waits
-// and shares the unit. The returned bool reports whether this job shared
-// another job's compile (batched). Compilation is deterministic, so the
-// shared unit is byte-identical to what a private compile would have
-// produced.
-func (s *Server) compileShared(sh *shard, j *job) (*core.Unit, bool, error) {
+// and shares the unit. batched reports whether this job shared another
+// job's compile; hit reports a unit-cache hit (meaningful only when
+// !batched). Compilation is deterministic, so the shared unit is
+// byte-identical to what a private compile would have produced.
+func (s *Server) compileShared(sh *shard, j *job) (u *core.Unit, batched, hit bool, err error) {
 	s.fmu.Lock()
 	f := s.flights[j.key]
 	if f == nil {
@@ -533,7 +581,7 @@ func (s *Server) compileShared(sh *shard, j *job) (*core.Unit, bool, error) {
 		s.fmu.Unlock()
 		s.reg.Counter("earthd_batch_shared_total", "Jobs whose compile was shared with a concurrent identical submission.").Inc()
 		<-f.done
-		return f.unit, true, f.err
+		return f.unit, true, false, f.err
 	}
 	f.started = true
 	s.fmu.Unlock()
@@ -543,17 +591,21 @@ func (s *Server) compileShared(sh *shard, j *job) (*core.Unit, bool, error) {
 		Workers:  s.cfg.Workers,
 		Metrics:  sh.reg,
 		Cache:    s.cache,
+		// With tracing on, keep the per-phase stats on the unit so the
+		// job's compile span gets phase children.
+		Stats: s.obs.Enabled(),
 	})
 	policy, jerr := j.req.cachePolicy()
 	if jerr != nil {
 		// Unreachable: Submit validated the policy before accepting the job.
 		f.err = jerr
 		close(f.done)
-		return nil, false, f.err
+		return nil, false, false, f.err
 	}
 	res, err := p.Do(core.CompileRequest{Name: j.name, Source: j.src, Cache: policy})
 	if err == nil {
 		f.unit = res.Unit
+		f.hit = res.Hit
 		if !res.Hit {
 			// Only cache misses perform work; batched duplicates and repeat
 			// submissions served from the unit cache don't compile at all.
@@ -562,7 +614,7 @@ func (s *Server) compileShared(sh *shard, j *job) (*core.Unit, bool, error) {
 	}
 	f.err = err
 	close(f.done)
-	return f.unit, false, f.err
+	return f.unit, false, f.hit, f.err
 }
 
 // execute runs one job on sh. Compile errors and run failures (traps,
@@ -587,12 +639,15 @@ func (s *Server) execute(sh *shard, j *job) jobOutcome {
 		fuel = s.cfg.MaxFuel
 	}
 
+	cIx := j.tr.Start(-1, obs.KindCompile)
 	t0 := time.Now()
-	u, batched, err := s.compileShared(sh, j)
+	u, batched, hit, err := s.compileShared(sh, j)
 	compileNs := time.Since(t0).Nanoseconds()
+	j.tr.End(cIx)
 	if err != nil {
 		return jobOutcome{err: errf(422, "compile: %v", err)}
 	}
+	s.compileChildren(j.tr, cIx, batched, hit, u)
 
 	// Traced jobs get a pipeline carrying the shard's recorder; the worker
 	// is sequential, so Reset-per-job reuse is safe while scrapes read the
@@ -604,6 +659,7 @@ func (s *Server) execute(sh *shard, j *job) jobOutcome {
 	}
 	sh.sampler.Reset()
 	rp := core.NewPipeline(runOpts)
+	rIx := j.tr.Start(-1, obs.KindSimRun)
 	t0 = time.Now()
 	res, err := rp.Run(u, core.RunConfig{
 		Nodes:      nodes,
@@ -620,6 +676,7 @@ func (s *Server) execute(sh *shard, j *job) jobOutcome {
 		Context: j.ctx,
 	})
 	runNs := time.Since(t0).Nanoseconds()
+	j.tr.End(rIx)
 	if err != nil {
 		if errors.Is(err, earthsim.ErrCanceled) {
 			return cancelOutcome(j)

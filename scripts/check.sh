@@ -136,6 +136,27 @@ ok_code=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
     "http://127.0.0.1:$port/jobs" -d '{"benchmark":"power","quick":true,"nodes":4}')
 bad_code=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
     "http://127.0.0.1:$port/jobs" -d '{"benchmark":"no-such-benchmark"}')
+# Observability smoke: the binary reports its identity, a completed job's
+# host-side timeline is retained with the queue.wait and sim.run stages,
+# and /debug/jobs serves the attribution tables.
+curl -s "http://127.0.0.1:$port/buildinfo" | grep -q '"go_version"' || {
+    echo "earthd smoke: /buildinfo missing go_version" >&2
+    exit 1
+}
+curl -s -o /dev/null -X POST "http://127.0.0.1:$port/jobs" \
+    -d '{"id":"smoke-tl","benchmark":"power","quick":true,"nodes":4}'
+timeline=$(curl -s "http://127.0.0.1:$port/jobs/smoke-tl/timeline?format=text")
+for stage in queue.wait sim.run; do
+    echo "$timeline" | grep -q "$stage" || {
+        echo "earthd smoke: timeline missing $stage span:" >&2
+        echo "$timeline" >&2
+        exit 1
+    }
+done
+curl -s "http://127.0.0.1:$port/debug/jobs" | grep -q 'tail-latency attribution' || {
+    echo "earthd smoke: /debug/jobs missing attribution table" >&2
+    exit 1
+}
 kill -TERM "$earthd_pid"
 if ! wait "$earthd_pid"; then
     echo "earthd smoke: dirty exit after SIGTERM" >&2
@@ -152,7 +173,12 @@ grep -q 'drained cleanly' "$earthd_log" || {
     cat "$earthd_log" >&2
     exit 1
 }
-echo "earthd smoke: 200/400/clean drain ok"
+echo "earthd smoke: 200/400/timeline/clean drain ok"
+# Timeline concurrency leg: live snapshot reads racing job execution and
+# completion filing, under the race detector, rerun by name so a data race
+# in the observability layer is unmistakable in CI logs. (Also part of
+# `go test -race ./...` above.)
+go test -race -count=1 -run 'TestTimeline' ./internal/server
 # Journal-recovery unit leg: the durability contract's unit surface —
 # corruption matrix, restart recovery, exactly-once re-submission,
 # cancellation — rerun by name under the race detector so a recovery
